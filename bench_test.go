@@ -1,0 +1,271 @@
+// Package sttsim's root benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation (each regenerates the corresponding
+// rows/series through internal/exp at a reduced cycle budget), plus
+// micro-benchmarks of the substrates (network, bank, workload generator,
+// whole-system cycle rate).
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// and the full-scale tables with:
+//
+//	go run ./cmd/experiments
+package sttsim_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"sttsim/internal/exp"
+	"sttsim/internal/mem"
+	"sttsim/internal/noc"
+	"sttsim/internal/sim"
+	"sttsim/internal/trace"
+	"sttsim/internal/workload"
+)
+
+// benchRunner builds a fresh memoizing runner at benchmark scale.
+func benchRunner() *exp.Runner {
+	return exp.NewRunner(exp.Options{Quick: true, WarmupCycles: 1500, MeasureCycles: 4000})
+}
+
+func must(b *testing.B, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Paper tables and figures.
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Table2(io.Discard)
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table3(benchRunner())
+		must(b, err)
+		exp.PrintTable3(io.Discard, rows)
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		entries, err := exp.Figure3(benchRunner())
+		must(b, err)
+		exp.PrintFigure3(io.Discard, entries)
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure6(benchRunner())
+		must(b, err)
+		exp.PrintFigure6(io.Discard, res)
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		entries, err := exp.Figure7(benchRunner())
+		must(b, err)
+		exp.PrintFigure7(io.Discard, entries)
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		entries, err := exp.Figure8(benchRunner())
+		must(b, err)
+		exp.PrintFigure8(io.Discard, entries)
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cases, err := exp.Figure9(benchRunner())
+		must(b, err)
+		exp.PrintFigure9(io.Discard, cases)
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		entries, err := exp.Figure10(benchRunner())
+		must(b, err)
+		exp.PrintFigure10(io.Discard, entries)
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Figure12(benchRunner())
+		must(b, err)
+		exp.PrintFigure12(io.Discard, points)
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure13(benchRunner())
+		must(b, err)
+		exp.PrintFigure13(io.Discard, res)
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		entries, err := exp.Figure14(benchRunner())
+		must(b, err)
+		exp.PrintFigure14(io.Discard, entries)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-scheme whole-system simulation rate (cycles of the 128-node CMP per
+// wall-clock second) on the paper's heaviest server workload.
+// ---------------------------------------------------------------------------
+
+func benchScheme(b *testing.B, s sim.Scheme) {
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{
+			Scheme:        s,
+			Assignment:    workload.Homogeneous(workload.MustByName("tpcc")),
+			WarmupCycles:  1000,
+			MeasureCycles: 4000,
+		})
+		must(b, err)
+	}
+}
+
+func BenchmarkSchemeSRAM64TSB(b *testing.B)  { benchScheme(b, sim.SchemeSRAM64TSB) }
+func BenchmarkSchemeSTT64TSB(b *testing.B)   { benchScheme(b, sim.SchemeSTT64TSB) }
+func BenchmarkSchemeSTT4TSB(b *testing.B)    { benchScheme(b, sim.SchemeSTT4TSB) }
+func BenchmarkSchemeSTT4TSBSS(b *testing.B)  { benchScheme(b, sim.SchemeSTT4TSBSS) }
+func BenchmarkSchemeSTT4TSBRCA(b *testing.B) { benchScheme(b, sim.SchemeSTT4TSBRCA) }
+func BenchmarkSchemeSTT4TSBWB(b *testing.B)  { benchScheme(b, sim.SchemeSTT4TSBWB) }
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks.
+// ---------------------------------------------------------------------------
+
+// BenchmarkNetworkTick measures the idle+loaded cycle cost of the full
+// 128-router network.
+func BenchmarkNetworkTick(b *testing.B) {
+	routing, err := noc.NewRouting(noc.PathAllTSVs, nil)
+	must(b, err)
+	n, err := noc.NewNetwork(noc.Config{Routing: routing})
+	must(b, err)
+	for d := noc.NodeID(0); d < noc.NumNodes; d++ {
+		n.SetDeliver(d, func(*noc.Packet, uint64) {})
+	}
+	now := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%50 == 0 {
+			// Keep a steady trickle of data packets in flight.
+			n.Inject(&noc.Packet{Kind: noc.KindWriteReq,
+				Src: noc.NodeID(i % 64), Dst: noc.NodeID(64 + (i*7)%64)}, now)
+		}
+		n.Tick(now)
+		now++
+	}
+}
+
+// BenchmarkBankService measures the raw bank model throughput under a
+// read/write mix.
+func BenchmarkBankService(b *testing.B) {
+	bank := mem.NewBank(mem.STTRAM)
+	now := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bank.QueueLen() < 4 {
+			op := mem.OpRead
+			if i%3 == 0 {
+				op = mem.OpWrite
+			}
+			bank.Enqueue(&mem.Request{Op: op, Addr: uint64(i), ID: uint64(i)}, now)
+		}
+		bank.Tick(now)
+		now++
+	}
+}
+
+// BenchmarkBufferedBankService measures the BUFF-20 fast path.
+func BenchmarkBufferedBankService(b *testing.B) {
+	bank := mem.NewBufferedBank(mem.STTRAM, 20, true)
+	now := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bank.QueueLen() < 4 {
+			op := mem.OpRead
+			if i%3 == 0 {
+				op = mem.OpWrite
+			}
+			bank.Enqueue(&mem.Request{Op: op, Addr: uint64(i % 64), ID: uint64(i)}, now)
+		}
+		bank.Tick(now)
+		now++
+	}
+}
+
+// BenchmarkGenerator measures per-instruction workload generation cost.
+func BenchmarkGenerator(b *testing.B) {
+	g := workload.NewGenerator(workload.MustByName("tpcc"), 0, workload.ModeShared, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+// BenchmarkSimulatorCycle measures the whole-system cost per simulated cycle
+// under the full WB scheme.
+func BenchmarkSimulatorCycle(b *testing.B) {
+	s, err := sim.New(sim.Config{
+		Scheme:     sim.SchemeSTT4TSBWB,
+		Assignment: workload.Homogeneous(workload.MustByName("tpcc")),
+	})
+	must(b, err)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Tick()
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice sensitivity sweeps
+// (write-latency inflection, WB window, hold cap, interface depth).
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		wl, err := exp.AblationWriteLatency(r)
+		must(b, err)
+		exp.PrintWriteLatency(io.Discard, wl)
+		pts, err := exp.AblationWBWindow(r)
+		must(b, err)
+		exp.PrintAblation(io.Discard, "wb window", pts)
+	}
+}
+
+// BenchmarkTraceRecordReplay measures the trace substrate's record+load+
+// replay cost for one core's stream.
+func BenchmarkTraceRecordReplay(b *testing.B) {
+	prof := workload.MustByName("tpcc")
+	for i := 0; i < b.N; i++ {
+		gen := workload.NewGenerator(prof, 0, workload.ModeShared, uint64(i+1))
+		var buf bytes.Buffer
+		must(b, trace.Record(gen, 100000, &buf, trace.Meta{Name: "tpcc"}))
+		tr, err := trace.Load(&buf)
+		must(b, err)
+		p := trace.NewPlayer(tr)
+		for j := 0; j < 100000; j++ {
+			p.Next()
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Command characterize reproduces the workload characterization data of the
+// paper: Table 3 (per-benchmark L2 rates and burstiness) and Figure 3 (the
+// distribution of bank accesses falling in a write's shadow), measured on
+// the STT-RAM baseline configuration.
+//
+// Usage:
+//
+//	characterize [-quick] [-bench name] [-warmup N] [-measure N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sttsim/internal/exp"
+	"sttsim/internal/sim"
+	"sttsim/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "characterize a representative subset only")
+	bench := flag.String("bench", "", "characterize a single benchmark")
+	warmup := flag.Uint64("warmup", 0, "warmup cycles per run (0 = default)")
+	measure := flag.Uint64("measure", 0, "measured cycles per run (0 = default)")
+	flag.Parse()
+
+	r := exp.NewRunner(exp.Options{Quick: *quick, WarmupCycles: *warmup, MeasureCycles: *measure})
+
+	if *bench != "" {
+		prof, err := workload.ByName(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res, err := r.RunScheme(sim.SchemeSTT64TSB, prof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s (%s): access-after-write gap distribution\n", prof.Name, prof.Suite)
+		fmt.Print(res.GapHist.String())
+		fmt.Printf("buffered 2-hop requests per occupied router: %.2f\n", res.HopReqs[2])
+		return
+	}
+
+	fmt.Println("== Table 3: measured vs paper ==")
+	rows, err := exp.Table3(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	exp.PrintTable3(os.Stdout, rows)
+
+	fmt.Println("\n== Figure 3: gap distribution after writes ==")
+	entries, err := exp.Figure3(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	exp.PrintFigure3(os.Stdout, entries)
+}

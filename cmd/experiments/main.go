@@ -1,0 +1,190 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section. By default it runs the full 42-benchmark campaign;
+// -quick restricts sweeps to a representative subset, and -exp selects a
+// single experiment.
+//
+// Usage:
+//
+//	experiments [-quick] [-exp all|table2|table3|fig3|fig6|fig7|fig8|fig9|fig10|fig12|fig13|fig14]
+//	            [-warmup N] [-measure N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sttsim/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment to run (all, table2, table3, fig3, fig6, fig7, fig8, fig9, fig10, fig12, fig13, fig14, ablations, extensions)")
+	quick := flag.Bool("quick", false, "restrict sweeps to a representative benchmark subset")
+	warmup := flag.Uint64("warmup", 0, "warmup cycles per run (0 = default)")
+	measure := flag.Uint64("measure", 0, "measured cycles per run (0 = default)")
+	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
+	flag.Parse()
+
+	r := exp.NewRunner(exp.Options{
+		WarmupCycles:  *warmup,
+		MeasureCycles: *measure,
+		Seed:          *seed,
+		Quick:         *quick,
+	})
+
+	type experiment struct {
+		name string
+		run  func() error
+	}
+	w := os.Stdout
+	experiments := []experiment{
+		{"table2", func() error { exp.Table2(w); return nil }},
+		{"table3", func() error {
+			rows, err := exp.Table3(r)
+			if err != nil {
+				return err
+			}
+			exp.PrintTable3(w, rows)
+			return nil
+		}},
+		{"fig3", func() error {
+			entries, err := exp.Figure3(r)
+			if err != nil {
+				return err
+			}
+			exp.PrintFigure3(w, entries)
+			return nil
+		}},
+		{"fig6", func() error {
+			res, err := exp.Figure6(r)
+			if err != nil {
+				return err
+			}
+			exp.PrintFigure6(w, res)
+			return nil
+		}},
+		{"fig7", func() error {
+			entries, err := exp.Figure7(r)
+			if err != nil {
+				return err
+			}
+			exp.PrintFigure7(w, entries)
+			return nil
+		}},
+		{"fig8", func() error {
+			entries, err := exp.Figure8(r)
+			if err != nil {
+				return err
+			}
+			exp.PrintFigure8(w, entries)
+			return nil
+		}},
+		{"fig9", func() error {
+			cases, err := exp.Figure9(r)
+			if err != nil {
+				return err
+			}
+			exp.PrintFigure9(w, cases)
+			return nil
+		}},
+		{"fig10", func() error {
+			entries, err := exp.Figure10(r)
+			if err != nil {
+				return err
+			}
+			exp.PrintFigure10(w, entries)
+			return nil
+		}},
+		{"fig12", func() error {
+			points, err := exp.Figure12(r)
+			if err != nil {
+				return err
+			}
+			exp.PrintFigure12(w, points)
+			return nil
+		}},
+		{"fig13", func() error {
+			res, err := exp.Figure13(r)
+			if err != nil {
+				return err
+			}
+			exp.PrintFigure13(w, res)
+			return nil
+		}},
+		{"fig14", func() error {
+			entries, err := exp.Figure14(r)
+			if err != nil {
+				return err
+			}
+			exp.PrintFigure14(w, entries)
+			return nil
+		}},
+		{"extensions", func() error {
+			entries, err := exp.Extensions(r)
+			if err != nil {
+				return err
+			}
+			exp.PrintExtensions(w, entries)
+			return nil
+		}},
+		{"ablations", func() error {
+			wl, err := exp.AblationWriteLatency(r)
+			if err != nil {
+				return err
+			}
+			exp.PrintWriteLatency(w, wl)
+			for _, a := range []struct {
+				title string
+				run   func(*exp.Runner) ([]exp.AblationPoint, error)
+			}{
+				{"WB tagging window (Section 3.5: N=100)", exp.AblationWBWindow},
+				{"arbiter hard-hold window", exp.AblationHoldCap},
+				{"module-interface queue depth", exp.AblationBankQueue},
+			} {
+				pts, err := a.run(r)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
+				exp.PrintAblation(w, a.title, pts)
+			}
+			return nil
+		}},
+	}
+
+	titles := map[string]string{
+		"table2":     "Table 2: SRAM vs STT-RAM bank parameters (32nm, 3GHz)",
+		"table3":     "Table 3: benchmark characterization, measured vs paper",
+		"fig3":       "Figure 3: accesses following a write to the same bank (STT-RAM baseline)",
+		"fig6":       "Figure 6: system throughput of the six schemes",
+		"fig7":       "Figure 7: packet latency breakdown (network vs bank queuing)",
+		"fig8":       "Figure 8: un-core energy normalized to SRAM-64TSB",
+		"fig9":       "Figure 9: weighted speedup and instruction throughput (Cases 1-3)",
+		"fig10":      "Figure 10: maximum slowdown in Case-2 (fairness)",
+		"fig12":      "Figure 12: sensitivity to TSB placement and region count (WB scheme)",
+		"fig13":      "Figure 13: sensitivity to parent-child hop distance",
+		"fig14":      "Figure 14: comparison with the read-preemptive write buffer (BUFF-20)",
+		"ablations":  "Ablations: write-latency inflection, WB window, hold cap, interface depth",
+		"extensions": "Extensions: early write termination (Zhou et al.) and hybrid SRAM/STT-RAM banks",
+	}
+
+	ran := false
+	for _, e := range experiments {
+		if *which != "all" && *which != e.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		fmt.Fprintf(w, "=== %s ===\n", titles[e.name])
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "(%s in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,163 @@
+// Command nocsim runs one simulation of the 64-core / 64-bank 3D CMP and
+// prints its performance, latency, traffic and energy report.
+//
+// Usage:
+//
+//	nocsim -bench tpcc -scheme wb [-regions 8] [-stagger] [-hops 2]
+//	       [-warmup 20000] [-measure 60000] [-writebuf 0] [-plus1vc]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sttsim/internal/core"
+	"sttsim/internal/noc"
+	"sttsim/internal/sim"
+	"sttsim/internal/workload"
+)
+
+// jsonReport is the machine-readable shape of a run (-json flag).
+type jsonReport struct {
+	Scheme                string    `json:"scheme"`
+	Workload              string    `json:"workload"`
+	Cycles                uint64    `json:"cycles"`
+	InstructionThroughput float64   `json:"instruction_throughput"`
+	MinIPC                float64   `json:"min_ipc"`
+	PerCoreIPC            []float64 `json:"per_core_ipc"`
+	NetTransitCycles      float64   `json:"net_transit_cycles"`
+	BankQueueCycles       float64   `json:"bank_queue_cycles"`
+	UncoreRoundTrip       float64   `json:"uncore_round_trip_cycles"`
+	PacketsDelivered      uint64    `json:"packets_delivered"`
+	FlitsDelivered        uint64    `json:"flits_delivered"`
+	LinkFlits             uint64    `json:"link_flits"`
+	TSVFlits              uint64    `json:"tsv_flits"`
+	TSBFlits              uint64    `json:"tsb_flits"`
+	UncoreEnergyJ         float64   `json:"uncore_energy_j"`
+	WriteShadowPct        float64   `json:"write_shadow_pct"`
+	ArbiterDelayDecisions uint64    `json:"arbiter_delay_decisions,omitempty"`
+}
+
+var schemeFlags = map[string]sim.Scheme{
+	"sram":  sim.SchemeSRAM64TSB,
+	"stt64": sim.SchemeSTT64TSB,
+	"stt4":  sim.SchemeSTT4TSB,
+	"ss":    sim.SchemeSTT4TSBSS,
+	"rca":   sim.SchemeSTT4TSBRCA,
+	"wb":    sim.SchemeSTT4TSBWB,
+}
+
+func main() {
+	bench := flag.String("bench", "tpcc", "benchmark name from Table 3, or case1/case2")
+	schemeName := flag.String("scheme", "wb", "sram|stt64|stt4|ss|rca|wb")
+	regions := flag.Int("regions", 0, "cache-layer regions (4, 8, or 16; 0 = default 8)")
+	stagger := flag.Bool("stagger", true, "stagger TSB placement (vs corner)")
+	hops := flag.Int("hops", 0, "parent-child re-ordering distance (0 = default 2)")
+	warmup := flag.Uint64("warmup", 0, "warmup cycles (0 = default)")
+	measure := flag.Uint64("measure", 0, "measured cycles (0 = default)")
+	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
+	writebuf := flag.Int("writebuf", 0, "per-bank write-buffer entries (20 = BUFF-20)")
+	preempt := flag.Bool("preempt", false, "enable read preemption in the write buffer")
+	plus1vc := flag.Bool("plus1vc", false, "grant the request class one extra VC")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	scheme, ok := schemeFlags[strings.ToLower(*schemeName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q (want sram|stt64|stt4|ss|rca|wb)\n", *schemeName)
+		os.Exit(2)
+	}
+
+	var assignment workload.Assignment
+	switch *bench {
+	case "case1":
+		assignment = workload.Case1()
+	case "case2":
+		assignment = workload.Case2()
+	default:
+		prof, err := workload.ByName(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		assignment = workload.Homogeneous(prof)
+	}
+
+	placement := core.PlacementCorner
+	if *stagger {
+		placement = core.PlacementStagger
+	}
+	res, err := sim.Run(sim.Config{
+		Scheme:             scheme,
+		Assignment:         assignment,
+		Seed:               *seed,
+		WarmupCycles:       *warmup,
+		MeasureCycles:      *measure,
+		Regions:            *regions,
+		Placement:          placement,
+		PlacementSet:       true,
+		Hops:               *hops,
+		WriteBufferEntries: *writebuf,
+		ReadPreemption:     *preempt,
+		ExtraReqVC:         *plus1vc,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		rep := jsonReport{
+			Scheme:                res.Config.Scheme.String(),
+			Workload:              res.Config.Assignment.Name,
+			Cycles:                res.Cycles,
+			InstructionThroughput: res.InstructionThroughput,
+			MinIPC:                res.MinIPC,
+			PerCoreIPC:            res.IPC,
+			NetTransitCycles:      res.NetTransit,
+			BankQueueCycles:       res.BankQueue,
+			UncoreRoundTrip:       res.UncoreLatency(),
+			PacketsDelivered:      res.Net.PacketsDelivered,
+			FlitsDelivered:        res.Net.FlitsDelivered,
+			LinkFlits:             res.Net.LinkFlits,
+			TSVFlits:              res.Net.TSVFlits,
+			TSBFlits:              res.Net.TSBFlits,
+			UncoreEnergyJ:         res.Energy.UncoreJ(),
+			WriteShadowPct:        res.GapHist.Percent(0) + res.GapHist.Percent(1),
+		}
+		if res.Arbiter != nil {
+			rep.ArbiterDelayDecisions = res.Arbiter.DelayDecisions
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("scheme            %s\n", res.Config.Scheme)
+	fmt.Printf("workload          %s\n", res.Config.Assignment.Name)
+	fmt.Printf("measured cycles   %d\n", res.Cycles)
+	fmt.Printf("instr throughput  %.3f (sum of per-core IPC)\n", res.InstructionThroughput)
+	fmt.Printf("slowest core IPC  %.4f\n", res.MinIPC)
+	fmt.Printf("net transit       %.1f cycles/packet\n", res.NetTransit)
+	fmt.Printf("bank queue        %.1f cycles/access\n", res.BankQueue)
+	fmt.Printf("uncore round trip %.1f cycles\n", res.UncoreLatency())
+	fmt.Printf("packets delivered %d (%d flits)\n", res.Net.PacketsDelivered, res.Net.FlitsDelivered)
+	fmt.Printf("link/TSV/TSB flits %d / %d / %d\n", res.Net.LinkFlits, res.Net.TSVFlits, res.Net.TSBFlits)
+	fmt.Printf("uncore energy     %.6f J (cache %.6f + leak %.6f, net %.6f + leak %.6f)\n",
+		res.Energy.UncoreJ(), res.Energy.CacheDynamicJ, res.Energy.CacheLeakageJ,
+		res.Energy.NetworkDynamicJ, res.Energy.NetworkLeakageJ)
+	fmt.Printf("write shadow      %.1f%% of bank accesses within 33 cycles of a write\n",
+		res.GapHist.Percent(0)+res.GapHist.Percent(1))
+	if res.Arbiter != nil {
+		fmt.Printf("arbiter           %d delay decisions, %d reads + %d writes via parents\n",
+			res.Arbiter.DelayDecisions, res.Arbiter.ForwardedReads, res.Arbiter.ForwardedWrites)
+	}
+	_ = noc.NumNodes
+}

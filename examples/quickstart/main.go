@@ -1,0 +1,55 @@
+// Quickstart: simulate one benchmark under the paper's recommended design
+// (STT-RAM banks, region TSBs, window-based bank-aware arbitration) and
+// compare it against the SRAM baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sttsim/internal/sim"
+	"sttsim/internal/workload"
+)
+
+func main() {
+	// Pick a workload from the paper's Table 3 characterization. tpcc is a
+	// bursty, write-intensive commercial workload — the kind the STT-RAM
+	// write latency hurts most.
+	prof := workload.MustByName("tpcc")
+
+	// Short run: 64 threads of tpcc on the 64-core / 64-bank 3D CMP.
+	base := sim.Config{
+		Assignment:    workload.Homogeneous(prof),
+		WarmupCycles:  10000,
+		MeasureCycles: 30000,
+	}
+
+	run := func(s sim.Scheme) *sim.Result {
+		cfg := base
+		cfg.Scheme = s
+		res, err := sim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	sram := run(sim.SchemeSRAM64TSB)
+	stt := run(sim.SchemeSTT64TSB)
+	wb := run(sim.SchemeSTT4TSBWB)
+
+	fmt.Printf("workload: %s (l2 reads %.1f/ki, writes %.1f/ki, bursty=%v)\n\n",
+		prof.Name, prof.L2RPKI, prof.L2WPKI, prof.Bursty)
+	for _, r := range []*sim.Result{sram, stt, wb} {
+		fmt.Printf("%-18s IT=%6.2f  bankQueue=%5.1f cyc  netTransit=%5.1f cyc  uncoreE=%.1f uJ\n",
+			r.Config.Scheme, r.InstructionThroughput, r.BankQueue, r.NetTransit,
+			r.Energy.UncoreJ()*1e6)
+	}
+	fmt.Printf("\nSTT-RAM swap alone:  %+.1f%% instruction throughput\n",
+		100*(stt.InstructionThroughput/sram.InstructionThroughput-1))
+	fmt.Printf("with WB arbitration: %+.1f%% vs plain STT-RAM, %.0f%% un-core energy saved vs SRAM\n",
+		100*(wb.InstructionThroughput/stt.InstructionThroughput-1),
+		100*(1-wb.Energy.UncoreJ()/sram.Energy.UncoreJ()))
+}

@@ -1,0 +1,58 @@
+// Sensitivity: sweep the two architectural knobs of the paper's Section 4.3
+// on a single workload — the region count / TSB placement (Figure 12) and
+// the parent-child re-ordering distance (Figure 13) — using the public
+// configuration surface of the sim package.
+//
+//	go run ./examples/sensitivity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sttsim/internal/core"
+	"sttsim/internal/sim"
+	"sttsim/internal/workload"
+)
+
+func main() {
+	prof := workload.MustByName("sclust") // bursty PARSEC app
+	base := sim.Config{
+		Scheme:        sim.SchemeSTT4TSBWB,
+		Assignment:    workload.Homogeneous(prof),
+		WarmupCycles:  10000,
+		MeasureCycles: 25000,
+	}
+
+	run := func(mutate func(*sim.Config)) *sim.Result {
+		cfg := base
+		mutate(&cfg)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Printf("workload %s, scheme %s\n\n", prof.Name, base.Scheme)
+
+	fmt.Println("Region geometry (Figure 12):")
+	for _, regions := range []int{4, 8, 16} {
+		for _, placement := range []core.Placement{core.PlacementCorner, core.PlacementStagger} {
+			r, p := regions, placement
+			res := run(func(c *sim.Config) {
+				c.Regions, c.Placement, c.PlacementSet = r, p, true
+			})
+			fmt.Printf("  %2d regions, %-7s  IT=%.2f  netTransit=%.1f\n",
+				regions, placement, res.InstructionThroughput, res.NetTransit)
+		}
+	}
+
+	fmt.Println("\nRe-ordering distance (Figure 13):")
+	for h := 1; h <= 3; h++ {
+		h := h
+		res := run(func(c *sim.Config) { c.Hops = h })
+		fmt.Printf("  H=%d  IT=%.2f  delays=%d\n",
+			h, res.InstructionThroughput, res.Arbiter.DelayDecisions)
+	}
+}

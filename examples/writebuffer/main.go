@@ -1,0 +1,59 @@
+// Writebuffer: compare the paper's network-level solution against the prior
+// art it argues with — Sun et al.'s per-bank 20-entry read-preemptive SRAM
+// write buffer (Section 4.4 / Figure 14) — on a bursty write-heavy workload.
+//
+//	go run ./examples/writebuffer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sttsim/internal/sim"
+	"sttsim/internal/workload"
+)
+
+func main() {
+	prof := workload.MustByName("lbm")
+	assignment := workload.Homogeneous(prof)
+
+	designs := []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"plain STT-RAM", sim.Config{Scheme: sim.SchemeSTT64TSB}},
+		{"BUFF-20 (Sun et al.)", sim.Config{
+			Scheme: sim.SchemeSTT64TSB, WriteBufferEntries: 20, ReadPreemption: true,
+		}},
+		{"WB network scheme", sim.Config{Scheme: sim.SchemeSTT4TSBWB}},
+		{"WB + 1 request VC", sim.Config{Scheme: sim.SchemeSTT4TSBWB, ExtraReqVC: true}},
+	}
+
+	var baseline float64
+	for i, d := range designs {
+		cfg := d.cfg
+		cfg.Assignment = assignment
+		cfg.WarmupCycles = 10000
+		cfg.MeasureCycles = 30000
+		res, err := sim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		uncore := res.UncoreLatency()
+		if i == 0 {
+			baseline = uncore
+		}
+		extra := ""
+		if d.cfg.WriteBufferEntries > 0 {
+			var hits, preempts, drains uint64
+			for _, b := range res.BankStats {
+				hits += b.BufferHits
+				preempts += b.Preemptions
+				drains += b.DrainedWrites
+			}
+			extra = fmt.Sprintf("  bufferHits=%d preemptions=%d drains=%d", hits, preempts, drains)
+		}
+		fmt.Printf("%-22s IT=%6.2f  uncoreLat=%6.1f (%.2fx)  bankQ=%5.1f%s\n",
+			d.name, res.InstructionThroughput, uncore, uncore/baseline, res.BankQueue, extra)
+	}
+}

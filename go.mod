@@ -1,0 +1,3 @@
+module sttsim
+
+go 1.22

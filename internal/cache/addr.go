@@ -1,0 +1,60 @@
+// Package cache implements the shared L2 cache substrate: 64 address-
+// interleaved banks (one per cache-layer node) with real set-associative tag
+// arrays, a directory-based MESI-style coherence filter (presence vectors,
+// invalidations, acks), 32-entry MSHRs with request merging, LRU replacement
+// with dirty writebacks, and the glue to the four corner memory controllers.
+// Bank timing (3-cycle reads, 33-cycle STT-RAM writes, controller queuing)
+// comes from internal/mem; all traffic flows over internal/noc packets.
+package cache
+
+import "sttsim/internal/noc"
+
+// Line geometry (Table 1: 128-byte blocks).
+const (
+	LineBytes = 128
+	LineShift = 7
+)
+
+// Associativity is the L2 set associativity (Table 1: 16-way).
+const Associativity = 16
+
+// NumBanks is the number of L2 banks (one per cache-layer node).
+const NumBanks = noc.LayerSize
+
+// MCNodes are the cache-layer nodes hosting the four memory controllers
+// (Table 1: one at each corner node in layer 2).
+var MCNodes = [4]noc.NodeID{64, 71, 120, 127}
+
+// LineAddr returns the cache-line address (byte address without the offset
+// bits).
+func LineAddr(addr uint64) uint64 { return addr >> LineShift }
+
+// AddrOfLine is the inverse of LineAddr.
+func AddrOfLine(line uint64) uint64 { return line << LineShift }
+
+// HomeBank returns the bank index (0..63) owning the address; consecutive
+// lines stripe across banks.
+func HomeBank(addr uint64) int { return int(LineAddr(addr) % NumBanks) }
+
+// HomeNode returns the cache-layer node owning the address.
+func HomeNode(addr uint64) noc.NodeID {
+	return noc.NodeID(HomeBank(addr)) + noc.LayerSize
+}
+
+// MCNode returns the memory controller serving the address (interleaved
+// above the bank bits so each MC sees every bank's traffic).
+func MCNode(addr uint64) noc.NodeID {
+	return MCNodes[(LineAddr(addr)/NumBanks)%4]
+}
+
+// ComposeAddr builds a byte address that maps to the given bank with the
+// given line index within that bank — the workload generator's way of
+// steering traffic at specific banks.
+func ComposeAddr(bank int, lineInBank uint64) uint64 {
+	return AddrOfLine(lineInBank*NumBanks + uint64(bank%NumBanks))
+}
+
+// SetsFor returns the number of sets a bank of the given capacity has.
+func SetsFor(capacityMB int) int {
+	return capacityMB * 1024 * 1024 / (LineBytes * Associativity)
+}

@@ -1,0 +1,437 @@
+package cache
+
+import (
+	"fmt"
+
+	"sttsim/internal/mem"
+	"sttsim/internal/noc"
+	"sttsim/internal/stats"
+)
+
+// MaxMSHRs is the per-bank miss-status-holding-register count (Table 1).
+const MaxMSHRs = 32
+
+// line is one tag-array entry with its directory state.
+type line struct {
+	tag     uint64 // line address
+	valid   bool
+	dirty   bool
+	sharers uint64 // presence bit per core (directory vector)
+	lastUse uint64 // LRU timestamp
+}
+
+// mshr tracks one outstanding miss and the requesters merged onto it.
+type mshr struct {
+	lineAddr uint64
+	waiters  []waiter
+}
+
+type waiter struct {
+	core int
+	src  noc.NodeID
+	// queueDelay accumulated before the miss was discovered (the initial tag
+	// probe's controller-queue wait), reported on the eventual response.
+	queueDelay uint64
+	// injected is the cycle the original request entered the network,
+	// echoed on the response for end-to-end latency accounting.
+	injected uint64
+}
+
+// accessKind distinguishes the operations a bank serves.
+type accessKind uint8
+
+const (
+	accRead accessKind = iota
+	accWrite
+	accFill
+)
+
+// reqMeta is the protocol context attached to an in-flight mem.Request.
+type reqMeta struct {
+	kind     accessKind
+	core     int
+	src      noc.NodeID
+	addr     uint64
+	injected uint64 // original request's network injection cycle
+}
+
+// Stats aggregates a bank controller's protocol activity.
+type Stats struct {
+	ReadHits    uint64
+	ReadMisses  uint64
+	WriteHits   uint64
+	WriteMisses uint64
+	Fills       uint64
+	Evictions   uint64
+	Writebacks  uint64 // dirty evictions sent to memory
+	InvSent     uint64
+	InvAcksRecv uint64
+	MSHRMerges  uint64
+	MSHRStalls  uint64 // misses that had to wait for a free MSHR
+}
+
+// BankController is one L2 bank: the protocol brain wrapped around a
+// mem.Bank's timing model. Packets arrive via HandlePacket (wired to the
+// node's NIC); outbound packets accumulate in an outbox the simulator drains
+// into the network each cycle.
+type BankController struct {
+	node noc.NodeID
+	bank *mem.Bank
+
+	numSets int
+	sets    [][]line // lazily allocated per set
+
+	mshrs    map[uint64]*mshr
+	mshrWait []pendingMiss // misses waiting for a free MSHR
+	// fillSharers carries waiters' directory bits from the forwarded
+	// response to the background array write that installs the line.
+	fillSharers map[uint64]uint64
+
+	meta   map[uint64]reqMeta
+	nextID uint64
+
+	outbox []*noc.Packet
+	stats  Stats
+
+	// Figure 3 instrumentation: distribution of access arrivals relative to
+	// the most recent preceding write request to this bank.
+	gapHist   *stats.Histogram
+	lastWrite uint64
+	sawWrite  bool
+}
+
+type pendingMiss struct {
+	w        waiter
+	lineAddr uint64
+}
+
+// NewBankController builds the bank at the given cache-layer node using the
+// supplied timing model (plain or write-buffered, SRAM or STT-RAM).
+func NewBankController(node noc.NodeID, bank *mem.Bank) *BankController {
+	if node.Layer() != 1 {
+		panic(fmt.Sprintf("cache: bank controller node %d is not in the cache layer", node))
+	}
+	return &BankController{
+		node:        node,
+		bank:        bank,
+		numSets:     SetsFor(bank.Tech().CapacityMB),
+		sets:        make([][]line, SetsFor(bank.Tech().CapacityMB)),
+		mshrs:       make(map[uint64]*mshr),
+		fillSharers: make(map[uint64]uint64),
+		meta:        make(map[uint64]reqMeta),
+	}
+}
+
+// Node returns the controller's cache-layer node.
+func (bc *BankController) Node() noc.NodeID { return bc.node }
+
+// Bank exposes the underlying timing model (for busy inspection and stats).
+func (bc *BankController) Bank() *mem.Bank { return bc.bank }
+
+// Stats returns a copy of the protocol statistics.
+func (bc *BankController) Stats() Stats { return bc.stats }
+
+// Outbox returns packets generated since the last drain and clears the box.
+func (bc *BankController) Outbox() []*noc.Packet {
+	out := bc.outbox
+	bc.outbox = nil
+	return out
+}
+
+// set returns the (lazily allocated) set for a line address. The index is a
+// hash of the line address above the bank-interleaving bits — LLCs commonly
+// hash their index to break power-of-two stride pathologies, and our
+// synthetic address-space bases are exactly such strides.
+func (bc *BankController) set(lineAddr uint64) []line {
+	v := lineAddr / NumBanks
+	v *= 0x9E3779B97F4A7C15
+	v ^= v >> 29
+	idx := int(v % uint64(bc.numSets))
+	if bc.sets[idx] == nil {
+		bc.sets[idx] = make([]line, Associativity)
+	}
+	return bc.sets[idx]
+}
+
+// lookup returns the way holding lineAddr, or nil.
+func (bc *BankController) lookup(lineAddr uint64) *line {
+	set := bc.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// send queues an outbound packet.
+func (bc *BankController) send(p *noc.Packet) { bc.outbox = append(bc.outbox, p) }
+
+// HandlePacket ingests a packet delivered at this node's NIC.
+func (bc *BankController) HandlePacket(p *noc.Packet, now uint64) {
+	switch p.Kind {
+	case noc.KindReadReq:
+		bc.observeGap(p, now)
+		la := LineAddr(p.Addr)
+		if m, ok := bc.mshrs[la]; ok {
+			// Merge onto the outstanding miss: no bank access needed.
+			m.waiters = append(m.waiters, waiter{core: p.Proc, src: p.Src, injected: p.Injected})
+			bc.stats.MSHRMerges++
+			return
+		}
+		bc.enqueue(mem.OpRead, reqMeta{kind: accRead, core: p.Proc, src: p.Src, addr: p.Addr, injected: p.Injected}, now)
+	case noc.KindWriteReq:
+		bc.observeGap(p, now)
+		bc.enqueue(mem.OpWrite, reqMeta{kind: accWrite, core: p.Proc, src: p.Src, addr: p.Addr, injected: p.Injected}, now)
+	case noc.KindMemResp:
+		// Fill-buffer forwarding: answer the merged waiters immediately —
+		// the requester gets the data as it arrives from memory — while the
+		// array write that installs the line proceeds in the background and
+		// occupies the bank like any other long write.
+		bc.forwardFill(p, now)
+		bc.enqueue(mem.OpWrite, reqMeta{kind: accFill, addr: p.Addr}, now)
+	case noc.KindInvAck:
+		bc.stats.InvAcksRecv++
+	default:
+		panic(fmt.Sprintf("cache: bank %d received unexpected %s packet", bc.node, p.Kind))
+	}
+}
+
+// enqueue hands an access to the bank's timing model.
+func (bc *BankController) enqueue(op mem.Op, m reqMeta, now uint64) {
+	bc.nextID++
+	bc.meta[bc.nextID] = m
+	bc.bank.Enqueue(&mem.Request{Op: op, Addr: LineAddr(m.addr), ID: bc.nextID, Proc: m.core}, now)
+}
+
+// Tick advances the bank one cycle and performs the protocol action of
+// whatever access completed.
+func (bc *BankController) Tick(now uint64) {
+	c := bc.bank.Tick(now)
+	if c == nil {
+		return
+	}
+	m, ok := bc.meta[c.Req.ID]
+	if !ok {
+		panic(fmt.Sprintf("cache: bank %d completion for unknown request %d", bc.node, c.Req.ID))
+	}
+	delete(bc.meta, c.Req.ID)
+	switch m.kind {
+	case accRead:
+		bc.finishRead(m, c, now)
+	case accWrite:
+		bc.finishWrite(m, c, now)
+	case accFill:
+		bc.finishFill(m, c, now)
+	}
+}
+
+// finishRead handles a completed tag+data probe for a core read.
+func (bc *BankController) finishRead(m reqMeta, c *mem.Completion, now uint64) {
+	la := LineAddr(m.addr)
+	if ln := bc.lookup(la); ln != nil {
+		bc.stats.ReadHits++
+		ln.lastUse = now
+		if m.core >= 0 && m.core < 64 {
+			ln.sharers |= 1 << uint(m.core)
+		}
+		bc.send(&noc.Packet{
+			Kind: noc.KindReadResp, Src: bc.node, Dst: m.src,
+			Addr: m.addr, Proc: m.core,
+			BankQueueDelay: c.QueueDelay, BankService: c.Service, ReqInjected: m.injected,
+		})
+		return
+	}
+	bc.stats.ReadMisses++
+	bc.startMiss(waiter{core: m.core, src: m.src, queueDelay: c.QueueDelay, injected: m.injected}, la, now)
+}
+
+// startMiss allocates (or queues for) an MSHR and issues the memory request.
+func (bc *BankController) startMiss(w waiter, lineAddr uint64, now uint64) {
+	if m, ok := bc.mshrs[lineAddr]; ok {
+		m.waiters = append(m.waiters, w)
+		bc.stats.MSHRMerges++
+		return
+	}
+	if len(bc.mshrs) >= MaxMSHRs {
+		bc.mshrWait = append(bc.mshrWait, pendingMiss{w: w, lineAddr: lineAddr})
+		bc.stats.MSHRStalls++
+		return
+	}
+	bc.mshrs[lineAddr] = &mshr{lineAddr: lineAddr, waiters: []waiter{w}}
+	addr := AddrOfLine(lineAddr)
+	bc.send(&noc.Packet{
+		Kind: noc.KindMemReq, Src: bc.node, Dst: MCNode(addr),
+		Addr: addr, Proc: w.core, SizeFlits: noc.AddrPacketFlits,
+	})
+}
+
+// finishWrite handles a completed write access (an L1 writeback landing in
+// the bank).
+func (bc *BankController) finishWrite(m reqMeta, c *mem.Completion, now uint64) {
+	la := LineAddr(m.addr)
+	ln := bc.lookup(la)
+	if ln != nil {
+		bc.stats.WriteHits++
+	} else {
+		// Write-allocate in place: the writeback carries the full line, so
+		// no memory fetch is needed.
+		bc.stats.WriteMisses++
+		ln = bc.allocate(la, now)
+	}
+	ln.dirty = true
+	ln.lastUse = now
+	// Directory action: invalidate all other sharers. The writer's L1 gave
+	// the line up by writing it back.
+	bc.invalidateSharers(ln, m.core)
+	ln.sharers = 0
+	bc.send(&noc.Packet{
+		Kind: noc.KindWriteAck, Src: bc.node, Dst: m.src,
+		Addr: m.addr, Proc: m.core,
+		BankQueueDelay: c.QueueDelay, BankService: c.Service, ReqInjected: m.injected,
+	})
+}
+
+// forwardFill answers every waiter merged on the miss as soon as the memory
+// response arrives (fill-buffer forwarding), releasing the MSHR.
+func (bc *BankController) forwardFill(p *noc.Packet, now uint64) {
+	la := LineAddr(p.Addr)
+	msh, ok := bc.mshrs[la]
+	if !ok {
+		return // stale fill (e.g. the line was written while the miss was out)
+	}
+	delete(bc.mshrs, la)
+	bc.fillSharers[la] = sharersOf(msh.waiters)
+	for _, w := range msh.waiters {
+		bc.send(&noc.Packet{
+			Kind: noc.KindReadResp, Src: bc.node, Dst: w.src,
+			Addr: p.Addr, Proc: w.core,
+			BankQueueDelay: w.queueDelay, ReqInjected: w.injected,
+		})
+	}
+	// MSHR freed: admit a waiting miss, if any.
+	if len(bc.mshrWait) > 0 {
+		pm := bc.mshrWait[0]
+		copy(bc.mshrWait, bc.mshrWait[1:])
+		bc.mshrWait = bc.mshrWait[:len(bc.mshrWait)-1]
+		bc.startMiss(pm.w, pm.lineAddr, now)
+	}
+}
+
+// sharersOf collects the presence bits of a waiter list.
+func sharersOf(ws []waiter) uint64 {
+	var bits uint64
+	for _, w := range ws {
+		if w.core >= 0 && w.core < 64 {
+			bits |= 1 << uint(w.core)
+		}
+	}
+	return bits
+}
+
+// finishFill handles the completed background array write of a fill:
+// install the tag and the waiters' directory bits.
+func (bc *BankController) finishFill(m reqMeta, c *mem.Completion, now uint64) {
+	la := LineAddr(m.addr)
+	bc.stats.Fills++
+	ln := bc.lookup(la)
+	if ln == nil {
+		ln = bc.allocate(la, now)
+	}
+	ln.dirty = false
+	ln.lastUse = now
+	ln.sharers |= bc.fillSharers[la]
+	delete(bc.fillSharers, la)
+}
+
+// allocate victimizes a way in the line's set and installs the new tag.
+func (bc *BankController) allocate(lineAddr uint64, now uint64) *line {
+	set := bc.set(lineAddr)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid {
+		bc.stats.Evictions++
+		// Recall the line from any L1s still holding it.
+		bc.invalidateSharers(v, -1)
+		if v.dirty {
+			bc.stats.Writebacks++
+			addr := AddrOfLine(v.tag)
+			bc.send(&noc.Packet{
+				Kind: noc.KindMemReq, Src: bc.node, Dst: MCNode(addr),
+				Addr: addr, Proc: -1, SizeFlits: noc.DataPacketFlits, IsBankWrite: true,
+			})
+		}
+	}
+	*v = line{tag: lineAddr, valid: true, lastUse: now}
+	return v
+}
+
+// invalidateSharers sends an invalidation to every sharer except the given
+// core (-1 invalidates everyone).
+func (bc *BankController) invalidateSharers(ln *line, except int) {
+	if ln.sharers == 0 {
+		return
+	}
+	for core := 0; core < 64; core++ {
+		if core == except || ln.sharers&(1<<uint(core)) == 0 {
+			continue
+		}
+		bc.stats.InvSent++
+		bc.send(&noc.Packet{
+			Kind: noc.KindInv, Src: bc.node, Dst: noc.NodeID(core),
+			Addr: AddrOfLine(ln.tag), Proc: core,
+		})
+	}
+}
+
+// SetGapHistogram installs the Figure 3 instrumentation: every demand access
+// observes its distance (in cycles) from the most recent preceding write
+// request to this bank.
+func (bc *BankController) SetGapHistogram(h *stats.Histogram) { bc.gapHist = h }
+
+// observeGap records the access-after-write gap for Figure 3.
+func (bc *BankController) observeGap(p *noc.Packet, now uint64) {
+	if bc.gapHist != nil && bc.sawWrite {
+		bc.gapHist.Observe(now - bc.lastWrite)
+	}
+	if p.Kind == noc.KindWriteReq {
+		bc.lastWrite = now
+		bc.sawWrite = true
+	}
+}
+
+// ResetStats clears the protocol statistics (end of warmup); tag and MSHR
+// state is unaffected. The gap histogram, if installed, is reset too.
+func (bc *BankController) ResetStats() {
+	bc.stats = Stats{}
+	if bc.gapHist != nil {
+		bc.gapHist.Reset()
+	}
+}
+
+// Preload installs a line as resident and clean without any timing effect —
+// tag warmup standing in for the billions of instructions the paper's traces
+// execute before measurement.
+func (bc *BankController) Preload(lineAddr uint64) {
+	if bc.lookup(lineAddr) != nil {
+		return
+	}
+	set := bc.set(lineAddr)
+	for i := range set {
+		if !set[i].valid {
+			set[i] = line{tag: lineAddr, valid: true}
+			return
+		}
+	}
+	// Set full during preload: replace way 0 (deterministic).
+	set[0] = line{tag: lineAddr, valid: true}
+}

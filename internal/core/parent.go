@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"sttsim/internal/noc"
+)
+
+// DefaultHops is the parent-child distance the paper settles on after the
+// Section 4.3 sensitivity study: requests are re-ordered two hops before
+// their destination bank.
+const DefaultHops = 2
+
+// ParentMap assigns every cache bank a parent router: the node H hops before
+// the bank on the X-Y route from its region TSB. Banks closer than H hops to
+// the TSB entry point are managed by the core-layer TSB node itself (the
+// paper's "innermost corner" rule, Section 3.4).
+type ParentMap struct {
+	hops     int
+	parentOf [noc.NumNodes]noc.NodeID // cache node -> parent router
+	children map[noc.NodeID][]noc.NodeID
+}
+
+// BuildParentMap derives the parent of each cache bank from the region
+// layout for the given hop distance (1..3 are meaningful; the paper uses 2).
+func BuildParentMap(layout *RegionLayout, hops int) (*ParentMap, error) {
+	if hops < 1 {
+		return nil, fmt.Errorf("core: parent hop distance must be >= 1, got %d", hops)
+	}
+	pm := &ParentMap{hops: hops, children: make(map[noc.NodeID][]noc.NodeID)}
+	for i := range pm.parentOf {
+		pm.parentOf[i] = -1
+	}
+	for off := 0; off < noc.LayerSize; off++ {
+		d := noc.NodeID(off) + noc.LayerSize
+		tsbCore := layout.TSBOf(d)
+		entry := tsbCore.Below()
+		path := noc.XYPath(entry, d)
+		dist := len(path) - 1
+		var parent noc.NodeID
+		if dist >= hops {
+			parent = path[dist-hops]
+		} else {
+			// Too close to the TSB entry: the core-layer TSB node re-orders
+			// these requests before they descend.
+			parent = tsbCore
+		}
+		pm.parentOf[d] = parent
+		pm.children[parent] = append(pm.children[parent], d)
+	}
+	return pm, nil
+}
+
+// Hops returns the configured parent-child distance.
+func (pm *ParentMap) Hops() int { return pm.hops }
+
+// ParentOf returns the parent router of cache node d (-1 for non-cache
+// nodes).
+func (pm *ParentMap) ParentOf(d noc.NodeID) noc.NodeID {
+	if !d.Valid() {
+		return -1
+	}
+	return pm.parentOf[d]
+}
+
+// Children returns the cache banks managed by a parent router; the slice is
+// shared, do not modify it.
+func (pm *ParentMap) Children(parent noc.NodeID) []noc.NodeID {
+	return pm.children[parent]
+}
+
+// Parents returns every node that manages at least one child.
+func (pm *ParentMap) Parents() []noc.NodeID {
+	out := make([]noc.NodeID, 0, len(pm.children))
+	for p := range pm.children {
+		out = append(out, p)
+	}
+	return out
+}

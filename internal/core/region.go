@@ -1,0 +1,157 @@
+// Package core implements the paper's contribution: STT-RAM-aware on-chip
+// network arbitration (Section 3). It provides
+//
+//   - logical partitioning of the cache layer into regions, each served by
+//     one high-density TSB (Section 3.4, Figure 4/11), with corner or
+//     staggered TSB placement;
+//   - the parent/child map: the router H hops (default 2) before each cache
+//     bank on its region-TSB route, where requests are re-ordered;
+//   - per-child busy-duration tracking (Section 3.5) driven by one of three
+//     congestion estimators: Simplistic (SS), Regional Congestion Aware
+//     (RCA), and Window-Based (WB);
+//   - the bank-aware Prioritizer plugged into the routers' VA/SA stages,
+//     which delays requests to busy banks and promotes everything else.
+package core
+
+import (
+	"fmt"
+
+	"sttsim/internal/noc"
+)
+
+// Placement selects where each region's TSB sits (Figure 11).
+type Placement int
+
+const (
+	// PlacementCorner puts each TSB at the region corner nearest the mesh
+	// center (Figure 11a/11d).
+	PlacementCorner Placement = iota
+	// PlacementStagger spreads the TSBs across distinct columns so their
+	// Y-direction core-layer flows do not overlap (Figure 11b/11c); the
+	// paper measures ~3% IPC gain from staggering.
+	PlacementStagger
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	if p == PlacementStagger {
+		return "stagger"
+	}
+	return "corner"
+}
+
+// regionTile describes the rectangular tiling used for a region count.
+var regionTiles = map[int]struct{ w, h int }{
+	4:  {4, 4},
+	8:  {4, 2},
+	16: {2, 2},
+}
+
+// RegionLayout is a logical partitioning of the cache layer into rectangular
+// regions, each with a designated TSB (a core-layer node whose vertical link
+// is the 256-bit bus carrying all requests into the region).
+type RegionLayout struct {
+	regions   int
+	placement Placement
+	tileW     int
+	tileH     int
+	tsbCore   []noc.NodeID              // per region: core-layer TSB node
+	regionOf  [noc.LayerSize]int        // cache-bank offset (0..63) -> region
+	tsbMap    map[noc.NodeID]noc.NodeID // cache node -> core TSB node
+}
+
+// NewRegionLayout partitions the 8x8 cache layer into the given number of
+// regions (4, 8, or 16) with the given TSB placement.
+func NewRegionLayout(regions int, placement Placement) (*RegionLayout, error) {
+	tile, ok := regionTiles[regions]
+	if !ok {
+		return nil, fmt.Errorf("core: unsupported region count %d (want 4, 8, or 16)", regions)
+	}
+	l := &RegionLayout{
+		regions:   regions,
+		placement: placement,
+		tileW:     tile.w,
+		tileH:     tile.h,
+		tsbCore:   make([]noc.NodeID, regions),
+		tsbMap:    make(map[noc.NodeID]noc.NodeID, noc.LayerSize),
+	}
+	tilesX := noc.MeshDim / tile.w
+	for off := 0; off < noc.LayerSize; off++ {
+		x, y := off%noc.MeshDim, off/noc.MeshDim
+		l.regionOf[off] = (y/tile.h)*tilesX + x/tile.w
+	}
+	for r := 0; r < regions; r++ {
+		l.tsbCore[r] = l.placeTSB(r, tilesX)
+	}
+	for off := 0; off < noc.LayerSize; off++ {
+		cacheNode := noc.NodeID(off) + noc.LayerSize
+		l.tsbMap[cacheNode] = l.tsbCore[l.regionOf[off]]
+	}
+	return l, nil
+}
+
+// placeTSB picks the TSB cell for region r.
+func (l *RegionLayout) placeTSB(r, tilesX int) noc.NodeID {
+	tx, ty := r%tilesX, r/tilesX
+	x0, y0 := tx*l.tileW, ty*l.tileH
+	switch l.placement {
+	case PlacementStagger:
+		// Spread TSBs over distinct columns: walk the tile's columns by tile
+		// row so no two regions in the same tile-column share a column. With
+		// 4 or 8 regions every TSB lands on a unique column.
+		x := x0 + (ty*31+tx*17)%l.tileW
+		if l.regions <= noc.MeshDim {
+			// Exact distinct-column assignment when there are at most 8
+			// regions: region r gets column tx*tileW + (ty mod tileW).
+			x = x0 + ty%l.tileW
+		}
+		y := y0 + l.tileH/2
+		if y >= y0+l.tileH {
+			y = y0 + l.tileH - 1
+		}
+		return noc.NodeAt(0, x, y)
+	default:
+		// Corner nearest the mesh center (3.5, 3.5).
+		x := x0
+		if centerDist2(x0+l.tileW-1) < centerDist2(x0) {
+			x = x0 + l.tileW - 1
+		}
+		y := y0
+		if centerDist2(y0+l.tileH-1) < centerDist2(y0) {
+			y = y0 + l.tileH - 1
+		}
+		return noc.NodeAt(0, x, y)
+	}
+}
+
+// centerDist2 is the squared distance of a coordinate from the mesh center
+// line (between cells 3 and 4), in half-cell units.
+func centerDist2(c int) int {
+	d := 2*c - 7 // 2*(c - 3.5)
+	return d * d
+}
+
+// Regions returns the region count.
+func (l *RegionLayout) Regions() int { return l.regions }
+
+// Placement returns the TSB placement policy.
+func (l *RegionLayout) Placement() Placement { return l.placement }
+
+// RegionOf returns the region index of a cache-layer node.
+func (l *RegionLayout) RegionOf(d noc.NodeID) int {
+	return l.regionOf[int(d)-noc.LayerSize]
+}
+
+// TSBCore returns the core-layer TSB node of region r.
+func (l *RegionLayout) TSBCore(r int) noc.NodeID { return l.tsbCore[r] }
+
+// TSBCores returns all TSB nodes (one per region); the slice is shared, do
+// not modify it.
+func (l *RegionLayout) TSBCores() []noc.NodeID { return l.tsbCore }
+
+// TSBMap returns the cache-node-to-TSB mapping in the form noc.NewRouting
+// expects. The map is shared; do not modify it.
+func (l *RegionLayout) TSBMap() map[noc.NodeID]noc.NodeID { return l.tsbMap }
+
+// TSBOf returns the core-layer TSB serving cache node d.
+func (l *RegionLayout) TSBOf(d noc.NodeID) noc.NodeID { return l.tsbMap[d] }

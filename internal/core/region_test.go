@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sttsim/internal/noc"
+)
+
+func mustLayout(t *testing.T, regions int, p Placement) *RegionLayout {
+	t.Helper()
+	l, err := NewRegionLayout(regions, p)
+	if err != nil {
+		t.Fatalf("NewRegionLayout(%d, %s): %v", regions, p, err)
+	}
+	return l
+}
+
+func TestRegionLayoutRejectsBadCounts(t *testing.T) {
+	for _, r := range []int{0, 1, 2, 3, 5, 7, 32, 64} {
+		if _, err := NewRegionLayout(r, PlacementCorner); err == nil {
+			t.Errorf("expected error for %d regions", r)
+		}
+	}
+}
+
+func TestFourRegionCornerMatchesPaper(t *testing.T) {
+	l := mustLayout(t, 4, PlacementCorner)
+	// Section 3.4 / Figure 4: region 0's TSB is core node 27, descending to
+	// cache router 91; the other quadrant TSBs are its mirror images.
+	want := []noc.NodeID{27, 28, 35, 36}
+	for r, w := range want {
+		if got := l.TSBCore(r); got != w {
+			t.Errorf("TSB of region %d = %d, want %d", r, got, w)
+		}
+	}
+	// Banks 75, 82, 89 (region 0, Figure 5) are all served through node 27.
+	for _, d := range []noc.NodeID{75, 82, 89, 91} {
+		if got := l.TSBOf(d); got != 27 {
+			t.Errorf("TSB of bank %d = %d, want 27", d, got)
+		}
+		if l.RegionOf(d) != 0 {
+			t.Errorf("region of bank %d = %d, want 0", d, l.RegionOf(d))
+		}
+	}
+	// A bank in the opposite quadrant.
+	if got := l.TSBOf(127); got != 36 {
+		t.Errorf("TSB of bank 127 = %d, want 36", got)
+	}
+}
+
+func TestRegionPartitionIsComplete(t *testing.T) {
+	for _, regions := range []int{4, 8, 16} {
+		for _, p := range []Placement{PlacementCorner, PlacementStagger} {
+			l := mustLayout(t, regions, p)
+			counts := make(map[int]int)
+			for off := 0; off < noc.LayerSize; off++ {
+				d := noc.NodeID(off) + noc.LayerSize
+				r := l.RegionOf(d)
+				if r < 0 || r >= regions {
+					t.Fatalf("%d/%s: region of %d out of range: %d", regions, p, d, r)
+				}
+				counts[r]++
+				// The TSB must serve the bank's own region.
+				tsb := l.TSBOf(d)
+				if tsb.Layer() != 0 {
+					t.Fatalf("%d/%s: TSB %d not in core layer", regions, p, tsb)
+				}
+				if l.RegionOf(tsb.Below()) != r {
+					t.Fatalf("%d/%s: TSB %d of bank %d lies in region %d, want %d",
+						regions, p, tsb, d, l.RegionOf(tsb.Below()), r)
+				}
+			}
+			per := noc.LayerSize / regions
+			for r := 0; r < regions; r++ {
+				if counts[r] != per {
+					t.Fatalf("%d/%s: region %d has %d banks, want %d", regions, p, r, counts[r], per)
+				}
+			}
+		}
+	}
+}
+
+func TestStaggerUsesDistinctColumns(t *testing.T) {
+	for _, regions := range []int{4, 8} {
+		l := mustLayout(t, regions, PlacementStagger)
+		cols := make(map[int]bool)
+		for _, tsb := range l.TSBCores() {
+			if cols[tsb.X()] {
+				t.Fatalf("%d regions: column %d reused by staggered TSBs", regions, tsb.X())
+			}
+			cols[tsb.X()] = true
+		}
+	}
+}
+
+func TestCornerTSBsHugTheCenter(t *testing.T) {
+	l := mustLayout(t, 4, PlacementCorner)
+	for _, tsb := range l.TSBCores() {
+		if tsb.X() < 3 || tsb.X() > 4 || tsb.Y() < 3 || tsb.Y() > 4 {
+			t.Errorf("corner TSB %d at (%d,%d) is not adjacent to the center", tsb, tsb.X(), tsb.Y())
+		}
+	}
+}
+
+func TestParentMapPaperExamples(t *testing.T) {
+	l := mustLayout(t, 4, PlacementCorner)
+	pm, err := BuildParentMap(l, DefaultHops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 3.4: "router 91 manages traffic to cache bank 75, 82 and 89
+	// and router 90 manages traffic to cache banks 74, 81 and 88".
+	for _, c := range []struct {
+		child  noc.NodeID
+		parent noc.NodeID
+	}{{75, 91}, {82, 91}, {89, 91}, {74, 90}, {81, 90}, {88, 90}} {
+		if got := pm.ParentOf(c.child); got != c.parent {
+			t.Errorf("parent of %d = %d, want %d", c.child, got, c.parent)
+		}
+	}
+	// "The innermost corner three nodes in each region ... (ex. nodes 83, 90
+	// and 91 of region 0) are managed by the region-TSB node vertically
+	// above in the core layer (i.e. node 27)".
+	for _, d := range []noc.NodeID{83, 90, 91} {
+		if got := pm.ParentOf(d); got != 27 {
+			t.Errorf("parent of %d = %d, want core TSB node 27", d, got)
+		}
+	}
+	kids := pm.Children(91)
+	if len(kids) != 3 {
+		t.Fatalf("children of 91 = %v, want 3 banks", kids)
+	}
+}
+
+func TestParentMapHopsValidation(t *testing.T) {
+	l := mustLayout(t, 4, PlacementCorner)
+	if _, err := BuildParentMap(l, 0); err == nil {
+		t.Fatal("expected error for zero hops")
+	}
+}
+
+// Property: every bank has exactly one parent; the parent is either a
+// cache-layer node exactly H hops up the TSB route or the core TSB node; and
+// the union of all children covers all 64 banks.
+func TestParentMapCoverageProperty(t *testing.T) {
+	f := func(rr, rp, rh uint8) bool {
+		regionOpts := []int{4, 8, 16}
+		regions := regionOpts[int(rr)%len(regionOpts)]
+		placement := Placement(int(rp) % 2)
+		hops := 1 + int(rh)%3
+		l, err := NewRegionLayout(regions, placement)
+		if err != nil {
+			return false
+		}
+		pm, err := BuildParentMap(l, hops)
+		if err != nil {
+			return false
+		}
+		covered := 0
+		for _, parent := range pm.Parents() {
+			for _, child := range pm.Children(parent) {
+				covered++
+				if pm.ParentOf(child) != parent {
+					return false
+				}
+				if parent.Layer() == 0 {
+					// Core TSB parent: the child must be closer than H hops
+					// to the TSB entry.
+					if parent != l.TSBOf(child) {
+						return false
+					}
+					if noc.SameLayerDistance(parent.Below(), child) >= hops {
+						return false
+					}
+				} else {
+					if noc.SameLayerDistance(parent, child) != hops {
+						return false
+					}
+					// Parent lies on the TSB-entry-to-child X-Y route.
+					path := noc.XYPath(l.TSBOf(child).Below(), child)
+					found := false
+					for _, n := range path {
+						if n == parent {
+							found = true
+							break
+						}
+					}
+					if !found {
+						return false
+					}
+				}
+			}
+		}
+		return covered == noc.LayerSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

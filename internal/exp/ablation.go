@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"sttsim/internal/mem"
+	"sttsim/internal/sim"
+	"sttsim/internal/workload"
+)
+
+// This file holds the ablation studies behind the paper's design decisions
+// beyond the figures it prints: the WB tagging window ("updating the
+// congestion information every 100 packets provides reasonably accurate
+// congestion estimates", Section 3.5), the module-interface depth, the
+// hard-hold window of our arbiter implementation, and the write-latency
+// inflection sweep motivated by Section 3.1's observation that delaying
+// requests is "not attractive for conventional SRAM cache banks" but pays
+// off as bank writes lengthen (STT-RAM, and the PCRAM extension).
+
+// ablationApps is the write-sensitive workload set the ablations measure on.
+var ablationApps = []string{"tpcc", "sclust", "lbm"}
+
+func (r *Runner) ablationApps() []string {
+	if r.opts.Quick {
+		return ablationApps[:2]
+	}
+	return ablationApps
+}
+
+// AblationPoint is one configuration's mean performance.
+type AblationPoint struct {
+	Label string
+	// Perf is the mean PerfMetric over the ablation apps.
+	Perf float64
+	// Normalized is Perf relative to the sweep's reference point.
+	Normalized float64
+}
+
+// sweep runs one configuration mutation per label and normalizes to the
+// first point.
+func (r *Runner) sweep(labels []string, mutate func(cfg *sim.Config, i int)) ([]AblationPoint, error) {
+	points := make([]AblationPoint, 0, len(labels))
+	for i, label := range labels {
+		var sum float64
+		for _, name := range r.ablationApps() {
+			prof := workload.MustByName(name)
+			cfg := sim.Config{Scheme: sim.SchemeSTT4TSBWB, Assignment: workload.Homogeneous(prof)}
+			mutate(&cfg, i)
+			// Distinguish memoization keys for mutations the key cannot see.
+			cfg.Assignment.Name = fmt.Sprintf("%s@%s", cfg.Assignment.Name, label)
+			res, err := r.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			sum += PerfMetric(prof, res)
+		}
+		points = append(points, AblationPoint{Label: label, Perf: sum / float64(len(r.ablationApps()))})
+	}
+	base := points[0].Perf
+	for i := range points {
+		if base > 0 {
+			points[i].Normalized = points[i].Perf / base
+		}
+	}
+	return points, nil
+}
+
+// AblationWBWindow sweeps the window-based estimator's tagging period N.
+func AblationWBWindow(r *Runner) ([]AblationPoint, error) {
+	windows := []int{10, 50, 100, 400, 1600}
+	labels := make([]string, len(windows))
+	for i, n := range windows {
+		labels[i] = fmt.Sprintf("N=%d", n)
+	}
+	return r.sweep(labels, func(cfg *sim.Config, i int) { cfg.WBWindow = windows[i] })
+}
+
+// AblationHoldCap sweeps the arbiter's hard-hold window (our implementation
+// choice; -1 disables holds so delayed requests are only demoted).
+func AblationHoldCap(r *Runner) ([]AblationPoint, error) {
+	caps := []int{-1, 12, 40, 120}
+	labels := []string{"demote-only", "hold<=12", "hold<=40", "hold<=120"}
+	return r.sweep(labels, func(cfg *sim.Config, i int) { cfg.HoldCap = caps[i] })
+}
+
+// AblationBankQueue sweeps the module-interface demand-queue depth: deeper
+// interfaces absorb write trains at the endpoint (hiding them from the
+// network and from the re-ordering scheme), shallower ones push the queueing
+// into the routers.
+func AblationBankQueue(r *Runner) ([]AblationPoint, error) {
+	depths := []int{1, 2, 4, 8}
+	labels := make([]string, len(depths))
+	for i, d := range depths {
+		labels[i] = fmt.Sprintf("depth=%d", d)
+	}
+	return r.sweep(labels, func(cfg *sim.Config, i int) { cfg.BankQueueDepth = depths[i] })
+}
+
+// WriteLatencyPoint is one write-service-time design point of the inflection
+// sweep, comparing plain restricted routing against the WB scheme.
+type WriteLatencyPoint struct {
+	WriteCycles uint64
+	// Gain is mean(WB) / mean(plain 4TSB) - the scheme's benefit at this
+	// write latency.
+	Gain float64
+}
+
+// AblationWriteLatency sweeps the bank write service time from SRAM-like (3
+// cycles) through STT-RAM (33) to PCRAM-like (150), measuring the benefit of
+// bank-aware arbitration at each point. Section 3.1 predicts ~no benefit at
+// SRAM speeds and growing benefit as writes lengthen.
+func AblationWriteLatency(r *Runner) ([]WriteLatencyPoint, error) {
+	sweep := []uint64{3, 9, 33, 65, 150}
+	if r.opts.Quick {
+		sweep = []uint64{3, 33, 150}
+	}
+	var out []WriteLatencyPoint
+	for _, wc := range sweep {
+		tech := mem.STTRAM.WithWriteCycles(wc)
+		if wc == mem.PCRAM.WriteCycles {
+			tech = mem.PCRAM
+		}
+		var plain, scheme float64
+		for _, name := range r.ablationApps() {
+			prof := workload.MustByName(name)
+			for _, s := range []sim.Scheme{sim.SchemeSTT4TSB, sim.SchemeSTT4TSBWB} {
+				techCopy := tech
+				cfg := sim.Config{
+					Scheme:     s,
+					Assignment: workload.Homogeneous(prof),
+					CustomTech: &techCopy,
+				}
+				cfg.Assignment.Name = fmt.Sprintf("%s@wc%d", cfg.Assignment.Name, wc)
+				res, err := r.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				if s == sim.SchemeSTT4TSB {
+					plain += PerfMetric(prof, res)
+				} else {
+					scheme += PerfMetric(prof, res)
+				}
+			}
+		}
+		out = append(out, WriteLatencyPoint{WriteCycles: wc, Gain: scheme / plain})
+	}
+	return out, nil
+}
+
+// PrintAblation renders a generic sweep.
+func PrintAblation(w io.Writer, title string, points []AblationPoint) {
+	fmt.Fprintf(w, "%s\n", title)
+	t := &table{header: []string{"config", "perf", "vs first"}}
+	for _, p := range points {
+		t.add(p.Label, f3(p.Perf), f3(p.Normalized))
+	}
+	t.write(w)
+}
+
+// PrintWriteLatency renders the inflection sweep.
+func PrintWriteLatency(w io.Writer, points []WriteLatencyPoint) {
+	t := &table{header: []string{"bank write cycles", "WB scheme gain over plain 4TSB"}}
+	for _, p := range points {
+		t.add(fmt.Sprintf("%d", p.WriteCycles), fmt.Sprintf("%+.2f%%", 100*(p.Gain-1)))
+	}
+	t.write(w)
+}

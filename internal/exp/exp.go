@@ -1,0 +1,174 @@
+// Package exp contains one driver per table/figure of the paper's
+// evaluation (Section 4). Each driver runs the required simulations through
+// a memoizing Runner, returns a structured result, and can render itself in
+// the same rows/series layout the paper reports. EXPERIMENTS.md is generated
+// from these drivers.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"sttsim/internal/sim"
+	"sttsim/internal/workload"
+)
+
+// Options configure an experiment campaign.
+type Options struct {
+	// WarmupCycles/MeasureCycles per run; zero means the sim defaults.
+	WarmupCycles  uint64
+	MeasureCycles uint64
+	Seed          uint64
+	// Quick restricts sweeps to a representative subset of benchmarks so the
+	// whole campaign finishes in seconds rather than minutes.
+	Quick bool
+}
+
+// quickSet is the representative subset used with Options.Quick: the paper's
+// case-study apps plus one light app per suite.
+var quickSet = []string{"tpcc", "sap", "sclust", "x264", "lbm", "hmmer", "libqntm", "mcf"}
+
+// benchmarks returns the benchmark list the options select.
+func (o Options) benchmarks() []workload.Profile {
+	if !o.Quick {
+		return workload.Profiles
+	}
+	out := make([]workload.Profile, 0, len(quickSet))
+	for _, n := range quickSet {
+		out = append(out, workload.MustByName(n))
+	}
+	return out
+}
+
+// Runner memoizes simulation runs so experiments sharing configurations
+// (e.g. the SRAM baseline, or alone-IPC references) pay for them once.
+type Runner struct {
+	opts  Options
+	cache map[string]*sim.Result
+}
+
+// NewRunner builds a runner for the given options.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts, cache: make(map[string]*sim.Result)}
+}
+
+// Options returns the campaign options.
+func (r *Runner) Options() Options { return r.opts }
+
+func key(cfg sim.Config) string {
+	tech := "-"
+	if cfg.CustomTech != nil {
+		tech = fmt.Sprintf("%s/%d", cfg.CustomTech.Name, cfg.CustomTech.WriteCycles)
+	}
+	return fmt.Sprintf("%d|%s|%d|%d|%v|%d|%d|%v|%v|%d|%d|%d|%s|%d|%d|%d|%v|%d",
+		cfg.Scheme, cfg.Assignment.Name, cfg.Regions, cfg.Placement, cfg.PlacementSet,
+		cfg.Hops, cfg.WriteBufferEntries, cfg.ReadPreemption, cfg.ExtraReqVC,
+		cfg.WBWindow, cfg.WarmupCycles, cfg.MeasureCycles,
+		tech, cfg.HoldCap, cfg.BankQueueDepth, cfg.HybridSRAMBanks,
+		cfg.EarlyWriteTermination, cfg.Seed)
+}
+
+// Run executes (or recalls) one simulation.
+func (r *Runner) Run(cfg sim.Config) (*sim.Result, error) {
+	if cfg.WarmupCycles == 0 {
+		cfg.WarmupCycles = r.opts.WarmupCycles
+	}
+	if cfg.MeasureCycles == 0 {
+		cfg.MeasureCycles = r.opts.MeasureCycles
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = r.opts.Seed
+	}
+	k := key(cfg)
+	if res, ok := r.cache[k]; ok {
+		return res, nil
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.cache[k] = res
+	return res, nil
+}
+
+// RunScheme is shorthand for a homogeneous run of one benchmark.
+func (r *Runner) RunScheme(scheme sim.Scheme, prof workload.Profile) (*sim.Result, error) {
+	return r.Run(sim.Config{Scheme: scheme, Assignment: workload.Homogeneous(prof)})
+}
+
+// AloneIPC returns the mean per-copy IPC of a benchmark running alone (64
+// threads/copies of itself) under the given scheme — the paper's
+// IPC_alone_i reference for Equations 2 and 3.
+func (r *Runner) AloneIPC(scheme sim.Scheme, prof workload.Profile) (float64, error) {
+	res, err := r.RunScheme(scheme, prof)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, v := range res.IPC {
+		sum += v
+	}
+	return sum / float64(len(res.IPC)), nil
+}
+
+// PerfMetric is the paper's per-benchmark headline number: IPC of the
+// slowest thread for multi-threaded suites, instruction throughput for the
+// multi-programmed SPEC suite ("the improvements reported are with the
+// slowest threads"; Section 4.1).
+func PerfMetric(prof workload.Profile, res *sim.Result) float64 {
+	if prof.Suite == workload.SuiteSPEC {
+		return res.InstructionThroughput
+	}
+	return res.MinIPC
+}
+
+// table is a tiny fixed-width table renderer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f3 formats a float with three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// sortedNames returns map keys in sorted order.
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

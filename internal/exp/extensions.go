@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"sttsim/internal/sim"
+	"sttsim/internal/workload"
+)
+
+// Extension studies beyond the paper's evaluation, exploring the directions
+// its Section 5 (related work) and conclusions point at: combining the
+// network-level scheme with circuit-level early write termination (Zhou et
+// al.), and comparing against a hybrid SRAM/STT-RAM cache layer.
+
+// ExtDesign identifies one extension design point.
+type ExtDesign struct {
+	Name string
+	Cfg  sim.Config
+}
+
+// ExtEntry is one benchmark's performance per extension design, normalized
+// to plain STT-RAM-64TSB.
+type ExtEntry struct {
+	Bench      string
+	Normalized []float64
+}
+
+// extDesigns enumerates the comparison: plain STT-RAM, early write
+// termination alone, the WB network scheme alone, both combined, and a
+// hybrid layer with 16 SRAM banks.
+func extDesigns() []ExtDesign {
+	return []ExtDesign{
+		{"STT-RAM", sim.Config{Scheme: sim.SchemeSTT64TSB}},
+		{"+EWT", sim.Config{Scheme: sim.SchemeSTT64TSB, EarlyWriteTermination: true}},
+		{"WB", sim.Config{Scheme: sim.SchemeSTT4TSBWB}},
+		{"WB+EWT", sim.Config{Scheme: sim.SchemeSTT4TSBWB, EarlyWriteTermination: true}},
+		{"Hybrid16", sim.Config{Scheme: sim.SchemeSTT64TSB, HybridSRAMBanks: 16}},
+	}
+}
+
+// Extensions measures the extension designs on the write-sensitive apps.
+func Extensions(r *Runner) ([]ExtEntry, error) {
+	designs := extDesigns()
+	var out []ExtEntry
+	for _, name := range r.ablationApps() {
+		prof := workload.MustByName(name)
+		e := ExtEntry{Bench: name, Normalized: make([]float64, len(designs))}
+		var base float64
+		for i, d := range designs {
+			cfg := d.Cfg
+			cfg.Assignment = workload.Homogeneous(prof)
+			cfg.Assignment.Name = fmt.Sprintf("%s@ext-%s", cfg.Assignment.Name, d.Name)
+			res, err := r.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			perf := PerfMetric(prof, res)
+			if i == 0 {
+				base = perf
+			}
+			if base > 0 {
+				e.Normalized[i] = perf / base
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// PrintExtensions renders the comparison.
+func PrintExtensions(w io.Writer, entries []ExtEntry) {
+	header := []string{"bench"}
+	for _, d := range extDesigns() {
+		header = append(header, d.Name)
+	}
+	t := &table{header: header}
+	for _, e := range entries {
+		row := []string{e.Bench}
+		for _, v := range e.Normalized {
+			row = append(row, f3(v))
+		}
+		t.add(row...)
+	}
+	t.write(w)
+}

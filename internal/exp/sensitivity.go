@@ -1,0 +1,268 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"sttsim/internal/core"
+	"sttsim/internal/sim"
+	"sttsim/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 12: sensitivity to TSB placement and region count.
+// ---------------------------------------------------------------------------
+
+// Fig12Point is one (regions, placement) configuration's mean performance
+// under the WB scheme, normalized to 4 regions with corner TSBs.
+type Fig12Point struct {
+	Regions    int
+	Placement  core.Placement
+	Normalized float64
+}
+
+// Figure12 sweeps 4/8/16 regions x corner/stagger.
+func Figure12(r *Runner) ([]Fig12Point, error) {
+	benches := r.Options().benchmarks()
+	mean := func(regions int, placement core.Placement) (float64, error) {
+		var sum float64
+		for _, prof := range benches {
+			res, err := r.Run(sim.Config{
+				Scheme:     sim.SchemeSTT4TSBWB,
+				Assignment: workload.Homogeneous(prof),
+				Regions:    regions, Placement: placement, PlacementSet: true,
+			})
+			if err != nil {
+				return 0, err
+			}
+			sum += PerfMetric(prof, res)
+		}
+		return sum / float64(len(benches)), nil
+	}
+	base, err := mean(4, core.PlacementCorner)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig12Point
+	for _, regions := range []int{4, 8, 16} {
+		for _, placement := range []core.Placement{core.PlacementCorner, core.PlacementStagger} {
+			v, err := mean(regions, placement)
+			if err != nil {
+				return nil, err
+			}
+			norm := 0.0
+			if base > 0 {
+				norm = v / base
+			}
+			out = append(out, Fig12Point{Regions: regions, Placement: placement, Normalized: norm})
+		}
+	}
+	return out, nil
+}
+
+// PrintFigure12 renders the sweep.
+func PrintFigure12(w io.Writer, points []Fig12Point) {
+	t := &table{header: []string{"regions", "placement", "perf vs 4/corner"}}
+	for _, p := range points {
+		t.add(fmt.Sprintf("%d", p.Regions), p.Placement.String(), f3(p.Normalized))
+	}
+	t.write(w)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13: sensitivity to the parent-child hop distance.
+// ---------------------------------------------------------------------------
+
+// Fig13Apps are the benchmarks the paper's Figure 13a lists.
+var Fig13Apps = []string{"ferret", "facesim", "sclust", "x264", "lbm", "hmmer",
+	"libqntm", "sphinx3", "sap", "sjas", "tpcc", "sjbb"}
+
+// Fig13Result carries both panels: buffered requests per hop distance, and
+// mean performance (vs. the unprioritized 4TSB baseline) per hop distance.
+type Fig13Result struct {
+	// Reqs[h] is the mean number of buffered requests h hops from their
+	// destination per occupied cache-layer router, averaged over the apps.
+	Reqs [4]float64
+	// PerApp[name][h] is the same per benchmark.
+	PerApp map[string][4]float64
+	// Improvement[h] is mean performance of WB at Hops=h normalized to the
+	// plain STT-RAM-4TSB baseline, in percent.
+	Improvement [4]float64
+}
+
+// Figure13 sweeps the re-ordering distance H = 1..3.
+func Figure13(r *Runner) (*Fig13Result, error) {
+	apps := Fig13Apps
+	if r.Options().Quick {
+		apps = apps[:6]
+	}
+	out := &Fig13Result{PerApp: make(map[string][4]float64)}
+	// Panel (a): request population by hop distance, measured on the
+	// STT-RAM baseline.
+	for _, name := range apps {
+		res, err := r.RunScheme(sim.SchemeSTT64TSB, workload.MustByName(name))
+		if err != nil {
+			return nil, err
+		}
+		var per [4]float64
+		for h := 1; h <= 3; h++ {
+			per[h] = res.HopReqs[h]
+			out.Reqs[h] += res.HopReqs[h] / float64(len(apps))
+		}
+		out.PerApp[name] = per
+	}
+	// Panel (b): performance by re-ordering distance.
+	for h := 1; h <= 3; h++ {
+		var ratio float64
+		for _, name := range apps {
+			prof := workload.MustByName(name)
+			base, err := r.RunScheme(sim.SchemeSTT4TSB, prof)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.Run(sim.Config{
+				Scheme:     sim.SchemeSTT4TSBWB,
+				Assignment: workload.Homogeneous(prof),
+				Hops:       h,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if b := PerfMetric(prof, base); b > 0 {
+				ratio += PerfMetric(prof, res) / b
+			}
+		}
+		out.Improvement[h] = (ratio/float64(len(apps)) - 1) * 100
+	}
+	return out, nil
+}
+
+// PrintFigure13 renders both panels.
+func PrintFigure13(w io.Writer, f *Fig13Result) {
+	t := &table{header: []string{"bench", "1 hop", "2 hop", "3 hop"}}
+	for _, name := range sortedNames(f.PerApp) {
+		per := f.PerApp[name]
+		t.add(name, f2(per[1]), f2(per[2]), f2(per[3]))
+	}
+	t.add("Avg.", f2(f.Reqs[1]), f2(f.Reqs[2]), f2(f.Reqs[3]))
+	t.write(w)
+	fmt.Fprintln(w)
+	t2 := &table{header: []string{"hops", "IPC improvement vs STT-RAM-4TSB (%)"}}
+	for h := 1; h <= 3; h++ {
+		t2.add(fmt.Sprintf("%d", h), f2(f.Improvement[h]))
+	}
+	t2.write(w)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14: comparison against the read-preemptive write buffer (BUFF-20).
+// ---------------------------------------------------------------------------
+
+// Fig14Apps are the paper's bursty/write-intensive comparison apps; the
+// average row covers the whole benchmark set.
+var Fig14Apps = []string{"tpcc", "sjas", "sclust", "lbm"}
+
+// Fig14Design identifies a design point of the Section 4.4 comparison.
+type Fig14Design int
+
+const (
+	// DesignSTT is plain STT-RAM-64TSB with neither buffers nor
+	// prioritization — the normalization baseline.
+	DesignSTT Fig14Design = iota
+	// DesignBuff20 adds Sun et al.'s 20-entry read-preemptive write buffer
+	// to every bank.
+	DesignBuff20
+	// DesignWB is our window-based network scheme.
+	DesignWB
+	// DesignWBPlus1VC is the WB scheme with one extra request VC instead of
+	// per-bank write buffers.
+	DesignWBPlus1VC
+	numFig14Designs
+)
+
+var fig14Names = [numFig14Designs]string{"STT-RAM", "BUFF-20", "WB", "+1 VC"}
+
+// String names the design point.
+func (d Fig14Design) String() string { return fig14Names[d] }
+
+// fig14Config builds the run configuration of a design point.
+func fig14Config(d Fig14Design, a workload.Assignment) sim.Config {
+	switch d {
+	case DesignBuff20:
+		return sim.Config{Scheme: sim.SchemeSTT64TSB, Assignment: a,
+			WriteBufferEntries: 20, ReadPreemption: true}
+	case DesignWB:
+		return sim.Config{Scheme: sim.SchemeSTT4TSBWB, Assignment: a}
+	case DesignWBPlus1VC:
+		return sim.Config{Scheme: sim.SchemeSTT4TSBWB, Assignment: a, ExtraReqVC: true}
+	default:
+		return sim.Config{Scheme: sim.SchemeSTT64TSB, Assignment: a}
+	}
+}
+
+// Fig14Entry is one benchmark's normalized un-core latency per design.
+type Fig14Entry struct {
+	Bench      string
+	Normalized [numFig14Designs]float64
+}
+
+// Figure14 compares the network scheme against write buffering.
+func Figure14(r *Runner) ([]Fig14Entry, error) {
+	uncore := func(d Fig14Design, prof workload.Profile) (float64, error) {
+		res, err := r.Run(fig14Config(d, workload.Homogeneous(prof)))
+		if err != nil {
+			return 0, err
+		}
+		return res.UncoreLatency(), nil
+	}
+	benches := r.Options().benchmarks()
+	entries := []Fig14Entry{{Bench: fmt.Sprintf("AVG-%d", len(benches))}}
+	// Average over the configured benchmark set.
+	var avg [numFig14Designs]float64
+	for _, prof := range benches {
+		for d := Fig14Design(0); d < numFig14Designs; d++ {
+			v, err := uncore(d, prof)
+			if err != nil {
+				return nil, err
+			}
+			avg[d] += v
+		}
+	}
+	for d := Fig14Design(0); d < numFig14Designs; d++ {
+		entries[0].Normalized[d] = avg[d] / avg[DesignSTT]
+	}
+	for _, name := range Fig14Apps {
+		prof := workload.MustByName(name)
+		var vals [numFig14Designs]float64
+		for d := Fig14Design(0); d < numFig14Designs; d++ {
+			v, err := uncore(d, prof)
+			if err != nil {
+				return nil, err
+			}
+			vals[d] = v
+		}
+		e := Fig14Entry{Bench: name}
+		for d := Fig14Design(0); d < numFig14Designs; d++ {
+			e.Normalized[d] = vals[d] / vals[DesignSTT]
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// PrintFigure14 renders the normalized un-core latencies.
+func PrintFigure14(w io.Writer, entries []Fig14Entry) {
+	header := []string{"bench"}
+	for d := Fig14Design(0); d < numFig14Designs; d++ {
+		header = append(header, d.String())
+	}
+	t := &table{header: header}
+	for _, e := range entries {
+		row := []string{e.Bench}
+		for d := Fig14Design(0); d < numFig14Designs; d++ {
+			row = append(row, f3(e.Normalized[d]))
+		}
+		t.add(row...)
+	}
+	t.write(w)
+}

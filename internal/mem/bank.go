@@ -1,0 +1,274 @@
+package mem
+
+// Op distinguishes bank read and write accesses.
+type Op uint8
+
+const (
+	// OpRead is a short read access (3 cycles on both technologies).
+	OpRead Op = iota
+	// OpWrite is a long write access (33 cycles on STT-RAM). Cache fills and
+	// dirty writebacks into a bank are writes.
+	OpWrite
+)
+
+// String returns "read" or "write".
+func (o Op) String() string {
+	if o == OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// Request is one access presented to a bank controller or memory controller.
+type Request struct {
+	Op   Op
+	Addr uint64
+	ID   uint64 // caller-assigned, echoed in the Completion
+	Proc int    // originating processor (memory-controller quota accounting)
+
+	// Arrive is the cycle the request entered the controller queue; set by
+	// Enqueue and used to compute the queuing-delay component of Figure 7.
+	Arrive uint64
+}
+
+// Completion reports a finished access.
+type Completion struct {
+	Req *Request
+	// Done is the cycle service finished.
+	Done uint64
+	// QueueDelay is the time spent waiting in the controller queue before the
+	// bank started servicing the request (the Figure 7 "queue lat" term).
+	QueueDelay uint64
+	// Service is the bank service time, including write-buffer detection
+	// overhead when a buffer is configured.
+	Service uint64
+	// BufferHit reports that a read was satisfied from the write buffer.
+	BufferHit bool
+	// Preempted counts how many times an in-flight buffered write was aborted
+	// by read preemption while this request was being serviced (always 0 for
+	// the request itself; preemption statistics live on the bank).
+	Preempted uint64
+}
+
+// BankStats aggregates a bank's activity for performance and energy reports.
+type BankStats struct {
+	Reads          uint64
+	Writes         uint64
+	BufferHits     uint64
+	Preemptions    uint64
+	BusyCycles     uint64
+	QueuedCycles   uint64 // sum of queue delays over completed requests
+	MaxQueueDepth  int
+	EnqueuedTotal  uint64
+	DrainedWrites  uint64 // writes moved from buffer to array
+	DetectOverhead uint64 // cycles spent on the 1-cycle read/write detection
+	EarlyTermSaved uint64 // write cycles saved by early termination
+}
+
+// Bank models one L2 cache bank: a single-ported array with technology-
+// dependent service times, fronted by a FIFO controller queue and optionally
+// by a read-preemptive SRAM write buffer (Section 4.4 baseline).
+//
+// The bank serializes accesses: a request occupies the array for
+// tech.Latency(op) cycles. Requests that arrive while the array is busy wait
+// in the controller queue; that waiting time is the paper's bank queuing
+// latency.
+type Bank struct {
+	tech  Tech
+	queue []*Request
+	buf   *WriteBuffer // nil when no write buffer is configured
+
+	current      *Request
+	currentStart uint64
+	busyUntil    uint64
+
+	// draining, when non-nil, is the buffered write the array is currently
+	// committing; read preemption may abort it.
+	draining   *bufEntry
+	preemption bool
+
+	// Early write termination (Zhou et al., ICCAD'09): writes whose bit
+	// flips complete early finish before the worst-case pulse. Modeled as a
+	// deterministic pseudo-random service fraction per write.
+	earlyTerm bool
+	etState   uint64
+
+	stats BankStats
+}
+
+// NewBank returns a bank built from the given technology.
+func NewBank(tech Tech) *Bank {
+	return &Bank{tech: tech}
+}
+
+// NewBufferedBank returns a bank fronted by an entries-deep write buffer with
+// optional read preemption, reproducing the BUFF-20 design point when
+// entries=20.
+func NewBufferedBank(tech Tech, entries int, preemption bool) *Bank {
+	return &Bank{tech: tech, buf: NewWriteBuffer(entries), preemption: preemption}
+}
+
+// Tech returns the bank's technology parameters.
+func (b *Bank) Tech() Tech { return b.tech }
+
+// EnableEarlyTermination turns on the Zhou et al. early-write-termination
+// model: each array write's duration is drawn deterministically (from seed)
+// in [40%, 100%] of the worst-case pulse, reflecting that most writes flip
+// only a fraction of the cell bits. Orthogonal to (and combinable with) the
+// network-level scheme, as Section 5 observes.
+func (b *Bank) EnableEarlyTermination(seed uint64) {
+	b.earlyTerm = true
+	b.etState = seed | 1
+}
+
+// writeService returns the array-write duration, applying early termination
+// when enabled.
+func (b *Bank) writeService() uint64 {
+	full := b.tech.WriteCycles
+	if !b.earlyTerm || full <= 2 {
+		return full
+	}
+	// splitmix64 step for a deterministic per-write fraction.
+	b.etState += 0x9E3779B97F4A7C15
+	z := b.etState
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	// Uniform in [0.4, 1.0] of the worst-case pulse.
+	frac := 0.4 + 0.6*float64(z>>11)/(1<<53)
+	svc := uint64(float64(full)*frac + 0.5)
+	if svc < 1 {
+		svc = 1
+	}
+	b.stats.EarlyTermSaved += full - svc
+	return svc
+}
+
+// Stats returns a copy of the bank's accumulated statistics.
+func (b *Bank) Stats() BankStats { return b.stats }
+
+// QueueLen returns the number of requests waiting in the controller queue.
+func (b *Bank) QueueLen() int { return len(b.queue) }
+
+// Busy reports whether the array is servicing a request (or drain) at now.
+func (b *Bank) Busy(now uint64) bool {
+	return now < b.busyUntil && (b.current != nil || b.draining != nil)
+}
+
+// BusyUntil returns the cycle the array becomes free (0 when never used).
+func (b *Bank) BusyUntil() uint64 { return b.busyUntil }
+
+// Enqueue adds a request to the controller queue at cycle now. If read
+// preemption is enabled and the array is mid-drain, the drain is aborted so
+// the read can start sooner (Sun et al.'s read-preemptive write buffer).
+func (b *Bank) Enqueue(r *Request, now uint64) {
+	r.Arrive = now
+	b.stats.EnqueuedTotal++
+	if b.preemption && r.Op == OpRead && b.draining != nil && now < b.busyUntil {
+		// Abort the in-flight buffered write; it returns to the buffer and
+		// will be retried on a later idle period.
+		b.buf.Restore(b.draining)
+		b.draining = nil
+		b.busyUntil = now
+		b.stats.Preemptions++
+	}
+	b.queue = append(b.queue, r)
+	if len(b.queue) > b.stats.MaxQueueDepth {
+		b.stats.MaxQueueDepth = len(b.queue)
+	}
+}
+
+// Tick advances the bank one cycle and returns any completion that finished
+// at cycle now. At most one request completes per cycle because the array is
+// single-ported.
+func (b *Bank) Tick(now uint64) *Completion {
+	if now < b.busyUntil {
+		b.stats.BusyCycles++
+		return nil
+	}
+
+	// Retire whatever just finished.
+	var done *Completion
+	if b.current != nil {
+		r := b.current
+		b.current = nil
+		done = &Completion{
+			Req:        r,
+			Done:       now,
+			QueueDelay: b.currentStart - r.Arrive,
+			Service:    now - b.currentStart,
+		}
+		b.stats.QueuedCycles += done.QueueDelay
+	}
+	if b.draining != nil {
+		// Drain committed successfully; the entry leaves the system.
+		b.draining = nil
+		b.stats.DrainedWrites++
+	}
+
+	b.startNext(now)
+	return done
+}
+
+// startNext begins servicing the next queued request, or a buffered-write
+// drain when the queue is empty.
+func (b *Bank) startNext(now uint64) {
+	if len(b.queue) > 0 {
+		r := b.queue[0]
+		copy(b.queue, b.queue[1:])
+		b.queue = b.queue[:len(b.queue)-1]
+		b.serve(r, now)
+		return
+	}
+	if b.buf != nil && !b.buf.Empty() {
+		// Idle: drain the oldest buffered write into the array.
+		b.draining = b.buf.Pop()
+		b.busyUntil = now + b.tech.WriteCycles
+	}
+}
+
+// serve starts servicing request r at cycle now.
+func (b *Bank) serve(r *Request, now uint64) {
+	b.current = r
+	b.currentStart = now
+	service := b.tech.Latency(r.Op)
+	if b.buf == nil && r.Op == OpWrite {
+		service = b.writeService()
+	}
+
+	if b.buf != nil {
+		// Every access pays the 1-cycle read/write detection overhead that
+		// the paper charges against the write-buffer design (Section 4.4).
+		service = 1
+		b.stats.DetectOverhead++
+		switch r.Op {
+		case OpWrite:
+			if b.buf.Full() {
+				// Buffer full: the write must go straight to the array.
+				service += b.writeService()
+			} else {
+				// The write completes into the SRAM buffer at SRAM speed.
+				b.buf.Push(r.Addr, now)
+				service += SRAM.WriteCycles
+			}
+		case OpRead:
+			if b.buf.Probe(r.Addr) {
+				// Hit in the write buffer: served at SRAM read speed.
+				service += SRAM.ReadCycles
+				b.stats.BufferHits++
+			} else {
+				service += b.tech.ReadCycles
+			}
+		}
+	}
+
+	if r.Op == OpWrite {
+		b.stats.Writes++
+	} else {
+		b.stats.Reads++
+	}
+	b.busyUntil = now + service
+}
+
+// ResetStats clears the bank's accumulated statistics (end of warmup).
+func (b *Bank) ResetStats() { b.stats = BankStats{} }

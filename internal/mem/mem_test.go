@@ -1,0 +1,470 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTechTable2Values(t *testing.T) {
+	// The Table 2 contract that the whole paper rests on: STT-RAM reads are
+	// as fast as SRAM (3 cycles) but writes take 33 cycles — 11x a 3-cycle
+	// router hop.
+	if SRAM.ReadCycles != 3 || SRAM.WriteCycles != 3 {
+		t.Fatalf("SRAM latencies = %d/%d, want 3/3", SRAM.ReadCycles, SRAM.WriteCycles)
+	}
+	if STTRAM.ReadCycles != 3 || STTRAM.WriteCycles != 33 {
+		t.Fatalf("STT-RAM latencies = %d/%d, want 3/33", STTRAM.ReadCycles, STTRAM.WriteCycles)
+	}
+	if STTRAM.CapacityMB != 4*SRAM.CapacityMB {
+		t.Fatalf("STT-RAM capacity = %dMB, want 4x SRAM", STTRAM.CapacityMB)
+	}
+	if STTRAM.LeakagePowerMW >= SRAM.LeakagePowerMW {
+		t.Fatal("STT-RAM leakage should be far below SRAM leakage")
+	}
+	if STTRAM.WriteEnergyNJ <= STTRAM.ReadEnergyNJ {
+		t.Fatal("STT-RAM write energy should exceed read energy")
+	}
+}
+
+func TestTechAccessors(t *testing.T) {
+	if STTRAM.Latency(OpRead) != 3 || STTRAM.Latency(OpWrite) != 33 {
+		t.Fatal("Latency(op) mismatch")
+	}
+	if STTRAM.AccessEnergyNJ(OpWrite) != 0.765 || STTRAM.AccessEnergyNJ(OpRead) != 0.278 {
+		t.Fatal("AccessEnergyNJ(op) mismatch")
+	}
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatal("Op.String mismatch")
+	}
+}
+
+// run advances the bank from cycle *now to the first cycle at or after *now
+// where a completion is produced, or gives up after limit cycles.
+func run(t *testing.T, b *Bank, now *uint64, limit uint64) *Completion {
+	t.Helper()
+	for end := *now + limit; *now <= end; *now++ {
+		if c := b.Tick(*now); c != nil {
+			return c
+		}
+	}
+	t.Fatalf("no completion within %d cycles", limit)
+	return nil
+}
+
+func TestBankReadLatency(t *testing.T) {
+	b := NewBank(STTRAM)
+	var now uint64
+	b.Enqueue(&Request{Op: OpRead, Addr: 0x100, ID: 1}, 0)
+	c := run(t, b, &now, 100)
+	if c.Req.ID != 1 {
+		t.Fatalf("completed ID = %d, want 1", c.Req.ID)
+	}
+	// Enqueued at 0, service starts at tick 0, finishes 3 cycles later.
+	if c.Done != 3 || c.Service != 3 || c.QueueDelay != 0 {
+		t.Fatalf("read completion done=%d service=%d queue=%d, want 3/3/0",
+			c.Done, c.Service, c.QueueDelay)
+	}
+}
+
+func TestBankWriteLatencyAndQueueing(t *testing.T) {
+	b := NewBank(STTRAM)
+	var now uint64
+	b.Enqueue(&Request{Op: OpWrite, Addr: 0x100, ID: 1}, 0)
+	b.Enqueue(&Request{Op: OpRead, Addr: 0x200, ID: 2}, 0)
+	c1 := run(t, b, &now, 100)
+	if c1.Req.ID != 1 || c1.Done != 33 {
+		t.Fatalf("write done at %d (id %d), want 33 (id 1)", c1.Done, c1.Req.ID)
+	}
+	c2 := run(t, b, &now, 100)
+	if c2.Req.ID != 2 {
+		t.Fatalf("second completion id = %d, want 2", c2.Req.ID)
+	}
+	// The read waited behind the 33-cycle write: queue delay 33.
+	if c2.QueueDelay != 33 {
+		t.Fatalf("read queue delay = %d, want 33", c2.QueueDelay)
+	}
+	if c2.Done != 36 {
+		t.Fatalf("read done = %d, want 36", c2.Done)
+	}
+	st := b.Stats()
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("stats reads/writes = %d/%d, want 1/1", st.Reads, st.Writes)
+	}
+	if st.QueuedCycles != 33 {
+		t.Fatalf("queued cycles = %d, want 33", st.QueuedCycles)
+	}
+}
+
+func TestBankBusyWindow(t *testing.T) {
+	b := NewBank(STTRAM)
+	b.Enqueue(&Request{Op: OpWrite, Addr: 1}, 0)
+	b.Tick(0) // starts the write
+	if !b.Busy(5) {
+		t.Fatal("bank should be busy mid-write")
+	}
+	if b.BusyUntil() != 33 {
+		t.Fatalf("busyUntil = %d, want 33", b.BusyUntil())
+	}
+	if b.Busy(33) {
+		t.Fatal("bank should be free at busyUntil")
+	}
+}
+
+func TestSRAMBankWriteIsShort(t *testing.T) {
+	b := NewBank(SRAM)
+	var now uint64
+	b.Enqueue(&Request{Op: OpWrite, Addr: 1, ID: 9}, 0)
+	c := run(t, b, &now, 50)
+	if c.Done != 3 {
+		t.Fatalf("SRAM write done = %d, want 3", c.Done)
+	}
+}
+
+func TestBufferedBankWriteCompletesFast(t *testing.T) {
+	b := NewBufferedBank(STTRAM, 20, true)
+	var now uint64
+	b.Enqueue(&Request{Op: OpWrite, Addr: 0x100, ID: 1}, 0)
+	c := run(t, b, &now, 100)
+	// 1-cycle detection + SRAM-speed buffer write = 4 cycles, not 33.
+	if c.Service != 1+SRAM.WriteCycles {
+		t.Fatalf("buffered write service = %d, want %d", c.Service, 1+SRAM.WriteCycles)
+	}
+}
+
+func TestBufferedBankReadHitsBuffer(t *testing.T) {
+	b := NewBufferedBank(STTRAM, 20, false)
+	var now uint64
+	// Enqueue the read while the write is still queued, so it is serviced
+	// before the bank gets an idle cycle to drain the buffer.
+	b.Enqueue(&Request{Op: OpWrite, Addr: 0x100, ID: 1}, 0)
+	b.Enqueue(&Request{Op: OpRead, Addr: 0x100, ID: 2}, 0)
+	run(t, b, &now, 100)
+	c := run(t, b, &now, 100)
+	if b.Stats().BufferHits != 1 {
+		t.Fatalf("buffer hits = %d, want 1", b.Stats().BufferHits)
+	}
+	if c.Service != 1+SRAM.ReadCycles {
+		t.Fatalf("buffer-hit read service = %d, want %d", c.Service, 1+SRAM.ReadCycles)
+	}
+}
+
+func TestBufferedBankDrainsWhenIdle(t *testing.T) {
+	b := NewBufferedBank(STTRAM, 20, false)
+	var now uint64
+	b.Enqueue(&Request{Op: OpWrite, Addr: 0x100, ID: 1}, 0)
+	run(t, b, &now, 100)
+	// Let the bank idle long enough to drain the buffered write.
+	for ; now < 200; now++ {
+		b.Tick(now)
+	}
+	if b.Stats().DrainedWrites != 1 {
+		t.Fatalf("drained writes = %d, want 1", b.Stats().DrainedWrites)
+	}
+}
+
+func TestReadPreemptionAbortsDrain(t *testing.T) {
+	b := NewBufferedBank(STTRAM, 20, true)
+	var now uint64
+	b.Enqueue(&Request{Op: OpWrite, Addr: 0x100, ID: 1}, 0)
+	run(t, b, &now, 100)
+	// Advance a little: the bank starts draining the buffered write.
+	b.Tick(now)
+	if b.draining == nil {
+		t.Fatal("expected a drain in flight")
+	}
+	// A read arrives mid-drain and preempts it.
+	b.Enqueue(&Request{Op: OpRead, Addr: 0x900, ID: 2}, now+1)
+	if b.Stats().Preemptions != 1 {
+		t.Fatalf("preemptions = %d, want 1", b.Stats().Preemptions)
+	}
+	now++
+	c := run(t, b, &now, 100)
+	if c.Req.ID != 2 {
+		t.Fatalf("completion id = %d, want the preempting read", c.Req.ID)
+	}
+	// The aborted write must still be in the system: either back in the
+	// buffer or already re-draining after the read finished.
+	if b.buf.Len() != 1 && b.draining == nil {
+		t.Fatal("aborted write lost after preemption")
+	}
+	for end := now + 100; now < end; now++ {
+		b.Tick(now)
+	}
+	if b.Stats().DrainedWrites != 1 {
+		t.Fatal("preempted write never drained")
+	}
+}
+
+func TestBufferFullFallsBackToArrayWrite(t *testing.T) {
+	b := NewBufferedBank(STTRAM, 2, false)
+	var now uint64
+	// Fill the 2-entry buffer back-to-back so no idle drain happens between.
+	b.Enqueue(&Request{Op: OpWrite, Addr: 1, ID: 1}, 0)
+	b.Enqueue(&Request{Op: OpWrite, Addr: 2, ID: 2}, 0)
+	b.Enqueue(&Request{Op: OpWrite, Addr: 3, ID: 3}, 0)
+	run(t, b, &now, 100)
+	run(t, b, &now, 100)
+	c3 := run(t, b, &now, 200)
+	if c3.Service != 1+STTRAM.WriteCycles {
+		t.Fatalf("overflow write service = %d, want %d", c3.Service, 1+STTRAM.WriteCycles)
+	}
+}
+
+func TestWriteBufferBasics(t *testing.T) {
+	w := NewWriteBuffer(2)
+	if w.Capacity() != 2 || !w.Empty() || w.Full() {
+		t.Fatal("fresh buffer state wrong")
+	}
+	w.Push(10, 0)
+	w.Push(10, 1)
+	if !w.Full() || w.Len() != 2 {
+		t.Fatal("buffer should be full with 2 entries")
+	}
+	if !w.Probe(10) || w.Probe(11) {
+		t.Fatal("probe mismatch")
+	}
+	e := w.Pop()
+	if e == nil || e.addr != 10 {
+		t.Fatal("pop should return oldest entry")
+	}
+	// Duplicate address still present after popping one of two.
+	if !w.Probe(10) {
+		t.Fatal("probe should still hit: one duplicate remains")
+	}
+	w.Pop()
+	if w.Probe(10) {
+		t.Fatal("probe should miss after both entries drained")
+	}
+	if w.Pop() != nil {
+		t.Fatal("pop on empty buffer should return nil")
+	}
+}
+
+func TestWriteBufferRestore(t *testing.T) {
+	w := NewWriteBuffer(4)
+	w.Push(1, 0)
+	w.Push(2, 0)
+	e := w.Pop()
+	w.Restore(e)
+	if got := w.Pop().addr; got != 1 {
+		t.Fatalf("restored entry not at head: got %d, want 1", got)
+	}
+}
+
+func TestWriteBufferPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero capacity": func() { NewWriteBuffer(0) },
+		"push full": func() {
+			w := NewWriteBuffer(1)
+			w.Push(1, 0)
+			w.Push(2, 0)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMemControllerLatency(t *testing.T) {
+	m := NewMemController(0)
+	if !m.Enqueue(&Request{Op: OpRead, Proc: 3, ID: 7}, 100) {
+		t.Fatal("enqueue rejected unexpectedly")
+	}
+	for now := uint64(100); now < 100+DRAMLatency; now++ {
+		if cs := m.Tick(now); len(cs) != 0 {
+			t.Fatalf("completion too early at %d", now)
+		}
+	}
+	cs := m.Tick(100 + DRAMLatency)
+	if len(cs) != 1 || cs[0].Req.ID != 7 || cs[0].Service != DRAMLatency {
+		t.Fatalf("completion = %+v, want id 7 after %d cycles", cs, DRAMLatency)
+	}
+	if m.Inflight() != 0 {
+		t.Fatal("inflight should be drained")
+	}
+}
+
+func TestMemControllerQuota(t *testing.T) {
+	m := NewMemController(1)
+	for i := 0; i < MaxOutstandingPerProc; i++ {
+		if !m.Enqueue(&Request{Op: OpRead, Proc: 5}, 0) {
+			t.Fatalf("enqueue %d rejected below quota", i)
+		}
+	}
+	if m.CanAccept(5) {
+		t.Fatal("CanAccept should be false at quota")
+	}
+	if m.Enqueue(&Request{Op: OpRead, Proc: 5}, 0) {
+		t.Fatal("enqueue above quota should be rejected")
+	}
+	// A different processor is unaffected.
+	if !m.Enqueue(&Request{Op: OpWrite, Proc: 6}, 0) {
+		t.Fatal("other processor should be admitted")
+	}
+	if m.Stats().Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", m.Stats().Rejected)
+	}
+	// After completion the quota frees up.
+	m.Tick(DRAMLatency)
+	if !m.CanAccept(5) {
+		t.Fatal("quota should free after completion")
+	}
+	st := m.Stats()
+	if st.Completed != MaxOutstandingPerProc+1 {
+		t.Fatalf("completed = %d, want %d", st.Completed, MaxOutstandingPerProc+1)
+	}
+	if st.Writes != 1 || st.Reads != MaxOutstandingPerProc {
+		t.Fatalf("reads/writes = %d/%d", st.Reads, st.Writes)
+	}
+}
+
+// Property: a bank conserves requests — every enqueued request completes
+// exactly once, in arrival order, regardless of the op mix.
+func TestBankConservationProperty(t *testing.T) {
+	f := func(ops []bool, buffered bool) bool {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		var b *Bank
+		if buffered {
+			b = NewBufferedBank(STTRAM, 4, true)
+		} else {
+			b = NewBank(STTRAM)
+		}
+		for i, isWrite := range ops {
+			op := OpRead
+			if isWrite {
+				op = OpWrite
+			}
+			b.Enqueue(&Request{Op: op, Addr: uint64(i), ID: uint64(i)}, 0)
+		}
+		var got []uint64
+		for now := uint64(0); now < uint64(len(ops)+1)*40+100; now++ {
+			if c := b.Tick(now); c != nil {
+				got = append(got, c.Req.ID)
+			}
+		}
+		if len(got) != len(ops) {
+			return false
+		}
+		for i, id := range got {
+			if id != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bank service time never exceeds detection + write latency and is
+// always at least 1 cycle.
+func TestBankServiceBoundsProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		if len(ops) == 0 {
+			return true
+		}
+		if len(ops) > 32 {
+			ops = ops[:32]
+		}
+		b := NewBufferedBank(STTRAM, 3, true)
+		for i, isWrite := range ops {
+			op := OpRead
+			if isWrite {
+				op = OpWrite
+			}
+			b.Enqueue(&Request{Op: op, Addr: uint64(i % 4), ID: uint64(i)}, uint64(i))
+		}
+		maxService := 1 + STTRAM.WriteCycles
+		for now := uint64(0); now < uint64(len(ops))*40+100; now++ {
+			if c := b.Tick(now); c != nil {
+				if c.Service < 1 || c.Service > maxService {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarlyWriteTermination(t *testing.T) {
+	b := NewBank(STTRAM)
+	b.EnableEarlyTermination(7)
+	var now uint64
+	var total uint64
+	const n = 50
+	for i := 0; i < n; i++ {
+		b.Enqueue(&Request{Op: OpWrite, Addr: uint64(i), ID: uint64(i)}, now)
+		c := run(t, b, &now, 200)
+		if c.Service < 1 || c.Service > STTRAM.WriteCycles {
+			t.Fatalf("write %d service %d outside [1, %d]", i, c.Service, STTRAM.WriteCycles)
+		}
+		// The 40%% floor of the early-termination model.
+		if float64(c.Service) < 0.4*float64(STTRAM.WriteCycles)-1 {
+			t.Fatalf("write %d service %d below the 40%% floor", i, c.Service)
+		}
+		total += c.Service
+	}
+	mean := float64(total) / n
+	if mean >= float64(STTRAM.WriteCycles) {
+		t.Fatalf("early termination saved nothing (mean %.1f)", mean)
+	}
+	if b.Stats().EarlyTermSaved == 0 {
+		t.Fatal("saved cycles not accounted")
+	}
+	// Determinism: the same seed reproduces the same service sequence.
+	b2 := NewBank(STTRAM)
+	b2.EnableEarlyTermination(7)
+	var now2, total2 uint64
+	for i := 0; i < n; i++ {
+		b2.Enqueue(&Request{Op: OpWrite, Addr: uint64(i), ID: uint64(i)}, now2)
+		total2 += run(t, b2, &now2, 200).Service
+	}
+	if total2 != total {
+		t.Fatal("early termination not deterministic per seed")
+	}
+}
+
+func TestEarlyTerminationNoEffectOnReads(t *testing.T) {
+	b := NewBank(STTRAM)
+	b.EnableEarlyTermination(3)
+	var now uint64
+	b.Enqueue(&Request{Op: OpRead, Addr: 1, ID: 1}, 0)
+	c := run(t, b, &now, 100)
+	if c.Service != STTRAM.ReadCycles {
+		t.Fatalf("read service %d changed by early termination", c.Service)
+	}
+}
+
+func TestPCRAMTech(t *testing.T) {
+	if PCRAM.WriteCycles <= STTRAM.WriteCycles {
+		t.Fatal("PCRAM writes should be longer than STT-RAM writes")
+	}
+	if PCRAM.CapacityMB <= STTRAM.CapacityMB {
+		t.Fatal("PCRAM should be denser than STT-RAM")
+	}
+}
+
+func TestWithWriteCycles(t *testing.T) {
+	tech := STTRAM.WithWriteCycles(99)
+	if tech.WriteCycles != 99 {
+		t.Fatal("write cycles not overridden")
+	}
+	if STTRAM.WriteCycles != 33 {
+		t.Fatal("WithWriteCycles must not mutate the original")
+	}
+	if tech.Name == STTRAM.Name {
+		t.Fatal("derived tech should be visibly renamed")
+	}
+}

@@ -1,0 +1,104 @@
+package mem
+
+// DRAMLatency is the main-memory access time of Table 1 (320 cycles at 3GHz).
+const DRAMLatency = 320
+
+// MaxOutstandingPerProc is the per-processor limit on in-flight main-memory
+// requests (Table 1: "up to 16 outstanding requests for each processor").
+const MaxOutstandingPerProc = 16
+
+// MemController models one of the four on-chip memory controllers: a fixed
+// DRAM access latency with unlimited bank-level parallelism but a per-
+// processor outstanding-request quota.
+type MemController struct {
+	id       int
+	latency  uint64
+	quota    int
+	inflight []mcEntry
+	perProc  map[int]int
+
+	stats MCStats
+}
+
+type mcEntry struct {
+	req  *Request
+	done uint64
+}
+
+// MCStats aggregates memory-controller activity.
+type MCStats struct {
+	Reads     uint64
+	Writes    uint64
+	Rejected  uint64 // enqueue attempts refused because the proc quota was full
+	Completed uint64
+}
+
+// NewMemController returns a controller with the Table 1 parameters.
+func NewMemController(id int) *MemController {
+	return &MemController{
+		id:      id,
+		latency: DRAMLatency,
+		quota:   MaxOutstandingPerProc,
+		perProc: make(map[int]int),
+	}
+}
+
+// ID returns the controller's identifier.
+func (m *MemController) ID() int { return m.id }
+
+// Stats returns a copy of the controller's statistics.
+func (m *MemController) Stats() MCStats { return m.stats }
+
+// Inflight returns the number of requests currently being serviced.
+func (m *MemController) Inflight() int { return len(m.inflight) }
+
+// CanAccept reports whether a request from proc would be admitted at now.
+func (m *MemController) CanAccept(proc int) bool {
+	return m.perProc[proc] < m.quota
+}
+
+// Enqueue admits a request at cycle now. It returns false (and counts a
+// rejection) when the originating processor already has its quota of
+// outstanding requests; the caller must retry later.
+func (m *MemController) Enqueue(r *Request, now uint64) bool {
+	if !m.CanAccept(r.Proc) {
+		m.stats.Rejected++
+		return false
+	}
+	r.Arrive = now
+	m.perProc[r.Proc]++
+	m.inflight = append(m.inflight, mcEntry{req: r, done: now + m.latency})
+	if r.Op == OpWrite {
+		m.stats.Writes++
+	} else {
+		m.stats.Reads++
+	}
+	return true
+}
+
+// Tick returns all requests whose DRAM access finished at cycle now.
+func (m *MemController) Tick(now uint64) []*Completion {
+	var out []*Completion
+	kept := m.inflight[:0]
+	for _, e := range m.inflight {
+		if e.done <= now {
+			m.perProc[e.req.Proc]--
+			if m.perProc[e.req.Proc] == 0 {
+				delete(m.perProc, e.req.Proc)
+			}
+			m.stats.Completed++
+			out = append(out, &Completion{
+				Req:     e.req,
+				Done:    now,
+				Service: m.latency,
+			})
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	m.inflight = kept
+	return out
+}
+
+// ResetStats clears the controller's accumulated statistics (end of warmup).
+func (m *MemController) ResetStats() { m.stats = MCStats{} }

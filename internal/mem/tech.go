@@ -1,0 +1,96 @@
+// Package mem implements the memory-device substrate of the simulator: the
+// SRAM and STT-RAM technology parameters of the paper's Table 2, a cache-bank
+// service model with a controller queue (where the Figure 7 "queuing latency"
+// accrues), the 20-entry read-preemptive SRAM write buffer of Sun et al.
+// (HPCA'09) used as the comparison baseline in Section 4.4, and the
+// fixed-latency DRAM / memory-controller model of Table 1.
+package mem
+
+// Tech captures one row of Table 2: the device-level parameters of a cache
+// bank technology at 32nm, 3GHz.
+type Tech struct {
+	Name           string
+	CapacityMB     int     // usable capacity per bank
+	AreaMM2        float64 // bank area
+	ReadEnergyNJ   float64 // energy per read access
+	WriteEnergyNJ  float64 // energy per write access
+	LeakagePowerMW float64 // leakage power at 80C
+	ReadLatencyNS  float64
+	WriteLatencyNS float64
+	ReadCycles     uint64 // read service time at 3GHz
+	WriteCycles    uint64 // write service time at 3GHz
+}
+
+// SRAM is the 1MB SRAM bank of Table 2.
+var SRAM = Tech{
+	Name:           "SRAM",
+	CapacityMB:     1,
+	AreaMM2:        3.03,
+	ReadEnergyNJ:   0.168,
+	WriteEnergyNJ:  0.168,
+	LeakagePowerMW: 444.6,
+	ReadLatencyNS:  0.702,
+	WriteLatencyNS: 0.702,
+	ReadCycles:     3,
+	WriteCycles:    3,
+}
+
+// STTRAM is the 4MB STT-RAM bank of Table 2. It occupies roughly the same
+// area as the 1MB SRAM bank (4x density) but its writes take 33 cycles.
+var STTRAM = Tech{
+	Name:           "STT-RAM",
+	CapacityMB:     4,
+	AreaMM2:        3.39,
+	ReadEnergyNJ:   0.278,
+	WriteEnergyNJ:  0.765,
+	LeakagePowerMW: 190.5,
+	ReadLatencyNS:  0.880,
+	WriteLatencyNS: 10.67,
+	ReadCycles:     3,
+	WriteCycles:    33,
+}
+
+// Latency returns the service time in cycles for the given operation.
+func (t Tech) Latency(op Op) uint64 {
+	if op == OpWrite {
+		return t.WriteCycles
+	}
+	return t.ReadCycles
+}
+
+// AccessEnergyNJ returns the per-access energy in nanojoules for op.
+func (t Tech) AccessEnergyNJ(op Op) float64 {
+	if op == OpWrite {
+		return t.WriteEnergyNJ
+	}
+	return t.ReadEnergyNJ
+}
+
+// PCRAM is an *extension* technology (the paper's introduction lists
+// phase-change RAM as the other emerging candidate with an even harsher
+// write asymmetry). The values are representative 32nm estimates in the
+// spirit of Table 2 — denser and lower-leakage than STT-RAM, with reads a
+// couple of cycles slower and writes roughly 5x longer. Used by the
+// write-latency inflection ablation to show how far the network-level
+// scheme scales as the write penalty grows.
+var PCRAM = Tech{
+	Name:           "PCRAM",
+	CapacityMB:     16,
+	AreaMM2:        3.2,
+	ReadEnergyNJ:   0.40,
+	WriteEnergyNJ:  1.50,
+	LeakagePowerMW: 90.0,
+	ReadLatencyNS:  2.0,
+	WriteLatencyNS: 50.0,
+	ReadCycles:     6,
+	WriteCycles:    150,
+}
+
+// WithWriteCycles returns a copy of the technology with the bank write
+// service time replaced — the knob of the write-latency sensitivity sweep.
+func (t Tech) WithWriteCycles(cycles uint64) Tech {
+	t.WriteCycles = cycles
+	t.WriteLatencyNS = float64(cycles) / 3.0
+	t.Name = t.Name + "*"
+	return t
+}

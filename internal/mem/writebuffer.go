@@ -1,0 +1,87 @@
+package mem
+
+// bufEntry is one pending write held in the SRAM write buffer.
+type bufEntry struct {
+	addr     uint64
+	inserted uint64 // cycle the write entered the buffer
+}
+
+// WriteBuffer is the per-bank SRAM write buffer of Sun et al. (HPCA'09),
+// evaluated as the BUFF-20 baseline in Section 4.4 of the paper. Incoming
+// writes complete into the buffer at SRAM speed; the bank drains entries into
+// the STT-RAM array during idle periods; reads probe the buffer in parallel
+// with the array.
+type WriteBuffer struct {
+	capacity int
+	entries  []bufEntry
+	present  map[uint64]int // addr -> count of buffered writes to addr
+}
+
+// NewWriteBuffer returns a buffer holding up to capacity pending writes.
+// capacity must be positive; NewWriteBuffer panics otherwise, since the
+// buffer size is a fixed design parameter.
+func NewWriteBuffer(capacity int) *WriteBuffer {
+	if capacity <= 0 {
+		panic("mem: write buffer capacity must be positive")
+	}
+	return &WriteBuffer{
+		capacity: capacity,
+		present:  make(map[uint64]int, capacity),
+	}
+}
+
+// Capacity returns the configured entry count.
+func (w *WriteBuffer) Capacity() int { return w.capacity }
+
+// Len returns the number of buffered writes.
+func (w *WriteBuffer) Len() int { return len(w.entries) }
+
+// Empty reports whether the buffer holds no writes.
+func (w *WriteBuffer) Empty() bool { return len(w.entries) == 0 }
+
+// Full reports whether the buffer cannot accept another write.
+func (w *WriteBuffer) Full() bool { return len(w.entries) >= w.capacity }
+
+// Push appends a write. It panics when full: callers must check Full first
+// (the bank falls back to a direct array write in that case).
+func (w *WriteBuffer) Push(addr, now uint64) {
+	if w.Full() {
+		panic("mem: push into full write buffer")
+	}
+	w.entries = append(w.entries, bufEntry{addr: addr, inserted: now})
+	w.present[addr]++
+}
+
+// Pop removes and returns the oldest buffered write for draining into the
+// array. It returns nil when empty.
+func (w *WriteBuffer) Pop() *bufEntry {
+	if len(w.entries) == 0 {
+		return nil
+	}
+	e := w.entries[0]
+	copy(w.entries, w.entries[1:])
+	w.entries = w.entries[:len(w.entries)-1]
+	w.decrement(e.addr)
+	return &e
+}
+
+// Restore returns a popped entry to the head of the buffer after its drain
+// was preempted by a read.
+func (w *WriteBuffer) Restore(e *bufEntry) {
+	w.entries = append([]bufEntry{*e}, w.entries...)
+	w.present[e.addr]++
+}
+
+// Probe reports whether a write to addr is buffered (a read hit in the
+// buffer, served at SRAM speed).
+func (w *WriteBuffer) Probe(addr uint64) bool {
+	return w.present[addr] > 0
+}
+
+func (w *WriteBuffer) decrement(addr uint64) {
+	if n := w.present[addr]; n <= 1 {
+		delete(w.present, addr)
+	} else {
+		w.present[addr] = n - 1
+	}
+}

@@ -1,0 +1,65 @@
+package noc
+
+import "fmt"
+
+// CheckInvariants audits the network's internal consistency and returns the
+// first violation found, or nil. It verifies, for every link:
+//
+//   - credit conservation: the upstream credit count plus the flits buffered
+//     in the downstream VC equals the buffer depth;
+//   - VC ownership: a VC holding flits belongs to exactly one packet, its
+//     header is first (when present), and a free VC holds no flits;
+//   - occupancy counters: the router's fast-path counters agree with the
+//     actual buffer contents.
+//
+// The simulator's tests call this after traffic storms; it is cheap enough
+// to call every few thousand cycles in long soak runs.
+func (n *Network) CheckInvariants() error {
+	for id := NodeID(0); id < NumNodes; id++ {
+		r := n.routers[id]
+		buffered := 0
+		needVC := 0
+		for port := Port(0); port < NumPorts; port++ {
+			ip := r.in[port]
+			if ip == nil {
+				continue
+			}
+			for vc := range ip.vcs {
+				st := &ip.vcs[vc]
+				buffered += len(st.buf)
+				if st.pkt != nil && st.outVC < 0 {
+					needVC++
+				}
+				if st.pkt == nil && len(st.buf) > 0 {
+					return fmt.Errorf("noc: router %d port %s vc %d holds %d flits with no owner",
+						id, port, vc, len(st.buf))
+				}
+				for i := range st.buf {
+					if st.buf[i].Pkt != st.pkt {
+						return fmt.Errorf("noc: router %d port %s vc %d has interleaved packets",
+							id, port, vc)
+					}
+				}
+				// Credit conservation against the feeder.
+				if ip.feeder != nil {
+					if got := ip.feeder.credits[vc] + len(st.buf); got != n.bufDepth {
+						return fmt.Errorf("noc: router %d port %s vc %d credits+buffered = %d, want %d",
+							id, port, vc, got, n.bufDepth)
+					}
+					if ip.feeder.credits[vc] < 0 {
+						return fmt.Errorf("noc: router %d port %s vc %d negative credits", id, port, vc)
+					}
+				}
+			}
+		}
+		if buffered != r.bufferedFlits {
+			return fmt.Errorf("noc: router %d counter says %d buffered flits, found %d",
+				id, r.bufferedFlits, buffered)
+		}
+		if needVC != r.needVC {
+			return fmt.Errorf("noc: router %d counter says %d VCs awaiting allocation, found %d",
+				id, r.needVC, needVC)
+		}
+	}
+	return nil
+}

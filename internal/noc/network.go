@@ -1,0 +1,327 @@
+package noc
+
+import (
+	"fmt"
+
+	"sttsim/internal/stats"
+)
+
+// DefaultVCsPerClass partitions the 6 VCs per port of Table 1 across the
+// three virtual networks: requests get three (they carry the bursty 9-flit
+// writeback traffic and are where the bank-aware re-ordering needs slack),
+// responses two, coherence one. The "+1 VC" design point of Section 4.4
+// grants the request class a fourth.
+var DefaultVCsPerClass = []int{3, 2, 1}
+
+// WatchdogCycles is how long the network may hold in-flight packets without
+// moving a single flit before it declares a deadlock. Generously above any
+// legitimate stall (a full DRAM round trip is 320 cycles).
+const WatchdogCycles = 50000
+
+// Config describes a network instance.
+type Config struct {
+	// Routing is the routing function (required).
+	Routing *Routing
+	// VCsPerClass is the per-virtual-network VC count; nil means
+	// DefaultVCsPerClass.
+	VCsPerClass []int
+	// BufDepth is the per-VC buffer depth in flits; 0 means DefaultBufDepth.
+	BufDepth int
+	// WideTSBs lists core-layer nodes whose down-link is a 256-bit TSB
+	// carrying two flits per cycle (the region TSBs with flit combining).
+	WideTSBs []NodeID
+	// Prioritizer, when non-nil, is consulted by every router's VA and SA
+	// stages; internal/core provides the STT-RAM-aware implementation.
+	Prioritizer Prioritizer
+}
+
+// NetStats aggregates network-wide activity.
+type NetStats struct {
+	PacketsInjected  uint64
+	PacketsDelivered uint64
+	FlitsDelivered   uint64
+	LinkFlits        uint64 // intra-layer 128-bit link traversals
+	TSVFlits         uint64 // 128-bit vertical via traversals
+	TSBFlits         uint64 // 256-bit region TSB traversals
+	LocalFlits       uint64 // ejections into a NIC
+	BufferWrites     uint64
+	Latency          [NumClasses]stats.Accumulator
+	KindLatency      [numKinds]stats.Accumulator
+	Hops             stats.Accumulator
+}
+
+// Network is the full 128-node, two-layer interconnect.
+type Network struct {
+	routers [NumNodes]*Router
+	nics    [NumNodes]*NIC
+
+	routing     *Routing
+	prioritizer Prioritizer
+
+	numVCs   int
+	bufDepth int
+	classLo  [NumClasses]int
+	classHi  [NumClasses]int
+
+	stats    NetStats
+	inflight int
+	lastMove uint64
+	nextID   uint64
+}
+
+// NewNetwork wires up routers, links, TSVs, TSBs and NICs per the config.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.Routing == nil {
+		return nil, fmt.Errorf("noc: config requires a routing function")
+	}
+	vcs := cfg.VCsPerClass
+	if vcs == nil {
+		vcs = DefaultVCsPerClass
+	}
+	if len(vcs) != int(NumClasses) {
+		return nil, fmt.Errorf("noc: VCsPerClass needs %d entries, got %d", NumClasses, len(vcs))
+	}
+	n := &Network{
+		routing:     cfg.Routing,
+		prioritizer: cfg.Prioritizer,
+		bufDepth:    cfg.BufDepth,
+	}
+	if n.bufDepth == 0 {
+		n.bufDepth = DefaultBufDepth
+	}
+	for c := 0; c < int(NumClasses); c++ {
+		if vcs[c] <= 0 {
+			return nil, fmt.Errorf("noc: class %d has no VCs", c)
+		}
+		n.classLo[c] = n.numVCs
+		n.numVCs += vcs[c]
+		n.classHi[c] = n.numVCs
+	}
+
+	wide := make(map[NodeID]bool, len(cfg.WideTSBs))
+	for _, t := range cfg.WideTSBs {
+		if !t.Valid() || t.Layer() != 0 {
+			return nil, fmt.Errorf("noc: wide TSB %d is not a core-layer node", t)
+		}
+		wide[t] = true
+	}
+
+	// Pass 1: routers and their input ports.
+	for id := NodeID(0); id < NumNodes; id++ {
+		r := &Router{id: id, net: n}
+		r.in[PortLocal] = n.newInputPort()
+		for p := Port(0); p < NumPorts; p++ {
+			if p == PortLocal {
+				continue
+			}
+			if Neighbor(id, p) >= 0 {
+				r.in[p] = n.newInputPort()
+			}
+		}
+		n.routers[id] = r
+	}
+
+	// Pass 2: output links, including the local ejection port, and credit
+	// wiring back into the downstream input ports.
+	for id := NodeID(0); id < NumNodes; id++ {
+		r := n.routers[id]
+		for p := Port(0); p < NumPorts; p++ {
+			if p == PortLocal {
+				r.out[p] = n.newOutLink(p, nil, PortLocal, 1, false)
+				continue
+			}
+			nb := Neighbor(id, p)
+			if nb < 0 {
+				continue
+			}
+			width := 1
+			isTSV := p == PortUp || p == PortDown
+			if p == PortDown && wide[id] {
+				width = 2
+			}
+			ol := n.newOutLink(p, n.routers[nb], p.Opposite(), width, isTSV)
+			r.out[p] = ol
+			n.routers[nb].in[p.Opposite()].feeder = ol
+		}
+	}
+
+	// Pass 3: NICs, each feeding its router's local input port.
+	for id := NodeID(0); id < NumNodes; id++ {
+		r := n.routers[id]
+		inj := n.newOutLink(PortLocal, r, PortLocal, 1, false)
+		r.in[PortLocal].feeder = inj
+		n.nics[id] = &NIC{
+			id:      id,
+			net:     n,
+			router:  r,
+			inj:     inj,
+			pending: make(map[*Packet]int),
+		}
+	}
+	return n, nil
+}
+
+func (n *Network) newInputPort() *inputPort {
+	ip := &inputPort{vcs: make([]vcState, n.numVCs)}
+	for v := range ip.vcs {
+		ip.vcs[v].outVC = -1
+	}
+	return ip
+}
+
+func (n *Network) newOutLink(src Port, dst *Router, dstPort Port, width int, isTSV bool) *outLink {
+	ol := &outLink{
+		srcPort:  src,
+		dst:      dst,
+		dstPort:  dstPort,
+		width:    width,
+		isTSV:    isTSV,
+		credits:  make([]int, n.numVCs),
+		busy:     make([]bool, n.numVCs),
+		tailSent: make([]bool, n.numVCs),
+	}
+	for v := range ol.credits {
+		ol.credits[v] = n.bufDepth
+	}
+	return ol
+}
+
+// classVCRange returns the half-open VC index range assigned to class c.
+func (n *Network) classVCRange(c Class) (lo, hi int) {
+	return n.classLo[c], n.classHi[c]
+}
+
+// NumVCs returns the total VC count per port.
+func (n *Network) NumVCs() int { return n.numVCs }
+
+// BufDepth returns the per-VC buffer depth in flits.
+func (n *Network) BufDepth() int { return n.bufDepth }
+
+// Routing returns the network's routing function.
+func (n *Network) Routing() *Routing { return n.routing }
+
+// Router returns the router at node id.
+func (n *Network) Router(id NodeID) *Router { return n.routers[id] }
+
+// NIC returns the network interface at node id.
+func (n *Network) NIC(id NodeID) *NIC { return n.nics[id] }
+
+// SetDeliver registers the packet sink for node id.
+func (n *Network) SetDeliver(id NodeID, fn DeliverFunc) { n.nics[id].SetDeliver(fn) }
+
+// Stats returns a copy of the accumulated network statistics.
+func (n *Network) Stats() NetStats { return n.stats }
+
+// ResetStats clears the accumulated statistics (used at the end of warmup);
+// in-flight packets are unaffected.
+func (n *Network) ResetStats() { n.stats = NetStats{} }
+
+// InFlight returns the number of packets injected but not yet delivered.
+func (n *Network) InFlight() int { return n.inflight }
+
+// SizeFor returns the default flit count for a packet kind; KindMemReq
+// defaults to a 1-flit read (callers set 9 for dirty writebacks).
+func SizeFor(k Kind) int {
+	switch k {
+	case KindWriteReq, KindReadResp, KindMemResp:
+		return DataPacketFlits
+	default:
+		return AddrPacketFlits
+	}
+}
+
+// ClassFor returns the virtual network a packet kind travels on.
+func ClassFor(k Kind) Class {
+	switch k {
+	case KindReadReq, KindWriteReq, KindMemReq:
+		return ClassReq
+	case KindReadResp, KindWriteAck, KindMemResp:
+		return ClassResp
+	default:
+		return ClassCoh
+	}
+}
+
+// Inject hands a packet to the source NIC at cycle now. Missing SizeFlits
+// and Class fields are filled from the packet kind.
+func (n *Network) Inject(p *Packet, now uint64) {
+	if !p.Src.Valid() || !p.Dst.Valid() {
+		panic(fmt.Sprintf("noc: inject with invalid endpoints %d -> %d", p.Src, p.Dst))
+	}
+	n.nextID++
+	p.ID = n.nextID
+	if p.SizeFlits == 0 {
+		p.SizeFlits = SizeFor(p.Kind)
+	}
+	p.Class = ClassFor(p.Kind)
+	p.Injected = now
+	n.inflight++
+	n.stats.PacketsInjected++
+	if p.Src == p.Dst {
+		// Degenerate local delivery: skip the network entirely.
+		p.Ejected = now
+		n.onDelivered(p, now)
+		if fn := n.nics[p.Src].deliver; fn != nil {
+			fn(p, now)
+		}
+		return
+	}
+	n.nics[p.Src].enqueue(p)
+}
+
+// onDelivered updates the delivery statistics.
+func (n *Network) onDelivered(p *Packet, now uint64) {
+	n.inflight--
+	n.stats.PacketsDelivered++
+	n.stats.FlitsDelivered += uint64(p.SizeFlits)
+	n.stats.Latency[p.Class].Observe(float64(p.NetworkLatency()))
+	n.stats.KindLatency[p.Kind].Observe(float64(p.NetworkLatency()))
+	n.stats.Hops.Observe(float64(p.Hops))
+	n.lastMove = now
+}
+
+// countTraversal classifies one flit-link traversal for the energy model.
+func (n *Network) countTraversal(ol *outLink) {
+	switch {
+	case ol.dst == nil:
+		n.stats.LocalFlits++
+	case ol.isTSV && ol.width > 1:
+		n.stats.TSBFlits++
+	case ol.isTSV:
+		n.stats.TSVFlits++
+	default:
+		n.stats.LinkFlits++
+	}
+}
+
+// priority consults the prioritizer (0 when none is configured).
+func (n *Network) priority(at NodeID, p *Packet, now uint64) int {
+	if n.prioritizer == nil {
+		return 0
+	}
+	return n.prioritizer.Priority(at, p, now)
+}
+
+// Tick advances the network one cycle: NICs first (ejection + injection),
+// then every router's SA and VA stages. The fixed iteration order keeps runs
+// bit-for-bit reproducible.
+func (n *Network) Tick(now uint64) {
+	for id := NodeID(0); id < NumNodes; id++ {
+		n.nics[id].tick(now)
+	}
+	for id := NodeID(0); id < NumNodes; id++ {
+		r := n.routers[id]
+		r.switchAlloc(now)
+		r.vcAlloc(now)
+	}
+	if n.inflight > 0 && now > n.lastMove && now-n.lastMove > WatchdogCycles {
+		panic(fmt.Sprintf("noc: deadlock watchdog: %d packets in flight, no flit movement since cycle %d (now %d)",
+			n.inflight, n.lastMove, now))
+	}
+}
+
+// Occupancy returns the used/total input-buffer slots at node id (the RCA
+// estimator's raw congestion signal).
+func (n *Network) Occupancy(id NodeID) (used, capacity int) {
+	return n.routers[id].occupancy()
+}

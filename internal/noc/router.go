@@ -1,0 +1,348 @@
+package noc
+
+import "fmt"
+
+// PriorityHold marks a packet that must not be served at all this cycle:
+// the paper's parent routers hold requests to busy banks in the router
+// buffers so they land just as the bank frees (Section 3.5), rather than
+// merely losing arbitration.
+const PriorityHold = 1 << 30
+
+// Prioritizer is the hook through which the STT-RAM-aware arbitration of
+// internal/core plugs into the router's VA and SA stages. A nil Prioritizer
+// yields the paper's baseline: plain round-robin arbitration.
+type Prioritizer interface {
+	// Priority classifies packet p competing for arbitration at router `at`
+	// in cycle now. Lower values win; equal values fall back to round-robin.
+	// The baseline returns 0 for everything; the bank-aware policy returns 1
+	// ("delay me") for requests headed to busy child banks.
+	Priority(at NodeID, p *Packet, now uint64) int
+	// OnForward is invoked when the header flit of packet p is granted the
+	// switch at router `at` (i.e. the packet is being forwarded). Parent
+	// routers use it to charge their child-bank busy tables and to apply
+	// window-based timestamps.
+	OnForward(at NodeID, p *Packet, now uint64)
+}
+
+// vcState is one virtual channel of one input port.
+type vcState struct {
+	buf []Flit // FIFO of buffered flits
+
+	pkt     *Packet // packet currently holding this VC (nil when idle)
+	outPort Port    // route computed from the header (valid when pkt != nil)
+	outVC   int     // downstream VC granted by VA; -1 until allocated
+}
+
+func (v *vcState) empty() bool { return len(v.buf) == 0 }
+
+func (v *vcState) head() *Flit {
+	if len(v.buf) == 0 {
+		return nil
+	}
+	return &v.buf[0]
+}
+
+func (v *vcState) pop() Flit {
+	f := v.buf[0]
+	copy(v.buf, v.buf[1:])
+	v.buf = v.buf[:len(v.buf)-1]
+	return f
+}
+
+// inputPort is one input port: a set of VCs plus a back-pointer to the
+// upstream outLink feeding it (for credit returns).
+type inputPort struct {
+	vcs    []vcState
+	feeder *outLink // nil for ports with no incoming link
+}
+
+// outLink is one output port and the link it drives, including the
+// credit/allocation state of the downstream input port's VCs.
+type outLink struct {
+	srcPort Port
+	dst     *Router // nil for the local ejection port
+	dstPort Port
+	width   int // flits per cycle (2 for the 256-bit region TSBs)
+	isTSV   bool
+
+	credits  []int  // free buffer slots per downstream VC
+	busy     []bool // downstream VC currently owned by an in-flight packet
+	tailSent []bool // tail forwarded; VC frees once its credits all return
+	rr       int    // SA round-robin pointer
+}
+
+// Router is one 2-stage wormhole router.
+type Router struct {
+	id  NodeID
+	in  [NumPorts]*inputPort
+	out [NumPorts]*outLink
+	net *Network
+	va  int // VA round-robin pointer over input VCs
+
+	// Fast-path occupancy counters so idle routers cost almost nothing.
+	bufferedFlits int // flits across all input VCs
+	needVC        int // input VCs holding a header awaiting VC allocation
+}
+
+// ID returns the router's node ID.
+func (r *Router) ID() NodeID { return r.id }
+
+// numVCs returns the per-port VC count.
+func (r *Router) numVCs() int { return r.net.numVCs }
+
+// acceptFlit buffers a flit arriving on (port, vc). The header flit claims
+// the VC and has its route computed (the RC stage).
+func (r *Router) acceptFlit(port Port, vc int, f Flit) {
+	ip := r.in[port]
+	st := &ip.vcs[vc]
+	if len(st.buf) >= r.net.bufDepth {
+		panic(fmt.Sprintf("noc: buffer overflow at router %d port %s vc %d (credit protocol violated)", r.id, port, vc))
+	}
+	if f.IsHead() {
+		if st.pkt != nil {
+			panic(fmt.Sprintf("noc: VC %d:%s:%d already owned when header of packet %d arrived", r.id, port, vc, f.Pkt.ID))
+		}
+		st.pkt = f.Pkt
+		st.outPort = r.net.routing.NextPort(r.id, f.Pkt)
+		st.outVC = -1
+		r.needVC++
+	}
+	st.buf = append(st.buf, f)
+	r.bufferedFlits++
+	r.net.stats.BufferWrites++
+}
+
+// vcAlloc runs the VA stage: headers whose packets do not yet own a
+// downstream VC try to claim a free one in their class. Candidates are
+// served in priority order (bank-aware policy first), round-robin within a
+// priority level.
+func (r *Router) vcAlloc(now uint64) {
+	if r.needVC == 0 {
+		return
+	}
+	total := int(NumPorts) * r.numVCs()
+	// Two passes: priority 0 candidates first, then the delayed ones.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < total; i++ {
+			idx := (r.va + i) % total
+			port := Port(idx / r.numVCs())
+			vc := idx % r.numVCs()
+			ip := r.in[port]
+			if ip == nil {
+				continue
+			}
+			st := &ip.vcs[vc]
+			if st.pkt == nil || st.outVC >= 0 || st.empty() {
+				continue
+			}
+			h := st.head()
+			if !h.IsHead() || now < h.readyAt {
+				continue
+			}
+			prio := r.net.priority(r.id, st.pkt, now)
+			if prio >= PriorityHold {
+				// Held at this router: do not even reserve a downstream VC.
+				continue
+			}
+			if (pass == 0) != (prio == 0) {
+				continue
+			}
+			ol := r.out[st.outPort]
+			if ol == nil {
+				panic(fmt.Sprintf("noc: packet %d routed to missing port %s at router %d", st.pkt.ID, st.outPort, r.id))
+			}
+			if v := ol.allocVC(st.pkt.Class, r.net); v >= 0 {
+				st.outVC = v
+				r.needVC--
+			}
+		}
+	}
+	r.va++
+}
+
+// allocVC claims a free downstream VC in the given class, returning its
+// index or -1. A VC whose previous packet's tail has been sent becomes free
+// again once all its credits have returned (the downstream buffer drained),
+// which prevents a new header from arriving behind a still-buffered tail.
+func (l *outLink) allocVC(c Class, n *Network) int {
+	lo, hi := n.classVCRange(c)
+	for v := lo; v < hi; v++ {
+		if l.busy[v] && l.tailSent[v] && l.credits[v] == n.bufDepth {
+			l.busy[v] = false
+			l.tailSent[v] = false
+		}
+		if !l.busy[v] {
+			l.busy[v] = true
+			return v
+		}
+	}
+	return -1
+}
+
+// saCandidate is one (port, vc) pair competing for an output port.
+type saCandidate struct {
+	port Port
+	vc   int
+	prio int
+}
+
+// switchAlloc runs the SA+ST stages: for every output port, pick up to
+// `width` winners among ready flits and move them across the link.
+func (r *Router) switchAlloc(now uint64) {
+	if r.bufferedFlits == 0 {
+		return
+	}
+	var cands [NumPorts][]saCandidate
+	for port := Port(0); port < NumPorts; port++ {
+		ip := r.in[port]
+		if ip == nil {
+			continue
+		}
+		for vc := range ip.vcs {
+			st := &ip.vcs[vc]
+			if st.pkt == nil || st.outVC < 0 || st.empty() {
+				continue
+			}
+			h := st.head()
+			// The flit spends at least one cycle in stage 1 (RC/VA) before
+			// competing for the switch in stage 2.
+			if now < h.readyAt+1 {
+				continue
+			}
+			ol := r.out[st.outPort]
+			if ol.credits[st.outVC] <= 0 {
+				continue
+			}
+			if st.outPort == PortLocal && !r.net.nics[r.id].canEject(st.pkt.Class) {
+				// The node interface is full for this class: hold the flit
+				// in the router (backpressure into the network).
+				continue
+			}
+			cands[st.outPort] = append(cands[st.outPort], saCandidate{
+				port: port,
+				vc:   vc,
+				prio: r.net.priority(r.id, st.pkt, now),
+			})
+		}
+	}
+	for port := Port(0); port < NumPorts; port++ {
+		ol := r.out[port]
+		if ol == nil || len(cands[port]) == 0 {
+			continue
+		}
+		list := cands[port]
+		for slot := 0; slot < ol.width && len(list) > 0; slot++ {
+			win := pickWinner(list, ol.rr, r.numVCs())
+			c := list[win]
+			ol.rr = int(c.port)*r.numVCs() + c.vc + 1
+			r.forward(c.port, c.vc, ol, now)
+			// On wide TSBs a second flit of the same packet may be combined
+			// into this cycle (the XShare-style 2x128b transfer of Section
+			// 3.4); keep the VC in the list while it still has a ready flit.
+			st := &r.in[c.port].vcs[c.vc]
+			if st.pkt != nil && st.outVC >= 0 && !st.empty() &&
+				now >= st.head().readyAt+1 && ol.credits[st.outVC] > 0 {
+				list[win] = c
+			} else {
+				list = append(list[:win], list[win+1:]...)
+			}
+		}
+		cands[port] = nil
+	}
+}
+
+// pickWinner selects the candidate with the lowest priority value, breaking
+// ties round-robin starting from pointer rr (an index into the port*vc
+// space).
+func pickWinner(list []saCandidate, rr, numVCs int) int {
+	best := -1
+	bestPrio := 0
+	bestDist := 0
+	total := int(NumPorts) * numVCs
+	for i, c := range list {
+		idx := int(c.port)*numVCs + c.vc
+		dist := (idx - rr + total) % total
+		if best == -1 || c.prio < bestPrio || (c.prio == bestPrio && dist < bestDist) {
+			best, bestPrio, bestDist = i, c.prio, dist
+		}
+	}
+	return best
+}
+
+// forward moves the head flit of (port, vc) through output link ol at cycle
+// now: switch traversal this cycle, link traversal next, arrival the cycle
+// after (HopLatency total per hop including the stage-1 cycle).
+func (r *Router) forward(port Port, vc int, ol *outLink, now uint64) {
+	ip := r.in[port]
+	st := &ip.vcs[vc]
+	f := st.pop()
+	r.bufferedFlits--
+	outVC := st.outVC
+
+	// Return a credit upstream for the freed buffer slot.
+	if ip.feeder != nil {
+		ip.feeder.credits[vc]++
+	}
+
+	if f.IsHead() {
+		f.Pkt.Hops++
+		if pr := r.net.prioritizer; pr != nil {
+			pr.OnForward(r.id, f.Pkt, now)
+		}
+	}
+
+	ol.credits[outVC]--
+	r.net.countTraversal(ol)
+
+	if f.Tail {
+		// Tail releases this input VC immediately; the downstream VC
+		// ownership is released lazily once its buffer drains (see allocVC).
+		ol.tailSent[outVC] = true
+		st.pkt = nil
+		st.outVC = -1
+	}
+
+	f.readyAt = now + 2 // ST this cycle, link next; available downstream after
+	if ol.dst == nil {
+		r.net.nics[r.id].receive(f, now+2)
+		// The NIC sinks ejected flits unconditionally; return the credit now.
+		ol.credits[outVC]++
+	} else {
+		ol.dst.acceptFlit(ol.dstPort, outVC, f)
+	}
+	r.net.lastMove = now
+}
+
+// occupancy returns the used and total flit-buffer slots of the router, the
+// raw material for the RCA congestion estimate.
+func (r *Router) occupancy() (used, capacity int) {
+	for port := Port(0); port < NumPorts; port++ {
+		ip := r.in[port]
+		if ip == nil {
+			continue
+		}
+		for vc := range ip.vcs {
+			used += len(ip.vcs[vc].buf)
+			capacity += r.net.bufDepth
+		}
+	}
+	return used, capacity
+}
+
+// ForEachBufferedPacket invokes fn once per packet currently occupying one of
+// the router's input VCs (the header may already be partially forwarded for
+// in-flight wormholes; such packets are still reported). Used by the
+// characterization experiments (Figure 3, Figure 13).
+func (r *Router) ForEachBufferedPacket(fn func(*Packet)) {
+	for port := Port(0); port < NumPorts; port++ {
+		ip := r.in[port]
+		if ip == nil {
+			continue
+		}
+		for vc := range ip.vcs {
+			if p := ip.vcs[vc].pkt; p != nil && !ip.vcs[vc].empty() {
+				fn(p)
+			}
+		}
+	}
+}

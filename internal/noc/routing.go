@@ -1,0 +1,199 @@
+package noc
+
+import "fmt"
+
+// RequestPathMode selects how core-to-cache demand requests reach the cache
+// layer (the 64TSB vs 4TSB design axis of Section 4.1).
+type RequestPathMode int
+
+const (
+	// PathAllTSVs lets a request descend through its source node's own TSV
+	// (Z-X-Y routing); all 64 vertical links carry requests.
+	PathAllTSVs RequestPathMode = iota
+	// PathRegionTSBs forces all requests to a cache bank through the single
+	// high-density TSB serving that bank's logical region (Section 3.4),
+	// creating the serialization points the prioritization schemes need.
+	PathRegionTSBs
+)
+
+// String names the mode.
+func (m RequestPathMode) String() string {
+	if m == PathRegionTSBs {
+		return "regionTSB"
+	}
+	return "allTSV"
+}
+
+// Routing is the deterministic routing function. Within a layer it is X-Y
+// (X first, then Y); layer transitions happen at the source column (Z-X-Y)
+// for unrestricted traffic, or at the region TSB for demand requests under
+// PathRegionTSBs.
+type Routing struct {
+	mode RequestPathMode
+	// tsbOf maps each cache-layer node to the core-layer node hosting the
+	// TSB that serves its region. Only consulted under PathRegionTSBs.
+	tsbOf [NumNodes]NodeID
+}
+
+// NewRouting builds a routing function. Under PathRegionTSBs, tsbOf must map
+// every cache-layer node (64..127) to a core-layer TSB node; NewRouting
+// returns an error otherwise. Under PathAllTSVs, tsbOf may be nil.
+func NewRouting(mode RequestPathMode, tsbOf map[NodeID]NodeID) (*Routing, error) {
+	r := &Routing{mode: mode}
+	if mode == PathRegionTSBs {
+		for n := NodeID(LayerSize); n < NumNodes; n++ {
+			t, ok := tsbOf[n]
+			if !ok {
+				return nil, fmt.Errorf("noc: no TSB assigned to cache node %d", n)
+			}
+			if !t.Valid() || t.Layer() != 0 {
+				return nil, fmt.Errorf("noc: TSB node %d for cache node %d is not in the core layer", t, n)
+			}
+			r.tsbOf[n] = t
+		}
+	}
+	return r, nil
+}
+
+// Mode returns the request-path mode.
+func (r *Routing) Mode() RequestPathMode { return r.mode }
+
+// TSBOf returns the core-layer TSB node serving cache node d (only
+// meaningful under PathRegionTSBs).
+func (r *Routing) TSBOf(d NodeID) NodeID { return r.tsbOf[d] }
+
+// isDemandRequest reports whether the packet is a core-to-cache demand
+// request, the only traffic restricted to region TSBs. Coherence traffic,
+// responses, and memory traffic use all 64 TSVs (Section 3.4).
+func isDemandRequest(p *Packet) bool {
+	return p.Kind == KindReadReq || p.Kind == KindWriteReq
+}
+
+// XYNext returns the port taking one X-Y step from node at toward the
+// same-layer node dst (PortLocal when already there). It panics if the nodes
+// are on different layers, since that is a routing-logic error.
+func XYNext(at, dst NodeID) Port {
+	if at.Layer() != dst.Layer() {
+		panic("noc: XYNext across layers")
+	}
+	switch {
+	case at.X() < dst.X():
+		return PortEast
+	case at.X() > dst.X():
+		return PortWest
+	case at.Y() < dst.Y():
+		return PortNorth
+	case at.Y() > dst.Y():
+		return PortSouth
+	default:
+		return PortLocal
+	}
+}
+
+// Neighbor returns the node reached by leaving at through port p, or -1 when
+// the port exits the mesh (edge ports, or vertical ports that do not exist).
+func Neighbor(at NodeID, p Port) NodeID {
+	x, y, layer := at.X(), at.Y(), at.Layer()
+	switch p {
+	case PortNorth:
+		if y+1 >= MeshDim {
+			return -1
+		}
+		return NodeAt(layer, x, y+1)
+	case PortSouth:
+		if y-1 < 0 {
+			return -1
+		}
+		return NodeAt(layer, x, y-1)
+	case PortEast:
+		if x+1 >= MeshDim {
+			return -1
+		}
+		return NodeAt(layer, x+1, y)
+	case PortWest:
+		if x-1 < 0 {
+			return -1
+		}
+		return NodeAt(layer, x-1, y)
+	case PortDown:
+		if layer != 0 {
+			return -1
+		}
+		return at.Below()
+	case PortUp:
+		if layer != 1 {
+			return -1
+		}
+		return at.Above()
+	default:
+		return -1
+	}
+}
+
+// NextPort returns the output port packet p takes at node at.
+func (r *Routing) NextPort(at NodeID, p *Packet) Port {
+	if at == p.Dst {
+		return PortLocal
+	}
+	if at.Layer() == p.Dst.Layer() {
+		// Same layer (including a demand request that already descended
+		// through its region TSB): plain X-Y.
+		return XYNext(at, p.Dst)
+	}
+	// Cross-layer.
+	if p.Dst.Layer() == 1 {
+		// Descending. Demand requests under region routing must first reach
+		// the region TSB node in the core layer.
+		if r.mode == PathRegionTSBs && isDemandRequest(p) {
+			tsb := r.tsbOf[p.Dst]
+			if at == tsb {
+				return PortDown
+			}
+			return XYNext(at, tsb)
+		}
+		// Unrestricted: descend immediately (Z-X-Y).
+		return PortDown
+	}
+	// Ascending: all 64 TSVs available; ascend immediately (Z-X-Y).
+	return PortUp
+}
+
+// NextHop returns the node the packet moves to from at (or at itself when the
+// next port is PortLocal).
+func (r *Routing) NextHop(at NodeID, p *Packet) NodeID {
+	port := r.NextPort(at, p)
+	if port == PortLocal {
+		return at
+	}
+	n := Neighbor(at, port)
+	if n < 0 {
+		panic(fmt.Sprintf("noc: route for packet %d fell off the mesh at node %d port %s", p.ID, at, port))
+	}
+	return n
+}
+
+// Path returns the full sequence of nodes the packet visits from its source
+// to its destination, inclusive.
+func (r *Routing) Path(p *Packet) []NodeID {
+	path := []NodeID{p.Src}
+	at := p.Src
+	for at != p.Dst {
+		at = r.NextHop(at, p)
+		path = append(path, at)
+		if len(path) > 4*NumNodes {
+			panic(fmt.Sprintf("noc: routing loop for packet from %d to %d", p.Src, p.Dst))
+		}
+	}
+	return path
+}
+
+// XYPath returns the X-Y route between two same-layer nodes, inclusive of
+// both endpoints.
+func XYPath(a, b NodeID) []NodeID {
+	path := []NodeID{a}
+	for at := a; at != b; {
+		at = Neighbor(at, XYNext(at, b))
+		path = append(path, at)
+	}
+	return path
+}

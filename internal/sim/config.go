@@ -1,0 +1,177 @@
+// Package sim assembles the full system — 64 cores, the two-layer NoC, 64
+// L2 banks, 4 memory controllers, the coherence directory and the STT-RAM-
+// aware arbitration — and runs the six design scenarios of Section 4.1 over
+// the Table 3 workloads, producing the measurements every figure and table
+// of the paper's evaluation is built from.
+package sim
+
+import (
+	"fmt"
+
+	"sttsim/internal/core"
+	"sttsim/internal/cpu"
+	"sttsim/internal/mem"
+	"sttsim/internal/workload"
+)
+
+// Scheme is one of the six design scenarios of Section 4.1.
+type Scheme int
+
+const (
+	// SchemeSRAM64TSB: SRAM banks, unrestricted path diversity (baseline).
+	SchemeSRAM64TSB Scheme = iota
+	// SchemeSTT64TSB: STT-RAM banks (4x capacity, 33-cycle writes),
+	// unrestricted path diversity.
+	SchemeSTT64TSB
+	// SchemeSTT4TSB: STT-RAM banks, requests restricted to the region TSBs,
+	// no prioritization (isolates the cost of restricting path diversity).
+	SchemeSTT4TSB
+	// SchemeSTT4TSBSS: region TSBs + bank-aware arbitration with the
+	// Simplistic congestion estimator.
+	SchemeSTT4TSBSS
+	// SchemeSTT4TSBRCA: region TSBs + bank-aware arbitration with Regional
+	// Congestion Awareness.
+	SchemeSTT4TSBRCA
+	// SchemeSTT4TSBWB: region TSBs + bank-aware arbitration with the
+	// Window-Based estimator (the paper's recommended design).
+	SchemeSTT4TSBWB
+	// NumSchemes is the scenario count.
+	NumSchemes
+)
+
+var schemeNames = [NumSchemes]string{
+	"SRAM-64TSB", "STT-RAM-64TSB", "STT-RAM-4TSB",
+	"STT-RAM-4TSB-SS", "STT-RAM-4TSB-RCA", "STT-RAM-4TSB-WB",
+}
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	if s >= 0 && s < NumSchemes {
+		return schemeNames[s]
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// AllSchemes lists the six scenarios in the paper's order.
+func AllSchemes() []Scheme {
+	return []Scheme{
+		SchemeSRAM64TSB, SchemeSTT64TSB, SchemeSTT4TSB,
+		SchemeSTT4TSBSS, SchemeSTT4TSBRCA, SchemeSTT4TSBWB,
+	}
+}
+
+// Tech returns the bank technology the scheme uses.
+func (s Scheme) Tech() mem.Tech {
+	if s == SchemeSRAM64TSB {
+		return mem.SRAM
+	}
+	return mem.STTRAM
+}
+
+// Restricted reports whether requests are confined to the region TSBs.
+func (s Scheme) Restricted() bool { return s >= SchemeSTT4TSB }
+
+// Prioritized reports whether the bank-aware arbiter is active.
+func (s Scheme) Prioritized() bool { return s >= SchemeSTT4TSBSS }
+
+// Config describes one simulation run.
+type Config struct {
+	Scheme     Scheme
+	Assignment workload.Assignment
+	Seed       uint64
+
+	// WarmupCycles run before statistics are reset; MeasureCycles are then
+	// simulated and reported.
+	WarmupCycles  uint64
+	MeasureCycles uint64
+
+	// Region geometry (Section 3.4 / Figure 11); zero values mean 8
+	// staggered regions — the configuration the paper's Figure 12
+	// sensitivity study finds best and recommends.
+	Regions   int
+	Placement core.Placement
+	// placementSet records an explicit Placement choice (Placement's zero
+	// value is a valid setting).
+	PlacementSet bool
+	// Hops is the parent-child re-ordering distance (default 2).
+	Hops int
+
+	// WriteBufferEntries, when nonzero, fronts every bank with the Sun et
+	// al. SRAM write buffer (20 reproduces BUFF-20); ReadPreemption enables
+	// their read-preemptive drain abort.
+	WriteBufferEntries int
+	ReadPreemption     bool
+
+	// ExtraReqVC grants the request class one more VC (the "+1 VC" design
+	// point of Section 4.4).
+	ExtraReqVC bool
+
+	// WBWindow overrides the window-based estimator's tagging period
+	// (default 100 packets).
+	WBWindow int
+
+	// CustomTech, when non-nil, replaces the scheme's bank technology —
+	// used by the write-latency inflection ablation and the PCRAM
+	// extension. The SRAM baseline scheme ignores it.
+	CustomTech *mem.Tech
+
+	// HoldCap overrides the arbiter's hard-hold window in cycles
+	// (0 = core.HoldCap default; negative disables holds entirely,
+	// degrading the scheme to pure demotion).
+	HoldCap int
+
+	// BankQueueDepth overrides the module-interface demand-queue depth
+	// (0 = MaxBankQueue default).
+	BankQueueDepth int
+
+	// GeneratorFactory, when non-nil, supplies each core's instruction
+	// stream instead of the built-in synthetic generator — the hook trace
+	// replay (internal/trace) plugs into. missRatio is the technology-
+	// adjusted read miss ratio the built-in generator would have used.
+	GeneratorFactory func(core int, prof workload.Profile, missRatio float64) cpu.Generator
+
+	// Extensions beyond the paper's six schemes (documented in DESIGN.md):
+
+	// HybridSRAMBanks makes the first N banks SRAM while the rest use the
+	// scheme's technology — the hybrid cache architecture of the related
+	// work ([17,19]) as a comparison point. 0 disables.
+	HybridSRAMBanks int
+	// EarlyWriteTermination enables the Zhou et al. (ICCAD'09) circuit-level
+	// mitigation on every bank: array writes complete in 40-100% of the
+	// worst-case pulse.
+	EarlyWriteTermination bool
+}
+
+// BankTech resolves the bank technology for this configuration.
+func (c Config) BankTech() mem.Tech {
+	if c.CustomTech != nil && c.Scheme != SchemeSRAM64TSB {
+		return *c.CustomTech
+	}
+	return c.Scheme.Tech()
+}
+
+// withDefaults fills unset fields with the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 20000
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = 60000
+	}
+	if c.Regions == 0 {
+		c.Regions = 8
+		if !c.PlacementSet {
+			c.Placement = core.PlacementStagger
+		}
+	}
+	if c.Hops == 0 {
+		c.Hops = core.DefaultHops
+	}
+	if c.WBWindow == 0 {
+		c.WBWindow = core.WBWindow
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5717AB
+	}
+	return c
+}

@@ -1,0 +1,469 @@
+package sim
+
+import (
+	"fmt"
+
+	"sttsim/internal/cache"
+	"sttsim/internal/core"
+	"sttsim/internal/cpu"
+	"sttsim/internal/mem"
+	"sttsim/internal/noc"
+	"sttsim/internal/stats"
+	"sttsim/internal/workload"
+)
+
+// sampleInterval is how often (cycles) the Figure 3/13 router-occupancy
+// instrumentation samples the cache-layer routers.
+const sampleInterval = 50
+
+// Capacity-miss penalties: the fraction of would-be L2 hits that become
+// misses when the 4MB STT-RAM banks are replaced by 1MB SRAM banks. Table 3
+// was characterized on the STT-RAM L2, so the SRAM baseline pays this on
+// top. Commercial server workloads are the most LLC-capacity-sensitive
+// (multi-hundred-MB working sets), SPEC the least on average.
+var capacityMissPenalty = map[workload.Suite]float64{
+	workload.SuiteServer: 0.35,
+	workload.SuitePARSEC: 0.15,
+	workload.SuiteSPEC:   0.10,
+}
+
+// MaxBankQueue is the demand-request capacity of a bank's module interface;
+// beyond it, requests back up into the NIC and then the network (Section 3.1).
+const MaxBankQueue = 1
+
+// MissRatioFor adjusts a profile's (STT-RAM-characterized) L2 miss ratio for
+// the scheme's bank technology.
+func MissRatioFor(prof workload.Profile, tech mem.Tech) float64 {
+	m := prof.MissRatio()
+	if tech.CapacityMB < mem.STTRAM.CapacityMB {
+		m += capacityMissPenalty[prof.Suite] * (1 - m)
+	}
+	return m
+}
+
+// Simulator is one fully wired system instance.
+type Simulator struct {
+	cfg     Config
+	net     *noc.Network
+	cores   []*cpu.Core
+	banks   []*cache.BankController
+	mcs     map[noc.NodeID]*mcWrapper
+	layout  *core.RegionLayout
+	parents *core.ParentMap
+	arbiter *core.BankAwareArbiter
+	rca     *core.RCAEstimator
+	wb      *core.WBEstimator
+
+	now uint64
+
+	// Measurement state.
+	latency stats.LatencyBreakdown
+	gapHist *stats.Histogram
+	hopReqs [4]stats.Accumulator // buffered requests H hops from their dst, H=1..3
+	tsacks  []*noc.Packet
+}
+
+// mcWrapper adapts mem.MemController to the network: it retries quota-
+// rejected requests and turns read completions into MemResp packets.
+type mcWrapper struct {
+	node    noc.NodeID
+	mc      *mem.MemController
+	inbox   []*noc.Packet
+	pending map[uint64]*noc.Packet
+	nextID  uint64
+	outbox  []*noc.Packet
+}
+
+// New builds a simulator for the given configuration.
+func New(cfg Config) (*Simulator, error) {
+	cfg = cfg.withDefaults()
+	s := &Simulator{
+		cfg:     cfg,
+		mcs:     make(map[noc.NodeID]*mcWrapper),
+		gapHist: stats.NewGapHistogram(),
+	}
+
+	// Routing and, for the restricted schemes, the region geometry.
+	var routing *noc.Routing
+	var wide []noc.NodeID
+	var err error
+	if cfg.Scheme.Restricted() {
+		s.layout, err = core.NewRegionLayout(cfg.Regions, cfg.Placement)
+		if err != nil {
+			return nil, err
+		}
+		routing, err = noc.NewRouting(noc.PathRegionTSBs, s.layout.TSBMap())
+		if err != nil {
+			return nil, err
+		}
+		wide = s.layout.TSBCores()
+	} else {
+		routing, err = noc.NewRouting(noc.PathAllTSVs, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The bank-aware arbiter and its estimator.
+	var prioritizer noc.Prioritizer
+	if cfg.Scheme.Prioritized() {
+		s.parents, err = core.BuildParentMap(s.layout, cfg.Hops)
+		if err != nil {
+			return nil, err
+		}
+		var est core.Estimator
+		switch cfg.Scheme {
+		case SchemeSTT4TSBSS:
+			est = core.SSEstimator{}
+		case SchemeSTT4TSBRCA:
+			est = nil // wired after the network exists
+		case SchemeSTT4TSBWB:
+			s.wb = core.NewWBEstimatorWindow(cfg.WBWindow)
+			est = s.wb
+		}
+		tech := cfg.BankTech()
+		if cfg.Scheme == SchemeSTT4TSBRCA {
+			// Placeholder; replaced below once the network exists.
+			s.arbiter = nil
+		} else {
+			s.arbiter = core.NewBankAwareArbiter(s.parents, est, tech.ReadCycles, tech.WriteCycles)
+			prioritizer = s.arbiter
+		}
+	}
+
+	vcs := noc.DefaultVCsPerClass
+	if cfg.ExtraReqVC {
+		vcs = []int{noc.DefaultVCsPerClass[0] + 1, noc.DefaultVCsPerClass[1], noc.DefaultVCsPerClass[2]}
+	}
+
+	// RCA needs the network, and the network needs the prioritizer: build
+	// the network with a late-bound prioritizer shim.
+	shim := &prioritizerShim{}
+	if cfg.Scheme.Prioritized() {
+		prioritizerForNet := prioritizer
+		if prioritizerForNet == nil {
+			prioritizerForNet = shim
+		}
+		s.net, err = noc.NewNetwork(noc.Config{
+			Routing: routing, VCsPerClass: vcs, WideTSBs: wide, Prioritizer: prioritizerForNet,
+		})
+	} else {
+		s.net, err = noc.NewNetwork(noc.Config{Routing: routing, VCsPerClass: vcs, WideTSBs: wide})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Scheme == SchemeSTT4TSBRCA {
+		s.rca = core.NewRCAEstimator(s.net)
+		tech := cfg.BankTech()
+		s.arbiter = core.NewBankAwareArbiter(s.parents, s.rca, tech.ReadCycles, tech.WriteCycles)
+		shim.p = s.arbiter
+	}
+	if s.arbiter != nil {
+		s.arbiter.AttachNetwork(s.net)
+		if cfg.HoldCap != 0 {
+			s.arbiter.SetHoldCap(cfg.HoldCap)
+		}
+	}
+
+	// Cores with their workload generators; the miss ratio reflects the
+	// scheme's L2 capacity. A GeneratorFactory (e.g. trace replay) replaces
+	// the synthetic streams but keeps the same prewarming footprint.
+	s.cores = make([]*cpu.Core, noc.LayerSize)
+	gens := make([]*workload.Generator, noc.LayerSize)
+	for i := 0; i < noc.LayerSize; i++ {
+		prof := cfg.Assignment.Profiles[i]
+		miss := MissRatioFor(prof, cfg.BankTech())
+		gens[i] = workload.NewGeneratorMiss(prof, i, cfg.Assignment.Mode, cfg.Seed, miss)
+		var gen cpu.Generator = gens[i]
+		if cfg.GeneratorFactory != nil {
+			gen = cfg.GeneratorFactory(i, prof, miss)
+		}
+		s.cores[i] = cpu.NewCore(i, gen)
+	}
+
+	// Banks (optionally write-buffered, optionally hybrid) and memory
+	// controllers.
+	tech := cfg.BankTech()
+	s.banks = make([]*cache.BankController, noc.LayerSize)
+	for i := 0; i < noc.LayerSize; i++ {
+		node := noc.NodeID(i) + noc.LayerSize
+		bankTech := tech
+		if i < cfg.HybridSRAMBanks {
+			bankTech = mem.SRAM
+		}
+		var bank *mem.Bank
+		if cfg.WriteBufferEntries > 0 {
+			bank = mem.NewBufferedBank(bankTech, cfg.WriteBufferEntries, cfg.ReadPreemption)
+		} else {
+			bank = mem.NewBank(bankTech)
+		}
+		if cfg.EarlyWriteTermination {
+			bank.EnableEarlyTermination(cfg.Seed ^ uint64(i)*0x9E3779B97F4A7C15)
+		}
+		s.banks[i] = cache.NewBankController(node, bank)
+		s.banks[i].SetGapHistogram(s.gapHist)
+		if s.arbiter != nil && i < cfg.HybridSRAMBanks {
+			// The parent's busy estimate must use the hybrid bank's short
+			// writes, not the STT-RAM worst case.
+			s.arbiter.SetChildWriteCycles(node, mem.SRAM.WriteCycles)
+		}
+	}
+	for i, node := range cache.MCNodes {
+		s.mcs[node] = &mcWrapper{
+			node:    node,
+			mc:      mem.NewMemController(i),
+			pending: make(map[uint64]*noc.Packet),
+		}
+	}
+
+	// Prewarm the L2 tags with every generator's hot footprint so hit rates
+	// match the Table 3 characterization from the first measured cycle.
+	for _, g := range gens {
+		for _, lineAddr := range g.HotFootprint() {
+			addr := cache.AddrOfLine(lineAddr)
+			s.banks[cache.HomeBank(addr)].Preload(lineAddr)
+		}
+	}
+
+	s.wireDelivery()
+	return s, nil
+}
+
+// prioritizerShim lets the RCA arbiter be installed after network
+// construction.
+type prioritizerShim struct{ p noc.Prioritizer }
+
+func (s *prioritizerShim) Priority(at noc.NodeID, p *noc.Packet, now uint64) int {
+	if s.p == nil {
+		return 0
+	}
+	return s.p.Priority(at, p, now)
+}
+
+func (s *prioritizerShim) OnForward(at noc.NodeID, p *noc.Packet, now uint64) {
+	if s.p != nil {
+		s.p.OnForward(at, p, now)
+	}
+}
+
+// wireDelivery registers the per-node packet sinks.
+func (s *Simulator) wireDelivery() {
+	for i := 0; i < noc.LayerSize; i++ {
+		c := s.cores[i]
+		node := noc.NodeID(i)
+		s.net.SetDeliver(node, func(p *noc.Packet, now uint64) {
+			if p.Kind == noc.KindTSAck {
+				s.onTSAck(p, now)
+				return
+			}
+			if p.Kind == noc.KindReadResp || p.Kind == noc.KindWriteAck {
+				s.recordLatency(p, now)
+			}
+			c.OnPacket(p, now)
+		})
+	}
+	for i := 0; i < noc.LayerSize; i++ {
+		bc := s.banks[i]
+		node := noc.NodeID(i) + noc.LayerSize
+		maxQ := s.cfg.BankQueueDepth
+		if maxQ == 0 {
+			maxQ = MaxBankQueue
+		}
+		s.net.NIC(node).SetGate(func(p *noc.Packet, now uint64) bool {
+			// Demand requests wait at the interface while the bank queue is
+			// full; responses, fills, and coherence always sink.
+			if p.Kind == noc.KindReadReq || p.Kind == noc.KindWriteReq {
+				return bc.Bank().QueueLen() < maxQ
+			}
+			return true
+		})
+		s.net.SetDeliver(node, func(p *noc.Packet, now uint64) {
+			switch p.Kind {
+			case noc.KindTSAck:
+				s.onTSAck(p, now)
+			case noc.KindMemReq:
+				mcw, ok := s.mcs[node]
+				if !ok {
+					panic(fmt.Sprintf("sim: MemReq delivered to non-MC node %d", node))
+				}
+				mcw.inbox = append(mcw.inbox, p)
+			default:
+				if p.Tagged {
+					// Window-based estimator: echo the timestamp to the
+					// parent that tagged this request (Section 3.5).
+					s.tsacks = append(s.tsacks, &noc.Packet{
+						Kind: noc.KindTSAck, Src: node, Dst: p.TagParent,
+						Timestamp: p.Timestamp, TagChild: p.TagChild,
+					})
+				}
+				bc.HandlePacket(p, now)
+			}
+		})
+	}
+}
+
+// onTSAck feeds a timestamp ack into the WB estimator.
+func (s *Simulator) onTSAck(p *noc.Packet, now uint64) {
+	if s.wb != nil {
+		s.wb.OnTSAck(p, now)
+	}
+}
+
+// recordLatency splits a response's round trip into network and bank-queue
+// components (Figure 7).
+func (s *Simulator) recordLatency(p *noc.Packet, now uint64) {
+	if p.ReqInjected == 0 || now < p.ReqInjected {
+		return
+	}
+	total := now - p.ReqInjected
+	queue := p.BankQueueDelay
+	net := uint64(0)
+	if total > queue+p.BankService {
+		net = total - queue - p.BankService
+	}
+	s.latency.ObservePacket(net, queue)
+}
+
+// Tick advances the whole system one cycle.
+func (s *Simulator) Tick() {
+	now := s.now
+
+	// Cores issue and retire; their new requests enter the network.
+	for _, c := range s.cores {
+		c.Tick(now)
+		for _, p := range c.Outbox() {
+			s.net.Inject(p, now)
+		}
+	}
+
+	// Pending WB-estimator acks from last cycle's deliveries.
+	if len(s.tsacks) > 0 {
+		for _, p := range s.tsacks {
+			s.net.Inject(p, now)
+		}
+		s.tsacks = s.tsacks[:0]
+	}
+
+	// Network moves flits; deliveries invoke the sinks wired above.
+	s.net.Tick(now)
+
+	// Banks service accesses and emit responses/memory traffic.
+	for _, bc := range s.banks {
+		bc.Tick(now)
+		for _, p := range bc.Outbox() {
+			s.net.Inject(p, now)
+		}
+	}
+
+	// Memory controllers.
+	for _, node := range cache.MCNodes {
+		mcw := s.mcs[node]
+		mcw.tick(now)
+		for _, p := range mcw.outbox {
+			s.net.Inject(p, now)
+		}
+		mcw.outbox = nil
+	}
+
+	// Estimators that observe every cycle.
+	if s.rca != nil {
+		s.rca.Tick(now)
+	}
+
+	if now%sampleInterval == 0 {
+		s.sampleRouters()
+	}
+	s.now++
+}
+
+// tick admits queued memory requests (respecting the per-processor quota)
+// and completes DRAM accesses.
+func (m *mcWrapper) tick(now uint64) {
+	kept := m.inbox[:0]
+	for _, p := range m.inbox {
+		op := mem.OpRead
+		proc := p.Proc
+		if p.IsBankWrite || p.SizeFlits == noc.DataPacketFlits {
+			op = mem.OpWrite
+			// Writebacks carry no processor context; charge the per-source
+			// quota of the evicting bank instead.
+			proc = int(p.Src)
+		}
+		m.nextID++
+		req := &mem.Request{Op: op, Addr: p.Addr, ID: m.nextID, Proc: proc}
+		if !m.mc.Enqueue(req, now) {
+			m.nextID--
+			kept = append(kept, p)
+			continue
+		}
+		m.pending[req.ID] = p
+	}
+	m.inbox = kept
+	for _, c := range m.mc.Tick(now) {
+		orig := m.pending[c.Req.ID]
+		delete(m.pending, c.Req.ID)
+		if c.Req.Op == mem.OpRead {
+			m.outbox = append(m.outbox, &noc.Packet{
+				Kind: noc.KindMemResp, Src: m.node, Dst: orig.Src,
+				Addr: orig.Addr, Proc: orig.Proc, IsBankWrite: true,
+			})
+		}
+	}
+}
+
+// sampleRouters records, for every cache-layer router, how many buffered
+// demand requests sit H hops from their destination (Figure 3 insets and
+// Figure 13a).
+func (s *Simulator) sampleRouters() {
+	var counts [4]int
+	var routersWithReqs int
+	for id := noc.NodeID(noc.LayerSize); id < noc.NumNodes; id++ {
+		n := 0
+		var perHop [4]int
+		s.net.Router(id).ForEachBufferedPacket(func(p *noc.Packet) {
+			if p.Kind != noc.KindReadReq && p.Kind != noc.KindWriteReq {
+				return
+			}
+			if p.Dst.Layer() != 1 {
+				return
+			}
+			d := noc.SameLayerDistance(id, p.Dst)
+			if d >= 1 && d <= 3 {
+				perHop[d]++
+				n++
+			}
+		})
+		if n > 0 {
+			routersWithReqs++
+			for h := 1; h <= 3; h++ {
+				counts[h] += perHop[h]
+			}
+		}
+	}
+	if routersWithReqs > 0 {
+		for h := 1; h <= 3; h++ {
+			s.hopReqs[h].Observe(float64(counts[h]) / float64(routersWithReqs))
+		}
+	}
+}
+
+// resetStats clears all measurement state at the warmup boundary.
+func (s *Simulator) resetStats() {
+	s.net.ResetStats()
+	for _, c := range s.cores {
+		c.ResetStats()
+	}
+	for _, bc := range s.banks {
+		bc.ResetStats()
+		bc.Bank().ResetStats()
+	}
+	for _, node := range cache.MCNodes {
+		s.mcs[node].mc.ResetStats()
+	}
+	s.latency.Reset()
+	s.gapHist.Reset()
+	for h := range s.hopReqs {
+		s.hopReqs[h].Reset()
+	}
+}

@@ -1,0 +1,113 @@
+// Package stats provides the statistics primitives used throughout the
+// simulator: named counters, binned histograms matching the paper's Figure 3
+// bins, latency breakdowns (network vs. bank queuing), and the system-level
+// performance metrics of Section 4.1 (instruction throughput, weighted
+// speedup, maximum slowdown).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Accumulator tracks a running sum, count, min and max of observed samples.
+// The zero value is ready to use.
+type Accumulator struct {
+	sum   float64
+	count uint64
+	min   float64
+	max   float64
+}
+
+// Observe records one sample.
+func (a *Accumulator) Observe(v float64) {
+	if a.count == 0 || v < a.min {
+		a.min = v
+	}
+	if a.count == 0 || v > a.max {
+		a.max = v
+	}
+	a.sum += v
+	a.count++
+}
+
+// Count returns the number of observed samples.
+func (a *Accumulator) Count() uint64 { return a.count }
+
+// Sum returns the sum of all observed samples.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Mean returns the arithmetic mean of the samples, or 0 if none were observed.
+func (a *Accumulator) Mean() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return a.sum / float64(a.count)
+}
+
+// Min returns the smallest observed sample, or 0 if none were observed.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observed sample, or 0 if none were observed.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Reset discards all samples.
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
+// Set is a registry of named counters, useful for ad-hoc event accounting
+// inside a component. Lookup creates counters on demand.
+type Set struct {
+	counters map[string]*Counter
+}
+
+// NewSet returns an empty counter registry.
+func NewSet() *Set {
+	return &Set{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (s *Set) Counter(name string) *Counter {
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Names returns the registered counter names in sorted order.
+func (s *Set) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the registry as "name=value" lines, sorted by name.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, n := range s.Names() {
+		fmt.Fprintf(&b, "%s=%d\n", n, s.counters[n].Value())
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// heatShades maps intensity deciles to ASCII shades, light to dark.
+var heatShades = []byte(" .:-=+*#%@")
+
+// Heatmap renders an 8x8 grid of values (row-major, row 0 printed last so
+// the layout matches the paper's Figure 4 mesh orientation with y growing
+// upward) as an ASCII intensity map, normalized to the maximum value. It is
+// the diagnostic view for per-bank utilization and per-router occupancy.
+func Heatmap(w io.Writer, title string, vals []float64, dim int) {
+	if dim <= 0 || len(vals) != dim*dim {
+		fmt.Fprintf(w, "%s: invalid heatmap shape (%d values for dim %d)\n", title, len(vals), dim)
+		return
+	}
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	fmt.Fprintf(w, "%s (max %.3f)\n", title, max)
+	border := "+" + strings.Repeat("-", 2*dim) + "+"
+	fmt.Fprintln(w, border)
+	for y := dim - 1; y >= 0; y-- {
+		var b strings.Builder
+		b.WriteByte('|')
+		for x := 0; x < dim; x++ {
+			v := vals[y*dim+x]
+			shade := byte(' ')
+			if max > 0 {
+				idx := int(v / max * float64(len(heatShades)-1))
+				if idx >= len(heatShades) {
+					idx = len(heatShades) - 1
+				}
+				shade = heatShades[idx]
+			}
+			b.WriteByte(shade)
+			b.WriteByte(shade)
+		}
+		b.WriteByte('|')
+		fmt.Fprintln(w, b.String())
+	}
+	fmt.Fprintln(w, border)
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram. Bin i counts samples v with
+// bounds[i-1] <= v < bounds[i]; the final bin is unbounded above.
+type Histogram struct {
+	bounds []uint64 // upper bounds, strictly increasing; last bin is open
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram builds a histogram whose bins are delimited by the given
+// strictly increasing upper bounds. A final open bin is appended for samples
+// at or above the last bound. NewHistogram panics on empty or non-increasing
+// bounds, since that is a programming error.
+func NewHistogram(bounds ...uint64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]uint64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(bounds)+1)}
+}
+
+// GapBins are the inter-access-gap bins of the paper's Figure 3:
+// [0,16) [16,33) [33,66) [66,99) [99,132) [132,165) and 165+.
+var GapBins = []uint64{16, 33, 66, 99, 132, 165}
+
+// NewGapHistogram returns a histogram with the Figure 3 bins.
+func NewGapHistogram() *Histogram { return NewHistogram(GapBins...) }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.total++
+	for i, ub := range h.bounds {
+		if v < ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Bins returns the number of bins (len(bounds)+1, counting the open bin).
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Count returns the raw count in bin i.
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// Total returns the total number of observed samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Percent returns bin i's share of all samples, in percent (0 if empty).
+func (h *Histogram) Percent(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return 100 * float64(h.counts[i]) / float64(h.total)
+}
+
+// Percents returns the percentage share of every bin.
+func (h *Histogram) Percents() []float64 {
+	out := make([]float64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.Percent(i)
+	}
+	return out
+}
+
+// Label returns a human-readable label for bin i ("<16", "16-33", ..., "165+").
+func (h *Histogram) Label(i int) string {
+	switch {
+	case i == 0:
+		return fmt.Sprintf("<%d", h.bounds[0])
+	case i == len(h.bounds):
+		return fmt.Sprintf("%d+", h.bounds[len(h.bounds)-1])
+	default:
+		return fmt.Sprintf("%d-%d", h.bounds[i-1], h.bounds[i])
+	}
+}
+
+// Merge adds the counts of other into h. The histograms must have identical
+// bounds; Merge panics otherwise, since that is a programming error.
+func (h *Histogram) Merge(other *Histogram) {
+	if len(h.bounds) != len(other.bounds) {
+		panic("stats: merging histograms with different bounds")
+	}
+	for i, ub := range h.bounds {
+		if other.bounds[i] != ub {
+			panic("stats: merging histograms with different bounds")
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.total += other.total
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+}
+
+// String renders the histogram as "label: percent%" lines.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i := range h.counts {
+		fmt.Fprintf(&b, "%8s: %6.2f%% (%d)\n", h.Label(i), h.Percent(i), h.counts[i])
+	}
+	return b.String()
+}

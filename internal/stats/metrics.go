@@ -1,0 +1,105 @@
+package stats
+
+// This file implements the system-level performance metrics of Section 4.1:
+//
+//	Instruction throughput = sum_i IPC_i                          (Eq. 1)
+//	Weighted speedup       = sum_i IPC_shared_i / IPC_alone_i     (Eq. 2)
+//	Max. slowdown          = max_i IPC_alone_i / IPC_shared_i     (Eq. 3)
+
+// IPC computes instructions per cycle; it returns 0 when cycles is 0.
+func IPC(instructions, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(instructions) / float64(cycles)
+}
+
+// InstructionThroughput sums per-core IPCs (Eq. 1).
+func InstructionThroughput(ipcs []float64) float64 {
+	var sum float64
+	for _, v := range ipcs {
+		sum += v
+	}
+	return sum
+}
+
+// WeightedSpeedup sums per-core shared-to-alone IPC ratios (Eq. 2). Cores
+// whose alone IPC is 0 contribute 0; the two slices must be the same length
+// (extra entries in either are ignored).
+func WeightedSpeedup(shared, alone []float64) float64 {
+	n := len(shared)
+	if len(alone) < n {
+		n = len(alone)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		if alone[i] > 0 {
+			sum += shared[i] / alone[i]
+		}
+	}
+	return sum
+}
+
+// MaxSlowdown returns the largest alone-to-shared IPC ratio (Eq. 3). Cores
+// whose shared IPC is 0 are skipped (they would be infinitely slowed down in
+// a deadlocked run, which the simulator reports separately).
+func MaxSlowdown(shared, alone []float64) float64 {
+	n := len(shared)
+	if len(alone) < n {
+		n = len(alone)
+	}
+	var worst float64
+	for i := 0; i < n; i++ {
+		if shared[i] > 0 {
+			if s := alone[i] / shared[i]; s > worst {
+				worst = s
+			}
+		}
+	}
+	return worst
+}
+
+// MinIPC returns the smallest entry of ipcs (the "slowest copy/thread" that
+// the paper reports improvements for), or 0 for an empty slice.
+func MinIPC(ipcs []float64) float64 {
+	if len(ipcs) == 0 {
+		return 0
+	}
+	min := ipcs[0]
+	for _, v := range ipcs[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// LatencyBreakdown accumulates the two components of end-to-end packet
+// latency the paper separates in Figure 7: time spent in the network (router
+// pipelines, link traversal, VC queuing) and time spent queued at a memory
+// bank controller waiting for the bank to become free.
+type LatencyBreakdown struct {
+	Network Accumulator
+	Queue   Accumulator
+}
+
+// ObservePacket records one packet's latency split.
+func (l *LatencyBreakdown) ObservePacket(network, queue uint64) {
+	l.Network.Observe(float64(network))
+	l.Queue.Observe(float64(queue))
+}
+
+// MeanNetwork returns the mean network component in cycles.
+func (l *LatencyBreakdown) MeanNetwork() float64 { return l.Network.Mean() }
+
+// MeanQueue returns the mean bank-queuing component in cycles.
+func (l *LatencyBreakdown) MeanQueue() float64 { return l.Queue.Mean() }
+
+// MeanTotal returns the mean end-to-end latency in cycles.
+func (l *LatencyBreakdown) MeanTotal() float64 { return l.Network.Mean() + l.Queue.Mean() }
+
+// Reset discards all samples.
+func (l *LatencyBreakdown) Reset() {
+	l.Network.Reset()
+	l.Queue.Reset()
+}

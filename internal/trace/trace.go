@@ -1,0 +1,272 @@
+// Package trace records and replays per-core instruction streams in a
+// compact binary format. The paper drives its simulator from traces of 50M+
+// instructions per core; this package provides the equivalent capability for
+// our synthetic streams — capture a workload.Generator's output once, then
+// replay it bit-identically (and loop it) in any number of runs, including
+// across configurations that must see identical inputs.
+//
+// Format (little-endian, varint-coded):
+//
+//	magic "STTRC1\n"
+//	uvarint len(name), name bytes
+//	uvarint core, uvarint seed, uvarint count
+//	count events:
+//	  byte kind (0 none, 1 read, 2 serializing read, 3 write)
+//	  for memory events: uvarint line address
+//
+// Runs of consecutive non-memory instructions are run-length encoded as
+// kind 4 followed by the run length.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sttsim/internal/cache"
+	"sttsim/internal/cpu"
+)
+
+var magic = []byte("STTRC1\n")
+
+// Event kinds on the wire.
+const (
+	evNone    = 0
+	evRead    = 1
+	evReadSer = 2
+	evWrite   = 3
+	evNoneRun = 4
+)
+
+// Meta describes a recorded stream.
+type Meta struct {
+	Name  string // benchmark name
+	Core  int
+	Seed  uint64
+	Count uint64 // number of instructions recorded
+}
+
+// Writer streams events to an io.Writer.
+type Writer struct {
+	w       *bufio.Writer
+	meta    Meta
+	noneRun uint64
+	count   uint64
+	closed  bool
+}
+
+// NewWriter writes the header for a stream with the given metadata. The
+// final instruction count is written by Close, so the writer requires a
+// seekless accumulation: Count in the header is filled with the declared
+// count from meta and validated on Close.
+func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return nil, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(meta.Name))); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(meta.Name); err != nil {
+		return nil, err
+	}
+	for _, v := range []uint64{uint64(meta.Core), meta.Seed, meta.Count} {
+		if err := writeUvarint(v); err != nil {
+			return nil, err
+		}
+	}
+	return &Writer{w: bw, meta: meta}, nil
+}
+
+func (w *Writer) uvarint(v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.w.Write(buf[:n])
+	return err
+}
+
+// Append records one instruction.
+func (w *Writer) Append(a cpu.Access) error {
+	if w.closed {
+		return errors.New("trace: append after Close")
+	}
+	w.count++
+	if a.Kind == cpu.AccessNone {
+		w.noneRun++
+		return nil
+	}
+	if err := w.flushNoneRun(); err != nil {
+		return err
+	}
+	kind := byte(evWrite)
+	if a.Kind == cpu.AccessRead {
+		kind = evRead
+		if a.Serialize {
+			kind = evReadSer
+		}
+	}
+	if err := w.w.WriteByte(kind); err != nil {
+		return err
+	}
+	return w.uvarint(cache.LineAddr(a.Addr))
+}
+
+func (w *Writer) flushNoneRun() error {
+	switch {
+	case w.noneRun == 0:
+		return nil
+	case w.noneRun == 1:
+		w.noneRun = 0
+		return w.w.WriteByte(evNone)
+	default:
+		run := w.noneRun
+		w.noneRun = 0
+		if err := w.w.WriteByte(evNoneRun); err != nil {
+			return err
+		}
+		return w.uvarint(run)
+	}
+}
+
+// Close flushes the stream and validates the declared count.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.flushNoneRun(); err != nil {
+		return err
+	}
+	if w.meta.Count != 0 && w.meta.Count != w.count {
+		return fmt.Errorf("trace: declared %d instructions, wrote %d", w.meta.Count, w.count)
+	}
+	return w.w.Flush()
+}
+
+// Record captures n instructions from a generator.
+func Record(gen cpu.Generator, n uint64, out io.Writer, meta Meta) error {
+	meta.Count = n
+	w, err := NewWriter(out, meta)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := w.Append(gen.Next()); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// Trace is a fully loaded stream.
+type Trace struct {
+	Meta   Meta
+	events []cpu.Access
+}
+
+// Load reads an entire recorded stream into memory.
+func Load(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	for i := range magic {
+		if head[i] != magic[i] {
+			return nil, errors.New("trace: bad magic (not a trace file)")
+		}
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 4096 {
+		return nil, errors.New("trace: implausible name length")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var hdr [3]uint64
+	for i := range hdr {
+		if hdr[i], err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+	}
+	t := &Trace{Meta: Meta{Name: string(name), Core: int(hdr[0]), Seed: hdr[1], Count: hdr[2]}}
+	t.events = make([]cpu.Access, 0, t.Meta.Count)
+	for uint64(len(t.events)) < t.Meta.Count {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated after %d events: %w", len(t.events), err)
+		}
+		switch kind {
+		case evNone:
+			t.events = append(t.events, cpu.Access{})
+		case evNoneRun:
+			run, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if uint64(len(t.events))+run > t.Meta.Count {
+				return nil, errors.New("trace: run overflows declared count")
+			}
+			for j := uint64(0); j < run; j++ {
+				t.events = append(t.events, cpu.Access{})
+			}
+		case evRead, evReadSer, evWrite:
+			line, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			a := cpu.Access{Addr: cache.AddrOfLine(line)}
+			if kind == evWrite {
+				a.Kind = cpu.AccessWrite
+			} else {
+				a.Kind = cpu.AccessRead
+				a.Serialize = kind == evReadSer
+			}
+			t.events = append(t.events, a)
+		default:
+			return nil, fmt.Errorf("trace: unknown event kind %d", kind)
+		}
+	}
+	return t, nil
+}
+
+// Len returns the number of recorded instructions.
+func (t *Trace) Len() int { return len(t.events) }
+
+// Player replays a trace as a cpu.Generator, looping when it runs out (the
+// usual trace-driven-simulation convention for steady-state measurement).
+type Player struct {
+	t   *Trace
+	pos int
+	// Loops counts how many times the trace wrapped around.
+	Loops int
+}
+
+// NewPlayer builds a looping replayer.
+func NewPlayer(t *Trace) *Player { return &Player{t: t} }
+
+// Next implements cpu.Generator.
+func (p *Player) Next() cpu.Access {
+	if len(p.t.events) == 0 {
+		return cpu.Access{}
+	}
+	a := p.t.events[p.pos]
+	p.pos++
+	if p.pos == len(p.t.events) {
+		p.pos = 0
+		p.Loops++
+	}
+	return a
+}

@@ -1,0 +1,158 @@
+// Package workload reproduces the paper's 42-application workload suite
+// from its published characterization (Table 3). Each Profile carries the
+// L1/L2 miss and L2 read/write rates per kilo-instruction plus the
+// burstiness class; a Generator turns a profile into a deterministic,
+// per-core synthetic instruction stream with the same statistics, including
+// two-state Markov burst behavior and multi-threaded sharing. This replaces
+// the proprietary PARSEC/SPEC/commercial traces the authors used (see
+// DESIGN.md, substitution table).
+package workload
+
+import "fmt"
+
+// Suite classifies the benchmark's origin, which decides the reporting
+// groups of Figure 6 and the sharing mode (multi-threaded suites share an
+// address space; SPEC runs as 64 independent copies).
+type Suite int
+
+const (
+	// SuiteServer is the four commercial server workloads.
+	SuiteServer Suite = iota
+	// SuitePARSEC is the 13 multi-threaded PARSEC benchmarks.
+	SuitePARSEC
+	// SuiteSPEC is the 25 SPEC CPU2006 benchmarks (multi-programmed).
+	SuiteSPEC
+)
+
+// String names the suite.
+func (s Suite) String() string {
+	switch s {
+	case SuiteServer:
+		return "SERVER"
+	case SuitePARSEC:
+		return "PARSEC"
+	default:
+		return "SPEC2006"
+	}
+}
+
+// Profile is one row of Table 3.
+type Profile struct {
+	Name   string
+	Suite  Suite
+	L1MPKI float64 // L1 misses per kilo-instruction
+	L2MPKI float64 // L2 misses per kilo-instruction
+	L2WPKI float64 // L2 writes per kilo-instruction
+	L2RPKI float64 // L2 reads per kilo-instruction
+	Bursty bool    // "High" burstiness class
+}
+
+// MissRatio is the fraction of L2 *reads* that miss, derived from the
+// Table 3 rates and clamped to [0, 1]. L2 writes are L1 writebacks of
+// resident lines and are not charged misses (the write-allocate path needs
+// no memory fetch).
+func (p Profile) MissRatio() float64 {
+	if p.L2RPKI <= 0 {
+		return 0
+	}
+	m := p.L2MPKI / p.L2RPKI
+	if m > 1 {
+		return 1
+	}
+	return m
+}
+
+// L2APKI is the total L2 accesses per kilo-instruction.
+func (p Profile) L2APKI() float64 { return p.L2RPKI + p.L2WPKI }
+
+// WriteIntensive reports whether L2 writes dominate reads (the workloads the
+// paper's Case-1 worst case is built from are both write-intensive and have
+// a high absolute write rate).
+func (p Profile) WriteIntensive() bool { return p.L2WPKI > p.L2RPKI }
+
+// ReadIntensive reports whether L2 reads dominate writes by at least 2x.
+func (p Profile) ReadIntensive() bool { return p.L2RPKI >= 2*p.L2WPKI }
+
+// Profiles is Table 3, in the paper's order.
+var Profiles = []Profile{
+	{"tpcc", SuiteServer, 51.47, 6.06, 40.90, 10.57, true},
+	{"sjas", SuiteServer, 41.54, 4.48, 35.06, 6.48, true},
+	{"sap", SuiteServer, 29.91, 3.84, 23.57, 6.15, true},
+	{"sjbb", SuiteServer, 25.52, 7.01, 19.42, 6.09, true},
+	{"sclust", SuitePARSEC, 29.28, 8.34, 15.23, 14.05, true},
+	{"vips", SuitePARSEC, 13.51, 8.07, 6.61, 6.89, true},
+	{"canneal", SuitePARSEC, 12.80, 5.47, 6.52, 6.27, false},
+	{"dedup", SuitePARSEC, 12.80, 4.59, 7.42, 5.36, true},
+	{"ferret", SuitePARSEC, 11.62, 9.16, 6.39, 5.22, false},
+	{"facesim", SuitePARSEC, 10.62, 6.82, 6.15, 4.46, false},
+	{"swptns", SuitePARSEC, 5.47, 6.35, 2.46, 3.00, false},
+	{"bscls", SuitePARSEC, 5.29, 3.73, 2.80, 2.48, false},
+	{"bdtrk", SuitePARSEC, 5.62, 5.71, 2.81, 2.81, false},
+	{"rtrce", SuitePARSEC, 5.65, 4.98, 3.62, 2.03, false},
+	{"x264", SuitePARSEC, 4.17, 4.62, 1.87, 2.29, false},
+	{"fldnmt", SuitePARSEC, 4.89, 4.41, 2.68, 2.20, false},
+	{"frqmn", SuitePARSEC, 2.29, 3.96, 1.31, 0.98, false},
+	{"gemsfdtd", SuiteSPEC, 104.04, 94.62, 0.80, 103.23, false},
+	{"mcf", SuiteSPEC, 99.81, 64.47, 5.45, 94.37, false},
+	{"soplex", SuiteSPEC, 48.54, 16.88, 19.59, 28.95, false},
+	{"cactus", SuiteSPEC, 43.81, 15.64, 18.65, 25.16, false},
+	{"lbm", SuiteSPEC, 36.49, 18.88, 30.76, 5.73, true},
+	{"hmmer", SuiteSPEC, 34.36, 3.31, 12.50, 21.86, true},
+	{"xalan", SuiteSPEC, 29.70, 21.07, 3.02, 26.68, false},
+	{"leslie", SuiteSPEC, 26.09, 18.06, 7.65, 18.45, false},
+	{"sphinx3", SuiteSPEC, 25.55, 10.91, 0.97, 24.58, true},
+	{"gobmk", SuiteSPEC, 22.81, 8.68, 8.02, 14.79, true},
+	{"astar", SuiteSPEC, 20.03, 4.21, 6.11, 13.92, false},
+	{"bzip2", SuiteSPEC, 19.29, 10.02, 2.66, 16.63, true},
+	{"milc", SuiteSPEC, 19.12, 18.67, 0.05, 19.06, false},
+	{"libqntm", SuiteSPEC, 12.50, 12.50, 0.00, 12.50, false},
+	{"omnet", SuiteSPEC, 10.92, 10.15, 0.25, 10.67, false},
+	{"povray", SuiteSPEC, 9.63, 7.86, 0.88, 8.75, true},
+	{"gcc", SuiteSPEC, 9.39, 8.51, 0.06, 9.34, true},
+	{"namd", SuiteSPEC, 8.85, 5.11, 0.65, 8.19, true},
+	{"gromacs", SuiteSPEC, 5.36, 3.18, 0.32, 5.05, true},
+	{"tonto", SuiteSPEC, 5.26, 0.55, 3.52, 1.74, true},
+	{"h264", SuiteSPEC, 4.81, 2.74, 2.03, 2.78, true},
+	{"dealII", SuiteSPEC, 4.41, 2.36, 0.35, 4.06, true},
+	{"sjeng", SuiteSPEC, 3.93, 2.00, 0.92, 3.01, false},
+	{"wrf", SuiteSPEC, 1.80, 0.75, 0.88, 0.92, false},
+	{"calculix", SuiteSPEC, 0.33, 0.23, 0.03, 0.29, false},
+}
+
+// byName indexes Profiles.
+var byName = func() map[string]Profile {
+	m := make(map[string]Profile, len(Profiles))
+	for _, p := range Profiles {
+		m[p.Name] = p
+	}
+	return m
+}()
+
+// ByName returns the profile for a benchmark name.
+func ByName(name string) (Profile, error) {
+	p, ok := byName[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// MustByName is ByName for static names; it panics on unknown benchmarks.
+func MustByName(name string) Profile {
+	p, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// BySuite returns all profiles of one suite, in table order.
+func BySuite(s Suite) []Profile {
+	var out []Profile
+	for _, p := range Profiles {
+		if p.Suite == s {
+			out = append(out, p)
+		}
+	}
+	return out
+}
