@@ -1,0 +1,27 @@
+# Tier-1 verification for sttsim. `make verify` is the gate every change must
+# pass: build, vet, unit tests, and the race detector over the race-prone
+# packages (the full-system sim/exp tests are heavy under -race, so the race
+# pass covers the substrate packages where concurrency could plausibly enter).
+
+GO ?= go
+
+.PHONY: all build vet test race verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator is single-threaded by design; -race still catches accidental
+# goroutine introduction and unsynchronized test helpers. Short mode keeps the
+# heavy full-system sweeps out of the race pass.
+race:
+	$(GO) test -race -short ./...
+
+verify: build vet test race

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (all, table2, table3, fig3, fig6, fig7, fig8, fig9, fig10, fig12, fig13, fig14, ablations, extensions)")
+	which := flag.String("exp", "all", "experiment to run (all, table2, table3, fig3, fig6, fig7, fig8, fig9, fig10, fig12, fig13, fig14, ablations, extensions, resilience)")
 	quick := flag.Bool("quick", false, "restrict sweeps to a representative benchmark subset")
 	warmup := flag.Uint64("warmup", 0, "warmup cycles per run (0 = default)")
 	measure := flag.Uint64("measure", 0, "measured cycles per run (0 = default)")
@@ -128,6 +128,14 @@ func main() {
 			exp.PrintExtensions(w, entries)
 			return nil
 		}},
+		{"resilience", func() error {
+			entries, err := exp.Resilience(r, "tpcc")
+			if err != nil {
+				return err
+			}
+			exp.PrintResilience(w, entries)
+			return nil
+		}},
 		{"ablations", func() error {
 			wl, err := exp.AblationWriteLatency(r)
 			if err != nil {
@@ -167,6 +175,7 @@ func main() {
 		"fig14":      "Figure 14: comparison with the read-preemptive write buffer (BUFF-20)",
 		"ablations":  "Ablations: write-latency inflection, WB window, hold cap, interface depth",
 		"extensions": "Extensions: early write termination (Zhou et al.) and hybrid SRAM/STT-RAM banks",
+		"resilience": "Resilience: degradation under stochastic write errors and TSB failures (tpcc)",
 	}
 
 	ran := false

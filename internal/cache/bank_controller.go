@@ -53,6 +53,11 @@ type reqMeta struct {
 	src      noc.NodeID
 	addr     uint64
 	injected uint64 // original request's network injection cycle
+
+	// Write-failure retry state (fault injection): attempts already failed,
+	// and the queue delay accumulated across them (reported on the final ack).
+	retries    int
+	queueDelay uint64
 }
 
 // Stats aggregates a bank controller's protocol activity.
@@ -68,6 +73,14 @@ type Stats struct {
 	InvAcksRecv uint64
 	MSHRMerges  uint64
 	MSHRStalls  uint64 // misses that had to wait for a free MSHR
+
+	// Stochastic write-failure handling (fault injection; all zero when the
+	// fault layer is off).
+	WriteFaults      uint64 // array writes the error model failed
+	WriteRetries     uint64 // failed writes re-pulsed after backoff
+	RetriesExhausted uint64 // writes abandoned after MaxWriteRetries failures
+	LinesInvalidated uint64 // resident lines dropped by the invalidate fallback
+	FillsDropped     uint64 // fill installs abandoned (data was already forwarded)
 }
 
 // BankController is one L2 bank: the protocol brain wrapped around a
@@ -98,6 +111,30 @@ type BankController struct {
 	gapHist   *stats.Histogram
 	lastWrite uint64
 	sawWrite  bool
+
+	// Stochastic STT-RAM write-failure injection (nil when disabled): failed
+	// array writes are retried after a backoff, then fall back to invalidating
+	// the line so the bank never wedges on a bad cell.
+	faults       WriteFaultInjector
+	maxRetries   int
+	retryBackoff uint64
+	retryQ       []retryEntry
+}
+
+// WriteFaultInjector is the hook through which the fault-injection engine
+// (internal/fault) fails individual array writes. Implementations must be
+// deterministic for reproducible campaigns.
+type WriteFaultInjector interface {
+	// WriteFails reports whether this array write at bank (0..63) fails.
+	WriteFails(bank int) bool
+}
+
+// retryEntry is one failed write waiting out its backoff before re-entering
+// the bank queue.
+type retryEntry struct {
+	readyAt uint64
+	op      mem.Op
+	m       reqMeta
 }
 
 type pendingMiss struct {
@@ -136,6 +173,43 @@ func (bc *BankController) Outbox() []*noc.Packet {
 	out := bc.outbox
 	bc.outbox = nil
 	return out
+}
+
+// SetWriteFaults installs the stochastic write-failure model: each completed
+// array write consults f; failures are retried up to maxRetries times,
+// backoff cycles apart, before the controller invalidates the line.
+func (bc *BankController) SetWriteFaults(f WriteFaultInjector, maxRetries int, backoff uint64) {
+	bc.faults = f
+	bc.maxRetries = maxRetries
+	bc.retryBackoff = backoff
+}
+
+// bankIndex returns the bank number (0..63) for the fault model.
+func (bc *BankController) bankIndex() int { return int(bc.node) - noc.LayerSize }
+
+// writeFailed consults the fault injector for one completed array write.
+func (bc *BankController) writeFailed() bool {
+	return bc.faults != nil && bc.faults.WriteFails(bc.bankIndex())
+}
+
+// scheduleRetry queues a failed write for a re-pulse after the backoff.
+func (bc *BankController) scheduleRetry(now uint64, op mem.Op, m reqMeta) {
+	bc.stats.WriteRetries++
+	bc.bank.NoteRetriedWrite()
+	bc.retryQ = append(bc.retryQ, retryEntry{readyAt: now + bc.retryBackoff, op: op, m: m})
+}
+
+// drainRetries re-enqueues retries whose backoff has elapsed (FIFO order).
+func (bc *BankController) drainRetries(now uint64) {
+	kept := bc.retryQ[:0]
+	for _, e := range bc.retryQ {
+		if e.readyAt > now {
+			kept = append(kept, e)
+			continue
+		}
+		bc.enqueue(e.op, e.m, now)
+	}
+	bc.retryQ = kept
 }
 
 // set returns the (lazily allocated) set for a line address. The index is a
@@ -207,6 +281,9 @@ func (bc *BankController) enqueue(op mem.Op, m reqMeta, now uint64) {
 // Tick advances the bank one cycle and performs the protocol action of
 // whatever access completed.
 func (bc *BankController) Tick(now uint64) {
+	if len(bc.retryQ) > 0 {
+		bc.drainRetries(now)
+	}
 	c := bc.bank.Tick(now)
 	if c == nil {
 		return
@@ -270,6 +347,31 @@ func (bc *BankController) startMiss(w waiter, lineAddr uint64, now uint64) {
 // the bank).
 func (bc *BankController) finishWrite(m reqMeta, c *mem.Completion, now uint64) {
 	la := LineAddr(m.addr)
+	if bc.writeFailed() {
+		bc.stats.WriteFaults++
+		if m.retries < bc.maxRetries {
+			m.retries++
+			m.queueDelay += c.QueueDelay
+			bc.scheduleRetry(now, mem.OpWrite, m)
+			return
+		}
+		// Retries exhausted: the array never took the data. Invalidate the
+		// (now stale) resident copy so no one reads it, and still ack the
+		// writer — the hardware raises a machine-check, not a hang.
+		bc.stats.RetriesExhausted++
+		if ln := bc.lookup(la); ln != nil {
+			bc.invalidateSharers(ln, -1)
+			ln.valid = false
+			ln.sharers = 0
+			bc.stats.LinesInvalidated++
+		}
+		bc.send(&noc.Packet{
+			Kind: noc.KindWriteAck, Src: bc.node, Dst: m.src,
+			Addr: m.addr, Proc: m.core,
+			BankQueueDelay: m.queueDelay + c.QueueDelay, BankService: c.Service, ReqInjected: m.injected,
+		})
+		return
+	}
 	ln := bc.lookup(la)
 	if ln != nil {
 		bc.stats.WriteHits++
@@ -288,7 +390,7 @@ func (bc *BankController) finishWrite(m reqMeta, c *mem.Completion, now uint64) 
 	bc.send(&noc.Packet{
 		Kind: noc.KindWriteAck, Src: bc.node, Dst: m.src,
 		Addr: m.addr, Proc: m.core,
-		BankQueueDelay: c.QueueDelay, BankService: c.Service, ReqInjected: m.injected,
+		BankQueueDelay: m.queueDelay + c.QueueDelay, BankService: c.Service, ReqInjected: m.injected,
 	})
 }
 
@@ -333,6 +435,21 @@ func sharersOf(ws []waiter) uint64 {
 // install the tag and the waiters' directory bits.
 func (bc *BankController) finishFill(m reqMeta, c *mem.Completion, now uint64) {
 	la := LineAddr(m.addr)
+	if bc.writeFailed() {
+		bc.stats.WriteFaults++
+		if m.retries < bc.maxRetries {
+			m.retries++
+			bc.scheduleRetry(now, mem.OpWrite, m)
+			return
+		}
+		// Give up on caching the line; the waiters already got their data via
+		// fill-buffer forwarding, so dropping the install only costs a future
+		// re-fetch.
+		bc.stats.RetriesExhausted++
+		bc.stats.FillsDropped++
+		delete(bc.fillSharers, la)
+		return
+	}
 	bc.stats.Fills++
 	ln := bc.lookup(la)
 	if ln == nil {

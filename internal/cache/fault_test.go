@@ -1,0 +1,125 @@
+package cache
+
+import (
+	"testing"
+
+	"sttsim/internal/mem"
+	"sttsim/internal/noc"
+)
+
+// scriptedFaults fails the first n consulted writes, then succeeds forever.
+type scriptedFaults struct{ fails int }
+
+func (s *scriptedFaults) WriteFails(bank int) bool {
+	if s.fails > 0 {
+		s.fails--
+		return true
+	}
+	return false
+}
+
+func TestWriteRetrySucceedsAfterBackoff(t *testing.T) {
+	bc := testBank(t, mem.STTRAM)
+	bc.SetWriteFaults(&scriptedFaults{fails: 2}, 3, 8)
+	var now uint64
+	addr := bankAddr(11)
+	bc.HandlePacket(&noc.Packet{Kind: noc.KindWriteReq, Addr: addr, Proc: 4, Src: 4}, now)
+	pkts := runUntil(t, bc, &now, 1)
+	if pkts[0].Kind != noc.KindWriteAck {
+		t.Fatalf("expected WriteAck, got %s", pkts[0].Kind)
+	}
+	st := bc.Stats()
+	if st.WriteFaults != 2 || st.WriteRetries != 2 {
+		t.Fatalf("faults=%d retries=%d, want 2/2", st.WriteFaults, st.WriteRetries)
+	}
+	if st.RetriesExhausted != 0 || st.LinesInvalidated != 0 {
+		t.Fatalf("transient failures must not invalidate: %+v", st)
+	}
+	// The array was pulsed three times (initial + 2 re-pulses)...
+	bs := bc.Bank().Stats()
+	if bs.Writes != 3 || bs.RetriedWrites != 2 {
+		t.Fatalf("bank pulses=%d retried=%d, want 3/2", bs.Writes, bs.RetriedWrites)
+	}
+	// ...and the line is resident: a read hits without touching memory.
+	bc.HandlePacket(&noc.Packet{Kind: noc.KindReadReq, Addr: addr, Proc: 4, Src: 4}, now)
+	if pkts = runUntil(t, bc, &now, 1); pkts[0].Kind != noc.KindReadResp {
+		t.Fatal("line should be resident after a retried write")
+	}
+}
+
+func TestRetryBackoffDelaysRepulse(t *testing.T) {
+	fast := testBank(t, mem.STTRAM)
+	fast.SetWriteFaults(&scriptedFaults{fails: 1}, 3, 1)
+	slow := testBank(t, mem.STTRAM)
+	slow.SetWriteFaults(&scriptedFaults{fails: 1}, 3, 100)
+	var ackAt [2]uint64
+	for i, bc := range []*BankController{fast, slow} {
+		var now uint64
+		bc.HandlePacket(&noc.Packet{Kind: noc.KindWriteReq, Addr: bankAddr(3), Proc: 1, Src: 1}, now)
+		runUntil(t, bc, &now, 1)
+		ackAt[i] = now
+	}
+	if ackAt[1] < ackAt[0]+90 {
+		t.Fatalf("backoff 100 acked at %d, backoff 1 at %d: backoff not honored", ackAt[1], ackAt[0])
+	}
+}
+
+func TestWriteRetryExhaustionInvalidatesButAcks(t *testing.T) {
+	bc := testBank(t, mem.STTRAM)
+	bc.SetWriteFaults(&scriptedFaults{fails: 100}, 2, 4)
+	var now uint64
+	addr := bankAddr(11)
+	bc.Preload(LineAddr(addr))
+	bc.HandlePacket(&noc.Packet{Kind: noc.KindWriteReq, Addr: addr, Proc: 4, Src: 4}, now)
+	pkts := runUntil(t, bc, &now, 1)
+	// The writer must still get its ack — degradation, not a wedge.
+	if pkts[0].Kind != noc.KindWriteAck || pkts[0].Dst != 4 {
+		t.Fatalf("expected WriteAck to 4, got %s to %d", pkts[0].Kind, pkts[0].Dst)
+	}
+	st := bc.Stats()
+	if st.RetriesExhausted != 1 || st.LinesInvalidated != 1 {
+		t.Fatalf("exhausted=%d invalidated=%d, want 1/1", st.RetriesExhausted, st.LinesInvalidated)
+	}
+	if st.WriteFaults != 3 || st.WriteRetries != 2 {
+		t.Fatalf("faults=%d retries=%d, want 3 faults (initial+2 retries)", st.WriteFaults, st.WriteRetries)
+	}
+	// The stale line must be gone: the next read goes to memory.
+	bc.HandlePacket(&noc.Packet{Kind: noc.KindReadReq, Addr: addr, Proc: 4, Src: 4}, now)
+	if pkts = runUntil(t, bc, &now, 1); pkts[0].Kind != noc.KindMemReq {
+		t.Fatalf("read after invalidation should miss to memory, got %s", pkts[0].Kind)
+	}
+}
+
+func TestFillRetryExhaustionDropsFill(t *testing.T) {
+	bc := testBank(t, mem.STTRAM)
+	bc.SetWriteFaults(&scriptedFaults{fails: 100}, 1, 2)
+	var now uint64
+	addr := bankAddr(5)
+	// Read miss -> MemReq; answer it so the fill's background array write
+	// runs (and keeps failing).
+	bc.HandlePacket(&noc.Packet{Kind: noc.KindReadReq, Addr: addr, Proc: 2, Src: 2}, now)
+	pkts := runUntil(t, bc, &now, 1)
+	if pkts[0].Kind != noc.KindMemReq {
+		t.Fatalf("expected MemReq, got %s", pkts[0].Kind)
+	}
+	bc.HandlePacket(&noc.Packet{Kind: noc.KindMemResp, Addr: addr, Proc: 2, Src: pkts[0].Dst, IsBankWrite: true}, now)
+	// The waiter is served from the fill buffer regardless.
+	pkts = runUntil(t, bc, &now, 1)
+	if pkts[0].Kind != noc.KindReadResp {
+		t.Fatalf("expected forwarded ReadResp, got %s", pkts[0].Kind)
+	}
+	// Let the retry machinery run dry.
+	for end := now + 500; now < end; now++ {
+		bc.Tick(now)
+		bc.Outbox()
+	}
+	st := bc.Stats()
+	if st.FillsDropped != 1 || st.RetriesExhausted != 1 {
+		t.Fatalf("dropped=%d exhausted=%d, want 1/1", st.FillsDropped, st.RetriesExhausted)
+	}
+	// The line never became resident: reading it again misses to memory.
+	bc.HandlePacket(&noc.Packet{Kind: noc.KindReadReq, Addr: addr, Proc: 2, Src: 2}, now)
+	if pkts = runUntil(t, bc, &now, 1); pkts[0].Kind != noc.KindMemReq {
+		t.Fatalf("dropped fill left the line resident (got %s)", pkts[0].Kind)
+	}
+}

@@ -28,18 +28,28 @@ func BuildParentMap(layout *RegionLayout, hops int) (*ParentMap, error) {
 		return nil, fmt.Errorf("core: parent hop distance must be >= 1, got %d", hops)
 	}
 	pm := &ParentMap{hops: hops, children: make(map[noc.NodeID][]noc.NodeID)}
+	pm.Rebuild(layout.TSBMap())
+	return pm, nil
+}
+
+// Rebuild recomputes every bank's parent from a (possibly re-homed)
+// cache-node-to-TSB assignment, keeping the hop distance. The simulator calls
+// this after a TSB failure re-homes regions onto surviving TSBs, so requests
+// keep being re-ordered on the routes they actually take.
+func (pm *ParentMap) Rebuild(tsbMap map[noc.NodeID]noc.NodeID) {
 	for i := range pm.parentOf {
 		pm.parentOf[i] = -1
 	}
+	pm.children = make(map[noc.NodeID][]noc.NodeID)
 	for off := 0; off < noc.LayerSize; off++ {
 		d := noc.NodeID(off) + noc.LayerSize
-		tsbCore := layout.TSBOf(d)
+		tsbCore := tsbMap[d]
 		entry := tsbCore.Below()
 		path := noc.XYPath(entry, d)
 		dist := len(path) - 1
 		var parent noc.NodeID
-		if dist >= hops {
-			parent = path[dist-hops]
+		if dist >= pm.hops {
+			parent = path[dist-pm.hops]
 		} else {
 			// Too close to the TSB entry: the core-layer TSB node re-orders
 			// these requests before they descend.
@@ -48,7 +58,6 @@ func BuildParentMap(layout *RegionLayout, hops int) (*ParentMap, error) {
 		pm.parentOf[d] = parent
 		pm.children[parent] = append(pm.children[parent], d)
 	}
-	return pm, nil
 }
 
 // Hops returns the configured parent-child distance.

@@ -155,3 +155,46 @@ func (l *RegionLayout) TSBMap() map[noc.NodeID]noc.NodeID { return l.tsbMap }
 
 // TSBOf returns the core-layer TSB serving cache node d.
 func (l *RegionLayout) TSBOf(d noc.NodeID) noc.NodeID { return l.tsbMap[d] }
+
+// RehomedTSBMap computes the graceful-degradation TSB assignment after the
+// TSBs at the given core-layer nodes have failed: every region whose TSB
+// died is re-homed onto the surviving TSB nearest its own (Manhattan
+// distance, lowest node ID on ties — fully deterministic). It returns the
+// new cache-node-to-TSB map in the noc.Routing format plus the number of
+// regions that had to move, or an error when no TSB survives.
+func (l *RegionLayout) RehomedTSBMap(failed map[noc.NodeID]bool) (map[noc.NodeID]noc.NodeID, int, error) {
+	alive := make([]noc.NodeID, 0, l.regions)
+	for _, t := range l.tsbCore {
+		if !failed[t] {
+			alive = append(alive, t)
+		}
+	}
+	if len(alive) == 0 {
+		return nil, 0, fmt.Errorf("core: all %d region TSBs have failed", l.regions)
+	}
+	homeOf := make([]noc.NodeID, l.regions)
+	rehomed := 0
+	for r := 0; r < l.regions; r++ {
+		t := l.tsbCore[r]
+		if !failed[t] {
+			homeOf[r] = t
+			continue
+		}
+		best := alive[0]
+		bestDist := noc.SameLayerDistance(t, best)
+		for _, cand := range alive[1:] {
+			d := noc.SameLayerDistance(t, cand)
+			if d < bestDist || (d == bestDist && cand < best) {
+				best, bestDist = cand, d
+			}
+		}
+		homeOf[r] = best
+		rehomed++
+	}
+	m := make(map[noc.NodeID]noc.NodeID, noc.LayerSize)
+	for off := 0; off < noc.LayerSize; off++ {
+		cacheNode := noc.NodeID(off) + noc.LayerSize
+		m[cacheNode] = homeOf[l.regionOf[off]]
+	}
+	return m, rehomed, nil
+}

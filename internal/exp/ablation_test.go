@@ -6,7 +6,7 @@ import (
 )
 
 func TestAblationWBWindow(t *testing.T) {
-	r := tinyRunner()
+	r := tinyRunner(t)
 	pts, err := AblationWBWindow(r)
 	if err != nil {
 		t.Fatal(err)
@@ -35,7 +35,7 @@ func TestAblationWBWindow(t *testing.T) {
 }
 
 func TestAblationHoldCap(t *testing.T) {
-	r := tinyRunner()
+	r := tinyRunner(t)
 	pts, err := AblationHoldCap(r)
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +51,7 @@ func TestAblationHoldCap(t *testing.T) {
 }
 
 func TestAblationBankQueue(t *testing.T) {
-	r := tinyRunner()
+	r := tinyRunner(t)
 	pts, err := AblationBankQueue(r)
 	if err != nil {
 		t.Fatal(err)
@@ -67,7 +67,7 @@ func TestAblationBankQueue(t *testing.T) {
 }
 
 func TestAblationWriteLatencyInflection(t *testing.T) {
-	r := tinyRunner()
+	r := tinyRunner(t)
 	pts, err := AblationWriteLatency(r)
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +99,7 @@ func TestAblationWriteLatencyInflection(t *testing.T) {
 }
 
 func TestExtensions(t *testing.T) {
-	r := tinyRunner()
+	r := tinyRunner(t)
 	entries, err := Extensions(r)
 	if err != nil {
 		t.Fatal(err)

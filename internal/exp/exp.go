@@ -62,12 +62,19 @@ func key(cfg sim.Config) string {
 	if cfg.CustomTech != nil {
 		tech = fmt.Sprintf("%s/%d", cfg.CustomTech.Name, cfg.CustomTech.WriteCycles)
 	}
-	return fmt.Sprintf("%d|%s|%d|%d|%v|%d|%d|%v|%v|%d|%d|%d|%s|%d|%d|%d|%v|%d",
+	flt := "-"
+	if cfg.Fault.Enabled() {
+		flt = fmt.Sprintf("%d/%g/%d/%d/%v/%v",
+			cfg.Fault.Seed, cfg.Fault.WriteErrorRate, cfg.Fault.MaxWriteRetries,
+			cfg.Fault.RetryBackoffCycles, cfg.Fault.TSBFailures, cfg.Fault.PortFaults)
+	}
+	return fmt.Sprintf("%d|%s|%d|%d|%v|%d|%d|%v|%v|%d|%d|%d|%s|%d|%d|%d|%v|%d|%s|%d|%d",
 		cfg.Scheme, cfg.Assignment.Name, cfg.Regions, cfg.Placement, cfg.PlacementSet,
 		cfg.Hops, cfg.WriteBufferEntries, cfg.ReadPreemption, cfg.ExtraReqVC,
 		cfg.WBWindow, cfg.WarmupCycles, cfg.MeasureCycles,
 		tech, cfg.HoldCap, cfg.BankQueueDepth, cfg.HybridSRAMBanks,
-		cfg.EarlyWriteTermination, cfg.Seed)
+		cfg.EarlyWriteTermination, cfg.Seed,
+		flt, cfg.AuditInterval, cfg.WatchdogCycles)
 }
 
 // Run executes (or recalls) one simulation.

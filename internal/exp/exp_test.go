@@ -4,17 +4,24 @@ import (
 	"strings"
 	"testing"
 
+	"sttsim/internal/fault"
 	"sttsim/internal/sim"
 	"sttsim/internal/workload"
 )
 
 // tinyRunner keeps experiment tests fast: few benchmarks, short windows.
-func tinyRunner() *Runner {
+// Full-system experiment sweeps are still the slowest tests in the repo, so
+// they are skipped under -short (the `make race` pass).
+func tinyRunner(t *testing.T) *Runner {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-system experiment sweep; skipped in -short mode")
+	}
 	return NewRunner(Options{Quick: true, WarmupCycles: 1500, MeasureCycles: 4000})
 }
 
 func TestRunnerMemoizes(t *testing.T) {
-	r := tinyRunner()
+	r := tinyRunner(t)
 	a, err := r.RunScheme(sim.SchemeSRAM64TSB, workload.MustByName("x264"))
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +76,7 @@ func TestTable2Renders(t *testing.T) {
 }
 
 func TestTable3MeasuresRates(t *testing.T) {
-	r := tinyRunner()
+	r := tinyRunner(t)
 	rows, err := Table3(r)
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +104,7 @@ func TestTable3MeasuresRates(t *testing.T) {
 }
 
 func TestFigure3Histogram(t *testing.T) {
-	r := tinyRunner()
+	r := tinyRunner(t)
 	entries, err := Figure3(r)
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +126,7 @@ func TestFigure3Histogram(t *testing.T) {
 }
 
 func TestFigure6ShapeHolds(t *testing.T) {
-	r := tinyRunner()
+	r := tinyRunner(t)
 	res, err := Figure6(r)
 	if err != nil {
 		t.Fatal(err)
@@ -149,7 +156,7 @@ func TestFigure6ShapeHolds(t *testing.T) {
 }
 
 func TestFigure7Breakdown(t *testing.T) {
-	r := tinyRunner()
+	r := tinyRunner(t)
 	entries, err := Figure7(r)
 	if err != nil {
 		t.Fatal(err)
@@ -174,7 +181,7 @@ func TestFigure7Breakdown(t *testing.T) {
 }
 
 func TestFigure8EnergySavings(t *testing.T) {
-	r := tinyRunner()
+	r := tinyRunner(t)
 	entries, err := Figure8(r)
 	if err != nil {
 		t.Fatal(err)
@@ -198,7 +205,7 @@ func TestFigure8EnergySavings(t *testing.T) {
 }
 
 func TestFigure12GeometrySweep(t *testing.T) {
-	r := tinyRunner()
+	r := tinyRunner(t)
 	points, err := Figure12(r)
 	if err != nil {
 		t.Fatal(err)
@@ -218,7 +225,7 @@ func TestFigure12GeometrySweep(t *testing.T) {
 }
 
 func TestFigure13HopSweep(t *testing.T) {
-	r := tinyRunner()
+	r := tinyRunner(t)
 	res, err := Figure13(r)
 	if err != nil {
 		t.Fatal(err)
@@ -240,7 +247,7 @@ func TestFigure13HopSweep(t *testing.T) {
 }
 
 func TestFigure14Comparison(t *testing.T) {
-	r := tinyRunner()
+	r := tinyRunner(t)
 	entries, err := Figure14(r)
 	if err != nil {
 		t.Fatal(err)
@@ -265,7 +272,7 @@ func TestFigure14Comparison(t *testing.T) {
 }
 
 func TestRunnerKeyCoversAllConfigKnobs(t *testing.T) {
-	r := tinyRunner()
+	r := tinyRunner(t)
 	base := sim.Config{Scheme: sim.SchemeSTT4TSBWB,
 		Assignment: workload.Homogeneous(workload.MustByName("x264"))}
 	a, err := r.Run(base)
@@ -278,6 +285,9 @@ func TestRunnerKeyCoversAllConfigKnobs(t *testing.T) {
 		func(c *sim.Config) { c.HybridSRAMBanks = 8 },
 		func(c *sim.Config) { c.EarlyWriteTermination = true },
 		func(c *sim.Config) { c.Seed = 12345 },
+		func(c *sim.Config) { c.Fault = &fault.Config{WriteErrorRate: 1e-3} },
+		func(c *sim.Config) { c.AuditInterval = 500 },
+		func(c *sim.Config) { c.WatchdogCycles = 12345 },
 	}
 	for i, mutate := range variants {
 		cfg := base
@@ -289,5 +299,55 @@ func TestRunnerKeyCoversAllConfigKnobs(t *testing.T) {
 		if a == b {
 			t.Errorf("variant %d: memoizer conflated distinct configurations", i)
 		}
+	}
+}
+
+func TestResilienceSweep(t *testing.T) {
+	r := tinyRunner(t)
+	entries, err := Resilience(r, "tpcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick mode: per scheme, one fault-free baseline + one rate + one kill.
+	want := 3 * len(sim.AllSchemes())
+	if len(entries) != want {
+		t.Fatalf("sweep produced %d entries, want %d", len(entries), want)
+	}
+	for _, e := range entries {
+		if e.Failed {
+			t.Errorf("%s rate=%g kills=%d failed: %s", e.Scheme, e.Rate, e.TSBKills, e.Err)
+			continue
+		}
+		if e.Rate == 0 && e.TSBKills == 0 {
+			if e.Normalized != 1 || e.Fault != nil {
+				t.Errorf("%s baseline: norm=%f fault=%+v", e.Scheme, e.Normalized, e.Fault)
+			}
+			continue
+		}
+		// The server metric is MinIPC; at this tiny test scale the slowest
+		// core can make zero progress with half the TSBs dead, so only demand
+		// system-level progress and a sane normalization.
+		if e.IT <= 0 || e.Normalized < 0 {
+			t.Errorf("%s rate=%g kills=%d: IT=%f normalized=%f", e.Scheme, e.Rate, e.TSBKills, e.IT, e.Normalized)
+		}
+		if e.Fault == nil {
+			t.Errorf("%s rate=%g kills=%d: no fault report", e.Scheme, e.Rate, e.TSBKills)
+			continue
+		}
+		if e.TSBKills > 0 && e.Fault.TSBsFailed != uint64(e.TSBKills) {
+			t.Errorf("%s kills=%d: report says %d TSBs failed", e.Scheme, e.TSBKills, e.Fault.TSBsFailed)
+		}
+		// SRAM banks are immune to stochastic write errors, so the baseline
+		// scheme never draws; every STT-RAM scheme must.
+		if e.Rate > 0 {
+			if drew := e.Fault.WriteDraws > 0; drew == (e.Scheme == sim.SchemeSRAM64TSB) {
+				t.Errorf("%s rate=%g: draws=%d", e.Scheme, e.Rate, e.Fault.WriteDraws)
+			}
+		}
+	}
+	var buf strings.Builder
+	PrintResilience(&buf, entries)
+	if !strings.Contains(buf.String(), "rehomed") || !strings.Contains(buf.String(), "ok") {
+		t.Fatalf("rendered table missing expected columns:\n%s", buf.String())
 	}
 }

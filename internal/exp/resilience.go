@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"sttsim/internal/fault"
+	"sttsim/internal/sim"
+	"sttsim/internal/workload"
+)
+
+// Resilience study: how gracefully does each of the six designs degrade under
+// the two hardware failure modes a stacked 3D STT-RAM cache faces — stochastic
+// MTJ write failures (retried with backoff, line-invalidated on exhaustion)
+// and structural TSB/vertical-bus deaths (regions re-homed onto surviving
+// TSBs)? The sweep varies the raw write error rate with an intact stack, and
+// separately kills 1..3 of 4 region TSBs with a perfect error rate, reporting
+// performance normalized to each scheme's fault-free run.
+
+// resilienceRegions keeps every scheme on the same 4-region geometry so a
+// "kill TSB k" campaign is comparable across schemes (and 1..3 of 4 TSBs can
+// die while the system stays serviceable).
+const resilienceRegions = 4
+
+// resilienceKillCycle fires structural faults immediately so the measurement
+// window sees the steady-state degraded system, not the transient.
+const resilienceKillCycle = 1
+
+// ResilienceEntry is one design point of the resilience sweep.
+type ResilienceEntry struct {
+	Scheme sim.Scheme
+	// Rate is the raw write error rate (0 for the structural sub-sweep).
+	Rate float64
+	// TSBKills is how many of the 4 region TSBs are killed at cycle 1.
+	TSBKills int
+
+	IT     float64 // instruction throughput
+	MinIPC float64
+	// Normalized is the scheme's PerfMetric relative to its own fault-free
+	// run (1.0 = no degradation).
+	Normalized float64
+	// Fault is the run's degradation report (nil for the fault-free point).
+	Fault *sim.FaultReport
+
+	// Failed records a run that died with a structured RunError instead of
+	// completing — a resilience failure, reported rather than fatal.
+	Failed bool
+	Err    string
+
+	// perf caches the run's PerfMetric for normalization.
+	perf float64
+}
+
+// resilienceRates is the write-error-rate sub-sweep (raw MTJ write error
+// rates from "good margin" to "pathological").
+var resilienceRates = []float64{1e-4, 1e-3, 1e-2}
+
+// Resilience sweeps write-error rate and TSB-failure count for every scheme
+// on one benchmark. With Options.Quick the sweep keeps one rate and one kill
+// count per scheme.
+func Resilience(r *Runner, bench string) ([]ResilienceEntry, error) {
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	rates := resilienceRates
+	kills := []int{1, 2, 3}
+	if r.opts.Quick {
+		rates = []float64{1e-3}
+		kills = []int{2}
+	}
+	var out []ResilienceEntry
+	for _, scheme := range sim.AllSchemes() {
+		base, entry, err := runResilience(r, scheme, prof, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		if entry.Failed {
+			return nil, fmt.Errorf("exp: fault-free resilience baseline failed: %s", entry.Err)
+		}
+		entry.Normalized = 1
+		out = append(out, entry)
+		for _, rate := range rates {
+			_, e, err := runResilience(r, scheme, prof, rate, 0)
+			if err != nil {
+				return nil, err
+			}
+			e.normalizeTo(prof, base)
+			out = append(out, e)
+		}
+		for _, k := range kills {
+			_, e, err := runResilience(r, scheme, prof, 0, k)
+			if err != nil {
+				return nil, err
+			}
+			e.normalizeTo(prof, base)
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// normalizeTo fills the entry's Normalized field against the fault-free run.
+func (e *ResilienceEntry) normalizeTo(prof workload.Profile, base *sim.Result) {
+	if e.Failed || base == nil {
+		return
+	}
+	if b := PerfMetric(prof, base); b > 0 {
+		e.Normalized = e.perf / b
+	}
+}
+
+// runResilience executes one design point, converting a *sim.RunError into a
+// Failed entry instead of an error.
+func runResilience(r *Runner, scheme sim.Scheme, prof workload.Profile, rate float64, tsbKills int) (*sim.Result, ResilienceEntry, error) {
+	entry := ResilienceEntry{Scheme: scheme, Rate: rate, TSBKills: tsbKills}
+	cfg := sim.Config{
+		Scheme:     scheme,
+		Assignment: workload.Homogeneous(prof),
+		Regions:    resilienceRegions,
+	}
+	if rate > 0 || tsbKills > 0 {
+		fc := &fault.Config{WriteErrorRate: rate}
+		for k := 0; k < tsbKills; k++ {
+			fc.TSBFailures = append(fc.TSBFailures,
+				fault.TSBFailure{Cycle: resilienceKillCycle, Region: k})
+		}
+		cfg.Fault = fc
+	}
+	res, err := r.Run(cfg)
+	if err != nil {
+		var re *sim.RunError
+		if errors.As(err, &re) {
+			entry.Failed = true
+			entry.Err = re.Error()
+			return nil, entry, nil
+		}
+		return nil, entry, err
+	}
+	entry.IT = res.InstructionThroughput
+	entry.MinIPC = res.MinIPC
+	entry.Fault = res.Fault
+	entry.perf = PerfMetric(prof, res)
+	return res, entry, nil
+}
+
+// PrintResilience renders the sweep grouped by scheme.
+func PrintResilience(w io.Writer, entries []ResilienceEntry) {
+	t := &table{header: []string{
+		"scheme", "rate", "tsb-kills", "IT", "minIPC", "norm", "retries", "exhausted", "rehomed", "status",
+	}}
+	for _, e := range entries {
+		if e.Failed {
+			t.add(e.Scheme.String(), fmt.Sprintf("%g", e.Rate), fmt.Sprintf("%d", e.TSBKills),
+				"-", "-", "-", "-", "-", "-", "FAILED: "+e.Err)
+			continue
+		}
+		retries, exhausted, rehomed := "-", "-", "-"
+		if e.Fault != nil {
+			retries = fmt.Sprintf("%d", e.Fault.WriteRetries)
+			exhausted = fmt.Sprintf("%d", e.Fault.RetriesExhausted)
+			rehomed = fmt.Sprintf("%d", e.Fault.RegionsRehomed)
+		}
+		t.add(e.Scheme.String(), fmt.Sprintf("%g", e.Rate), fmt.Sprintf("%d", e.TSBKills),
+			f2(e.IT), f3(e.MinIPC), f3(e.Normalized), retries, exhausted, rehomed, "ok")
+	}
+	t.write(w)
+}

@@ -63,6 +63,7 @@ type BankStats struct {
 	DrainedWrites  uint64 // writes moved from buffer to array
 	DetectOverhead uint64 // cycles spent on the 1-cycle read/write detection
 	EarlyTermSaved uint64 // write cycles saved by early termination
+	RetriedWrites  uint64 // write re-pulses caused by stochastic write failures
 }
 
 // Bank models one L2 cache bank: a single-ported array with technology-
@@ -269,6 +270,12 @@ func (b *Bank) serve(r *Request, now uint64) {
 	}
 	b.busyUntil = now + service
 }
+
+// NoteRetriedWrite records one write re-pulse caused by a stochastic write
+// failure. The retry itself re-enters the queue as an ordinary write, so it
+// is already counted in Writes/BusyCycles (and the energy model charges the
+// extra pulse); this counter just makes the retries attributable.
+func (b *Bank) NoteRetriedWrite() { b.stats.RetriedWrites++ }
 
 // ResetStats clears the bank's accumulated statistics (end of warmup).
 func (b *Bank) ResetStats() { b.stats = BankStats{} }

@@ -1,0 +1,150 @@
+package noc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// corrupt builds a fresh network, verifies it is self-consistent, applies the
+// corruption, and asserts CheckInvariants reports a violation containing want.
+func corrupt(t *testing.T, want string, mutate func(n *Network)) {
+	t.Helper()
+	n := mustNetwork(t, Config{})
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatalf("fresh network violates invariants: %v", err)
+	}
+	mutate(n)
+	err := n.CheckInvariants()
+	if err == nil {
+		t.Fatalf("corruption went undetected (want %q)", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("violation %q does not mention %q", err, want)
+	}
+}
+
+func TestAuditDetectsUnownedFlits(t *testing.T) {
+	corrupt(t, "no owner", func(n *Network) {
+		st := &n.routers[0].in[PortLocal].vcs[0]
+		st.buf = append(st.buf, Flit{Pkt: &Packet{ID: 1}, Seq: 1})
+	})
+}
+
+func TestAuditDetectsInterleavedPackets(t *testing.T) {
+	corrupt(t, "interleaved", func(n *Network) {
+		a, b := &Packet{ID: 1}, &Packet{ID: 2}
+		st := &n.routers[0].in[PortLocal].vcs[0]
+		st.pkt = a
+		st.buf = append(st.buf, Flit{Pkt: a, Seq: 0}, Flit{Pkt: b, Seq: 1})
+		// Keep the credit ledger consistent so the ownership check is what
+		// fires, not conservation.
+		n.routers[0].in[PortLocal].feeder.credits[0] -= 2
+	})
+}
+
+func TestAuditDetectsCreditLeak(t *testing.T) {
+	corrupt(t, "credits+buffered", func(n *Network) {
+		n.routers[0].in[PortLocal].feeder.credits[0]--
+	})
+}
+
+func TestAuditDetectsNegativeCredits(t *testing.T) {
+	corrupt(t, "negative credits", func(n *Network) {
+		// Conservation must hold (credits + buffered == depth) for the
+		// negative-credit branch to be the one that fires.
+		p := &Packet{ID: 1}
+		st := &n.routers[0].in[PortLocal].vcs[0]
+		st.pkt = p
+		for i := 0; i <= n.bufDepth; i++ {
+			st.buf = append(st.buf, Flit{Pkt: p, Seq: i})
+		}
+		n.routers[0].in[PortLocal].feeder.credits[0] = -1
+	})
+}
+
+func TestAuditDetectsBufferedFlitCounterDrift(t *testing.T) {
+	corrupt(t, "buffered flits", func(n *Network) {
+		n.routers[5].bufferedFlits++
+	})
+}
+
+func TestAuditDetectsNeedVCCounterDrift(t *testing.T) {
+	corrupt(t, "awaiting allocation", func(n *Network) {
+		n.routers[5].needVC++
+	})
+}
+
+func TestStepReturnsDeadlockErrorWithStalledDump(t *testing.T) {
+	n := mustNetwork(t, Config{WatchdogCycles: 200})
+	n.SetDeliver(64, func(*Packet, uint64) {})
+	// A permanently shut gate wedges everything headed to node 64.
+	n.NIC(64).SetGate(func(p *Packet, now uint64) bool { return false })
+	for i := 0; i < 40; i++ {
+		n.Inject(&Packet{Kind: KindWriteReq, Src: NodeID(i % 8), Dst: 64}, 0)
+	}
+	var dl *DeadlockError
+	for now := uint64(0); now < 5000; now++ {
+		if err := n.Step(now); err != nil {
+			if !errors.As(err, &dl) {
+				t.Fatalf("Step returned %T, want *DeadlockError", err)
+			}
+			break
+		}
+	}
+	if dl == nil {
+		t.Fatal("watchdog never fired on a permanently blocked network")
+	}
+	if dl.InFlight != n.InFlight() || dl.InFlight == 0 {
+		t.Fatalf("deadlock reports %d in flight, network says %d", dl.InFlight, n.InFlight())
+	}
+	// A wormhole packet spread across several routers appears once per VC it
+	// occupies, so compare distinct packets, not dump entries.
+	ids := make(map[uint64]bool)
+	for _, p := range dl.Stalled {
+		ids[p.ID] = true
+	}
+	if len(ids) != dl.InFlight {
+		t.Fatalf("packet dump covers %d distinct packets of %d in flight", len(ids), dl.InFlight)
+	}
+	if !strings.Contains(dl.Error(), "deadlock") {
+		t.Fatalf("error text %q does not say deadlock", dl.Error())
+	}
+	// The dump must carry usable debugging detail.
+	for _, p := range dl.Stalled {
+		if p.Dst != 64 {
+			t.Fatalf("stalled packet bound for %d, all traffic targeted 64", p.Dst)
+		}
+		if p.Where == "" {
+			t.Fatalf("stalled packet %d has no location", p.ID)
+		}
+	}
+}
+
+func TestDegradedPortStillDelivers(t *testing.T) {
+	// Kill-vs-degrade: a period-4 link is slow but alive, so traffic drains.
+	n := mustNetwork(t, Config{WatchdogCycles: 500})
+	var got int
+	n.SetDeliver(2, func(*Packet, uint64) { got++ })
+	if err := n.DegradePort(0, PortEast, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		n.Inject(&Packet{Kind: KindReadReq, Src: 0, Dst: 2}, uint64(i))
+	}
+	drain(t, n, 5, 2000)
+	if got != 5 {
+		t.Fatalf("delivered %d of 5 packets over the degraded link", got)
+	}
+}
+
+func TestFailPortValidation(t *testing.T) {
+	n := mustNetwork(t, Config{})
+	// Node 0 is the north-west corner: no west link exists.
+	if err := n.FailPort(0, PortWest); err == nil {
+		t.Fatal("expected error failing a non-existent link")
+	}
+	if err := n.FailPort(-1, PortEast); err == nil {
+		t.Fatal("expected error for invalid node")
+	}
+}

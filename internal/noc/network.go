@@ -33,6 +33,9 @@ type Config struct {
 	// Prioritizer, when non-nil, is consulted by every router's VA and SA
 	// stages; internal/core provides the STT-RAM-aware implementation.
 	Prioritizer Prioritizer
+	// WatchdogCycles overrides the deadlock watchdog window; 0 means the
+	// WatchdogCycles default.
+	WatchdogCycles uint64
 }
 
 // NetStats aggregates network-wide activity.
@@ -67,6 +70,7 @@ type Network struct {
 	inflight int
 	lastMove uint64
 	nextID   uint64
+	watchdog uint64
 }
 
 // NewNetwork wires up routers, links, TSVs, TSBs and NICs per the config.
@@ -85,9 +89,13 @@ func NewNetwork(cfg Config) (*Network, error) {
 		routing:     cfg.Routing,
 		prioritizer: cfg.Prioritizer,
 		bufDepth:    cfg.BufDepth,
+		watchdog:    cfg.WatchdogCycles,
 	}
 	if n.bufDepth == 0 {
 		n.bufDepth = DefaultBufDepth
+	}
+	if n.watchdog == 0 {
+		n.watchdog = WatchdogCycles
 	}
 	for c := 0; c < int(NumClasses); c++ {
 		if vcs[c] <= 0 {
@@ -302,10 +310,13 @@ func (n *Network) priority(at NodeID, p *Packet, now uint64) int {
 	return n.prioritizer.Priority(at, p, now)
 }
 
-// Tick advances the network one cycle: NICs first (ejection + injection),
+// Step advances the network one cycle: NICs first (ejection + injection),
 // then every router's SA and VA stages. The fixed iteration order keeps runs
-// bit-for-bit reproducible.
-func (n *Network) Tick(now uint64) {
+// bit-for-bit reproducible. When the deadlock watchdog fires — packets in
+// flight but no flit movement for over the watchdog window — Step returns a
+// *DeadlockError carrying the stalled-packet dump instead of panicking, so
+// callers can surface a structured failure report.
+func (n *Network) Step(now uint64) error {
 	for id := NodeID(0); id < NumNodes; id++ {
 		n.nics[id].tick(now)
 	}
@@ -314,9 +325,70 @@ func (n *Network) Tick(now uint64) {
 		r.switchAlloc(now)
 		r.vcAlloc(now)
 	}
-	if n.inflight > 0 && now > n.lastMove && now-n.lastMove > WatchdogCycles {
-		panic(fmt.Sprintf("noc: deadlock watchdog: %d packets in flight, no flit movement since cycle %d (now %d)",
-			n.inflight, n.lastMove, now))
+	if n.inflight > 0 && now > n.lastMove && now-n.lastMove > n.watchdog {
+		return &DeadlockError{
+			Now: now, LastMove: n.lastMove, InFlight: n.inflight,
+			Stalled: n.DumpInFlight(),
+		}
+	}
+	return nil
+}
+
+// MustStep advances the network one cycle and panics on a watchdog deadlock —
+// the pre-Step behavior, kept for tests and tools that treat a deadlock as a
+// fatal bug rather than a condition to report.
+func (n *Network) MustStep(now uint64) {
+	if err := n.Step(now); err != nil {
+		panic(err)
+	}
+}
+
+// Tick is an alias for MustStep, preserving the original advancing API.
+func (n *Network) Tick(now uint64) { n.MustStep(now) }
+
+// FailPort kills the output port p of router id: the link never moves another
+// flit. Traffic routed through it will stall (and eventually trip the
+// deadlock watchdog) unless the routing layer steers around the fault.
+func (n *Network) FailPort(id NodeID, p Port) error {
+	return n.DegradePort(id, p, 0)
+}
+
+// DegradePort degrades the output port p of router id to a 1/period duty
+// cycle (the link moves flits only on cycles divisible by period); period 0
+// kills the port outright. It returns an error when the port has no link.
+func (n *Network) DegradePort(id NodeID, p Port, period uint64) error {
+	if !id.Valid() || p < 0 || p >= NumPorts {
+		return fmt.Errorf("noc: degrade of invalid port %d:%d", id, p)
+	}
+	ol := n.routers[id].out[p]
+	if ol == nil {
+		return fmt.Errorf("noc: router %d has no %s port to degrade", id, p)
+	}
+	ol.faulty = true
+	ol.period = period
+	return nil
+}
+
+// RecomputeRoutes re-runs route computation for every buffered header that
+// has not yet been granted a downstream VC. Called after the routing function
+// changes (e.g. regions re-homed onto surviving TSBs): packets not yet
+// committed to a path follow the new routes, while wormholes already holding
+// a downstream VC drain along their old path.
+func (n *Network) RecomputeRoutes() {
+	for id := NodeID(0); id < NumNodes; id++ {
+		r := n.routers[id]
+		for port := Port(0); port < NumPorts; port++ {
+			ip := r.in[port]
+			if ip == nil {
+				continue
+			}
+			for vc := range ip.vcs {
+				st := &ip.vcs[vc]
+				if st.pkt != nil && st.outVC < 0 {
+					st.outPort = n.routing.NextPort(id, st.pkt)
+				}
+			}
+		}
 	}
 }
 

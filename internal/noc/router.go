@@ -69,6 +69,19 @@ type outLink struct {
 	busy     []bool // downstream VC currently owned by an in-flight packet
 	tailSent []bool // tail forwarded; VC frees once its credits all return
 	rr       int    // SA round-robin pointer
+
+	// Fault-injection state (see Network.DegradePort): a faulty link moves
+	// flits only on cycles divisible by period; period 0 means dead.
+	faulty bool
+	period uint64
+}
+
+// usableAt reports whether the link may move a flit this cycle.
+func (l *outLink) usableAt(now uint64) bool {
+	if !l.faulty {
+		return true
+	}
+	return l.period > 0 && now%l.period == 0
 }
 
 // Router is one 2-stage wormhole router.
@@ -210,7 +223,7 @@ func (r *Router) switchAlloc(now uint64) {
 				continue
 			}
 			ol := r.out[st.outPort]
-			if ol.credits[st.outVC] <= 0 {
+			if ol.credits[st.outVC] <= 0 || !ol.usableAt(now) {
 				continue
 			}
 			if st.outPort == PortLocal && !r.net.nics[r.id].canEject(st.pkt.Class) {

@@ -33,6 +33,14 @@ type Routing struct {
 	// tsbOf maps each cache-layer node to the core-layer node hosting the
 	// TSB that serves its region. Only consulted under PathRegionTSBs.
 	tsbOf [NumNodes]NodeID
+
+	// Vertical-link fault state (fault-injection campaigns): downDead marks
+	// core-layer nodes whose down-link has failed; descendAt caches, per
+	// core-layer node, the nearest surviving node with a working down-link.
+	// hasDeadDown gates all of it so the fault-free path costs nothing.
+	hasDeadDown bool
+	downDead    [LayerSize]bool
+	descendAt   [LayerSize]NodeID
 }
 
 // NewRouting builds a routing function. Under PathRegionTSBs, tsbOf must map
@@ -61,6 +69,83 @@ func (r *Routing) Mode() RequestPathMode { return r.mode }
 // TSBOf returns the core-layer TSB node serving cache node d (only
 // meaningful under PathRegionTSBs).
 func (r *Routing) TSBOf(d NodeID) NodeID { return r.tsbOf[d] }
+
+// UpdateTSBMap replaces the cache-node-to-TSB assignment mid-run — the
+// re-homing step of graceful degradation after a TSB failure. It validates
+// like NewRouting and is a no-op for PathAllTSVs routings.
+func (r *Routing) UpdateTSBMap(tsbOf map[NodeID]NodeID) error {
+	if r.mode != PathRegionTSBs {
+		return nil
+	}
+	for n := NodeID(LayerSize); n < NumNodes; n++ {
+		t, ok := tsbOf[n]
+		if !ok {
+			return fmt.Errorf("noc: no TSB assigned to cache node %d", n)
+		}
+		if !t.Valid() || t.Layer() != 0 {
+			return fmt.Errorf("noc: TSB node %d for cache node %d is not in the core layer", t, n)
+		}
+		if r.downDead[t] {
+			return fmt.Errorf("noc: TSB map routes cache node %d through dead TSB %d", n, t)
+		}
+	}
+	for n := NodeID(LayerSize); n < NumNodes; n++ {
+		r.tsbOf[n] = tsbOf[n]
+	}
+	return nil
+}
+
+// FailDown marks the vertical down-link at core-layer node c dead for future
+// route computations. Descending traffic that would have used it detours
+// through the nearest surviving down-link (Manhattan distance, lowest node ID
+// on ties). It fails when c is not a core-layer node or when no down-link
+// would survive.
+func (r *Routing) FailDown(c NodeID) error {
+	if !c.Valid() || c.Layer() != 0 {
+		return fmt.Errorf("noc: FailDown(%d): not a core-layer node", c)
+	}
+	alive := 0
+	for i := range r.downDead {
+		if !r.downDead[i] && NodeID(i) != c {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return fmt.Errorf("noc: FailDown(%d) would kill the last vertical down-link", c)
+	}
+	r.downDead[c] = true
+	r.hasDeadDown = true
+	r.recomputeDescents()
+	return nil
+}
+
+// DownDead reports whether the down-link at core-layer node c has failed.
+func (r *Routing) DownDead(c NodeID) bool {
+	return c.Valid() && c.Layer() == 0 && r.downDead[c]
+}
+
+// recomputeDescents refreshes the per-node nearest-surviving-down-link cache.
+func (r *Routing) recomputeDescents() {
+	for i := 0; i < LayerSize; i++ {
+		at := NodeID(i)
+		if !r.downDead[i] {
+			r.descendAt[i] = at
+			continue
+		}
+		best := NodeID(-1)
+		bestDist := 0
+		for j := 0; j < LayerSize; j++ {
+			if r.downDead[j] {
+				continue
+			}
+			d := SameLayerDistance(at, NodeID(j))
+			if best < 0 || d < bestDist {
+				best, bestDist = NodeID(j), d
+			}
+		}
+		r.descendAt[i] = best
+	}
+}
 
 // isDemandRequest reports whether the packet is a core-to-cache demand
 // request, the only traffic restricted to region TSBs. Coherence traffic,
@@ -151,7 +236,13 @@ func (r *Routing) NextPort(at NodeID, p *Packet) Port {
 			}
 			return XYNext(at, tsb)
 		}
-		// Unrestricted: descend immediately (Z-X-Y).
+		// Unrestricted: descend immediately (Z-X-Y). With failed vertical
+		// links, a node whose own down-link is dead detours X-Y toward its
+		// nearest surviving down-link; the per-hop nearest-alive distance
+		// strictly shrinks, so the detour cannot loop.
+		if r.hasDeadDown && r.downDead[at] {
+			return XYNext(at, r.descendAt[at])
+		}
 		return PortDown
 	}
 	// Ascending: all 64 TSVs available; ascend immediately (Z-X-Y).

@@ -10,6 +10,7 @@ import (
 
 	"sttsim/internal/core"
 	"sttsim/internal/cpu"
+	"sttsim/internal/fault"
 	"sttsim/internal/mem"
 	"sttsim/internal/workload"
 )
@@ -140,6 +141,26 @@ type Config struct {
 	// mitigation on every bank: array writes complete in 40-100% of the
 	// worst-case pulse.
 	EarlyWriteTermination bool
+
+	// Resilience knobs (documented in DESIGN.md "Resilience"):
+
+	// Fault, when non-nil and enabled, runs the simulation under a
+	// fault-injection campaign: scheduled TSB/link failures with graceful
+	// region re-homing, router port degradation, and stochastic STT-RAM write
+	// failures with bounded retry. A nil or disabled config is provably
+	// zero-cost: withDefaults normalizes it to nil and no fault machinery is
+	// wired.
+	Fault *fault.Config
+
+	// AuditInterval, when nonzero, runs noc.CheckInvariants every
+	// AuditInterval cycles during the run; a violation aborts the run with a
+	// structured *RunError. DefaultAuditInterval (via cmd drivers) is 10000.
+	AuditInterval uint64
+
+	// WatchdogCycles overrides the NoC deadlock watchdog window (0 = the
+	// noc.WatchdogCycles default). Tests use small values so induced
+	// deadlocks are detected quickly.
+	WatchdogCycles uint64
 }
 
 // BankTech resolves the bank technology for this configuration.
@@ -172,6 +193,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 0x5717AB
+	}
+	// Zero-cost-when-off guarantee: a present-but-disabled fault campaign is
+	// indistinguishable from no campaign at all, so Results stay byte-
+	// identical to the fault-free code paths. An *invalid* campaign (e.g. a
+	// negative error rate) is kept so New rejects it rather than silently
+	// running fault-free.
+	if c.Fault != nil && !c.Fault.Enabled() && c.Fault.Validate() == nil {
+		c.Fault = nil
 	}
 	return c
 }

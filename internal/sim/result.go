@@ -49,6 +49,11 @@ type Result struct {
 	// Arbiter activity (nil for non-prioritized schemes).
 	Arbiter *core.ArbiterStats
 
+	// Fault-injection and graceful-degradation activity (nil when no
+	// campaign is enabled, so fault-free Results are byte-identical to the
+	// pre-resilience code paths).
+	Fault *FaultReport
+
 	// Figure 8: un-core energy.
 	Energy energy.Report
 }
@@ -84,20 +89,37 @@ func meanService(r *Result) float64 {
 		float64(reads+writes)
 }
 
-// Run builds a simulator for cfg, runs warmup, measures, and reports.
-func Run(cfg Config) (*Result, error) {
-	s, err := New(cfg)
-	if err != nil {
-		return nil, err
+// Run builds a simulator for cfg, runs warmup, measures, and reports. When
+// the simulated system stops making progress or corrupts its own state —
+// a watchdog-detected deadlock, an invariant-audit violation, or a router-
+// protocol panic — Run returns a structured *RunError (cycle, in-flight
+// packet dump, audit verdict) instead of panicking.
+func Run(cfg Config) (res *Result, err error) {
+	s, serr := New(cfg)
+	if serr != nil {
+		return nil, serr
 	}
 	cfg = s.cfg // defaults applied
-	for s.now < cfg.WarmupCycles {
-		s.Tick()
-	}
-	s.resetStats()
+	// Router-protocol violations deep in the NoC still panic (they indicate
+	// simulator bugs, not modeled faults); convert them into the same
+	// structured failure the watchdog produces.
+	defer func() {
+		if r := recover(); r != nil {
+			perr, ok := r.(error)
+			if !ok {
+				perr = fmt.Errorf("panic: %v", r)
+			}
+			res, err = nil, s.failure(perr)
+		}
+	}()
 	end := cfg.WarmupCycles + cfg.MeasureCycles
 	for s.now < end {
-		s.Tick()
+		if s.now == cfg.WarmupCycles {
+			s.resetStats()
+		}
+		if serr := s.Step(); serr != nil {
+			return nil, s.failure(serr)
+		}
 	}
 	return s.result(), nil
 }
@@ -152,6 +174,19 @@ func (s *Simulator) result() *Result {
 	if s.arbiter != nil {
 		st := s.arbiter.Stats()
 		r.Arbiter = &st
+	}
+	if s.faults != nil {
+		fr := s.freport
+		es := s.faults.Stats()
+		fr.WriteDraws = es.WriteDraws
+		fr.WriteFailures = es.WriteFailures
+		for _, cs := range r.Cache {
+			fr.WriteRetries += cs.WriteRetries
+			fr.RetriesExhausted += cs.RetriesExhausted
+			fr.LinesInvalidated += cs.LinesInvalidated
+			fr.FillsDropped += cs.FillsDropped
+		}
+		r.Fault = &fr
 	}
 	r.Energy = energy.Compute(s.cfg.BankTech(), r.BankStats, r.Net, cycles, energy.DefaultParams)
 	return r

@@ -6,6 +6,7 @@ import (
 	"sttsim/internal/cache"
 	"sttsim/internal/core"
 	"sttsim/internal/cpu"
+	"sttsim/internal/fault"
 	"sttsim/internal/mem"
 	"sttsim/internal/noc"
 	"sttsim/internal/stats"
@@ -45,6 +46,7 @@ func MissRatioFor(prof workload.Profile, tech mem.Tech) float64 {
 type Simulator struct {
 	cfg     Config
 	net     *noc.Network
+	routing *noc.Routing
 	cores   []*cpu.Core
 	banks   []*cache.BankController
 	mcs     map[noc.NodeID]*mcWrapper
@@ -53,6 +55,12 @@ type Simulator struct {
 	arbiter *core.BankAwareArbiter
 	rca     *core.RCAEstimator
 	wb      *core.WBEstimator
+
+	// Fault-injection state (all nil/zero when the campaign is disabled, so
+	// the hot loop pays nothing).
+	faults     *fault.Engine
+	failedTSBs map[noc.NodeID]bool
+	freport    FaultReport
 
 	now uint64
 
@@ -83,15 +91,39 @@ func New(cfg Config) (*Simulator, error) {
 		gapHist: stats.NewGapHistogram(),
 	}
 
-	// Routing and, for the restricted schemes, the region geometry.
+	// Fault campaign: build the engine up front so configuration errors
+	// surface at construction, not mid-run.
+	if cfg.Fault != nil {
+		eng, err := fault.NewEngine(*cfg.Fault, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s.faults = eng
+		s.failedTSBs = make(map[noc.NodeID]bool)
+		for _, f := range cfg.Fault.TSBFailures {
+			if f.Region >= cfg.Regions {
+				return nil, fmt.Errorf("sim: TSB failure targets region %d but the run has %d regions",
+					f.Region, cfg.Regions)
+			}
+		}
+	}
+
+	// Routing and, for the restricted schemes, the region geometry. An
+	// unrestricted run under a TSB-failure campaign still builds the layout:
+	// the campaign's region indices resolve against the same geometry, so
+	// failure scenarios are comparable across all six schemes.
 	var routing *noc.Routing
 	var wide []noc.NodeID
 	var err error
-	if cfg.Scheme.Restricted() {
+	needLayout := cfg.Scheme.Restricted() ||
+		(cfg.Fault != nil && len(cfg.Fault.TSBFailures) > 0)
+	if needLayout {
 		s.layout, err = core.NewRegionLayout(cfg.Regions, cfg.Placement)
 		if err != nil {
 			return nil, err
 		}
+	}
+	if cfg.Scheme.Restricted() {
 		routing, err = noc.NewRouting(noc.PathRegionTSBs, s.layout.TSBMap())
 		if err != nil {
 			return nil, err
@@ -103,6 +135,7 @@ func New(cfg Config) (*Simulator, error) {
 			return nil, err
 		}
 	}
+	s.routing = routing
 
 	// The bank-aware arbiter and its estimator.
 	var prioritizer noc.Prioritizer
@@ -146,9 +179,13 @@ func New(cfg Config) (*Simulator, error) {
 		}
 		s.net, err = noc.NewNetwork(noc.Config{
 			Routing: routing, VCsPerClass: vcs, WideTSBs: wide, Prioritizer: prioritizerForNet,
+			WatchdogCycles: cfg.WatchdogCycles,
 		})
 	} else {
-		s.net, err = noc.NewNetwork(noc.Config{Routing: routing, VCsPerClass: vcs, WideTSBs: wide})
+		s.net, err = noc.NewNetwork(noc.Config{
+			Routing: routing, VCsPerClass: vcs, WideTSBs: wide,
+			WatchdogCycles: cfg.WatchdogCycles,
+		})
 	}
 	if err != nil {
 		return nil, err
@@ -203,6 +240,11 @@ func New(cfg Config) (*Simulator, error) {
 		}
 		s.banks[i] = cache.NewBankController(node, bank)
 		s.banks[i].SetGapHistogram(s.gapHist)
+		// Stochastic write failure is a property of resistive/MTJ cells;
+		// SRAM banks (the baseline scheme, hybrid SRAM banks) are immune.
+		if s.faults != nil && cfg.Fault.WriteErrorRate > 0 && bankTech.Name != mem.SRAM.Name {
+			s.banks[i].SetWriteFaults(s.faults, cfg.Fault.MaxRetries(), cfg.Fault.Backoff())
+		}
 		if s.arbiter != nil && i < cfg.HybridSRAMBanks {
 			// The parent's busy estimate must use the hybrid bank's short
 			// writes, not the STT-RAM worst case.
@@ -325,9 +367,22 @@ func (s *Simulator) recordLatency(p *noc.Packet, now uint64) {
 	s.latency.ObservePacket(net, queue)
 }
 
-// Tick advances the whole system one cycle.
-func (s *Simulator) Tick() {
+// Step advances the whole system one cycle. It returns a structural failure —
+// a NoC deadlock caught by the watchdog, an invariant-audit violation, or a
+// fault event that cannot be applied (e.g. every TSB dead) — instead of
+// panicking; Run wraps any such error in a *RunError with a full in-flight
+// packet dump.
+func (s *Simulator) Step() error {
 	now := s.now
+
+	// Scheduled structural faults fire before anything moves this cycle.
+	if s.faults != nil && s.faults.HasEventsDue(now) {
+		for _, ev := range s.faults.EventsDue(now) {
+			if err := s.applyFault(ev); err != nil {
+				return err
+			}
+		}
+	}
 
 	// Cores issue and retire; their new requests enter the network.
 	for _, c := range s.cores {
@@ -345,8 +400,11 @@ func (s *Simulator) Tick() {
 		s.tsacks = s.tsacks[:0]
 	}
 
-	// Network moves flits; deliveries invoke the sinks wired above.
-	s.net.Tick(now)
+	// Network moves flits; deliveries invoke the sinks wired above. A
+	// watchdog-detected deadlock surfaces here as a *noc.DeadlockError.
+	if err := s.net.Step(now); err != nil {
+		return err
+	}
 
 	// Banks service accesses and emit responses/memory traffic.
 	for _, bc := range s.banks {
@@ -374,7 +432,77 @@ func (s *Simulator) Tick() {
 	if now%sampleInterval == 0 {
 		s.sampleRouters()
 	}
+	if ai := s.cfg.AuditInterval; ai > 0 && now > 0 && now%ai == 0 {
+		if err := s.net.CheckInvariants(); err != nil {
+			return err
+		}
+	}
 	s.now++
+	return nil
+}
+
+// Tick advances the whole system one cycle, panicking on structural failures —
+// the legacy interface the fault-free tests and tools keep using.
+func (s *Simulator) Tick() {
+	if err := s.Step(); err != nil {
+		panic(err)
+	}
+}
+
+// applyFault applies one scheduled structural fault.
+func (s *Simulator) applyFault(ev fault.Event) error {
+	switch {
+	case ev.TSB != nil:
+		return s.failTSB(ev.TSB.Region)
+	case ev.Port != nil:
+		f := ev.Port
+		if err := s.net.DegradePort(f.Node, f.Port, f.Period); err != nil {
+			return err
+		}
+		if f.Period == 0 {
+			s.freport.PortsFailed++
+		} else {
+			s.freport.PortsDegraded++
+		}
+	}
+	return nil
+}
+
+// failTSB kills the down-link of the given region's TSB and re-homes every
+// region that lost its bus onto the nearest surviving TSB. In-flight wormholes
+// that already hold downstream VCs drain along their old path (the dead link
+// only stops granting new traversals); headers not yet granted an output VC
+// are re-resolved so nothing keeps aiming at the dead link.
+func (s *Simulator) failTSB(region int) error {
+	if s.layout == nil {
+		return fmt.Errorf("sim: TSB failure for region %d but no region layout", region)
+	}
+	t := s.layout.TSBCore(region)
+	if s.failedTSBs[t] {
+		return nil // already dead
+	}
+	if err := s.routing.FailDown(t); err != nil {
+		return err
+	}
+	s.failedTSBs[t] = true
+	s.freport.TSBsFailed++
+	if s.cfg.Scheme.Restricted() {
+		m, rehomed, err := s.layout.RehomedTSBMap(s.failedTSBs)
+		if err != nil {
+			return err
+		}
+		if err := s.routing.UpdateTSBMap(m); err != nil {
+			return err
+		}
+		s.freport.RegionsRehomed = uint64(rehomed)
+		if s.parents != nil {
+			// Keep the bank-aware re-ordering points on the routes requests
+			// actually take after re-homing.
+			s.parents.Rebuild(m)
+		}
+	}
+	s.net.RecomputeRoutes()
+	return nil
 }
 
 // tick admits queued memory requests (respecting the per-processor quota)
@@ -465,5 +593,8 @@ func (s *Simulator) resetStats() {
 	s.gapHist.Reset()
 	for h := range s.hopReqs {
 		s.hopReqs[h].Reset()
+	}
+	if s.faults != nil {
+		s.faults.ResetStats()
 	}
 }
