@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify
+.PHONY: all build vet test race verify smoke
 
 all: verify
 
@@ -25,3 +25,8 @@ race:
 	$(GO) test -race -short ./...
 
 verify: build vet test race
+
+# Checkpoint round trip: interrupt a campaign mid-flight, resume it from the
+# journal, require byte-identical output to an uninterrupted reference run.
+smoke:
+	./scripts/checkpoint_smoke.sh

@@ -174,7 +174,9 @@ func BenchmarkNetworkTick(b *testing.B) {
 			n.Inject(&noc.Packet{Kind: noc.KindWriteReq,
 				Src: noc.NodeID(i % 64), Dst: noc.NodeID(64 + (i*7)%64)}, now)
 		}
-		n.Tick(now)
+		if err := n.Step(now); err != nil {
+			b.Fatal(err)
+		}
 		now++
 	}
 }
@@ -235,7 +237,9 @@ func BenchmarkSimulatorCycle(b *testing.B) {
 	must(b, err)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Tick()
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

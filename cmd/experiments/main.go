@@ -3,18 +3,35 @@
 // -quick restricts sweeps to a representative subset, and -exp selects a
 // single experiment.
 //
+// The campaign is supervised: runs execute on a bounded worker pool (-jobs),
+// each with an optional wall-clock budget (-run-timeout), panic recovery and
+// a retry policy for watchdog/timeout verdicts. Failed runs render as
+// FAILED(<cause>) cells instead of aborting the campaign, and SIGINT/SIGTERM
+// drains gracefully. With -checkpoint the campaign journals every finished
+// run to a JSONL file; -resume replays the journal so an interrupted
+// campaign only executes the remainder.
+//
 // Usage:
 //
 //	experiments [-quick] [-exp all|table2|table3|fig3|fig6|fig7|fig8|fig9|fig10|fig12|fig13|fig14]
 //	            [-warmup N] [-measure N] [-seed N]
+//	            [-jobs N] [-run-timeout D] [-checkpoint FILE] [-resume]
+//
+// All experiment tables go to stdout, which is byte-identical for a given
+// configuration regardless of -jobs and of checkpoint replay; timing and
+// campaign diagnostics go to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"sttsim/internal/campaign"
 	"sttsim/internal/exp"
 )
 
@@ -24,14 +41,52 @@ func main() {
 	warmup := flag.Uint64("warmup", 0, "warmup cycles per run (0 = default)")
 	measure := flag.Uint64("measure", 0, "measured cycles per run (0 = default)")
 	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
+	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	runTimeout := flag.Duration("run-timeout", 0, "wall-clock budget per simulation attempt (0 = none)")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint journal for finished runs (empty = none)")
+	resume := flag.Bool("resume", false, "replay finished runs from the checkpoint journal instead of re-executing them")
 	flag.Parse()
 
-	r := exp.NewRunner(exp.Options{
-		WarmupCycles:  *warmup,
-		MeasureCycles: *measure,
-		Seed:          *seed,
-		Quick:         *quick,
-	})
+	os.Exit(run(*which, *quick, *warmup, *measure, *seed, *jobs, *runTimeout, *checkpoint, *resume))
+}
+
+// run executes the selected experiments and returns the process exit code
+// (0 = every experiment passed, 1 = failures or interruption, 2 = bad
+// usage). Factored out of main so deferred cleanup runs before os.Exit.
+func run(which string, quick bool, warmup, measure, seed uint64, jobs int, runTimeout time.Duration, checkpoint string, resume bool) int {
+	// SIGINT/SIGTERM cancels the campaign context: in-flight runs stop at
+	// their next poll, finished verdicts stay journaled, and the drivers
+	// render what they have with the rest marked FAILED(cancelled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	eng := campaign.NewWithContext(ctx, campaign.Policy{Jobs: jobs, RunTimeout: runTimeout})
+	defer eng.Close()
+	if checkpoint != "" {
+		if resume {
+			recs, err := campaign.LoadJournal(checkpoint)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return 1
+			}
+			if n := eng.Preload(recs); n > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: resuming, %d finished runs replayed from %s\n", n, checkpoint)
+			}
+		}
+		j, err := campaign.OpenJournal(checkpoint, resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		eng.AttachJournal(j)
+	}
+
+	r := exp.NewRunnerEngine(exp.Options{
+		WarmupCycles:  warmup,
+		MeasureCycles: measure,
+		Seed:          seed,
+		Quick:         quick,
+	}, eng)
 
 	type experiment struct {
 		name string
@@ -178,22 +233,88 @@ func main() {
 		"resilience": "Resilience: degradation under stochastic write errors and TSB failures (tpcc)",
 	}
 
+	// verdict is one experiment's outcome for the end-of-campaign summary.
+	type verdict struct {
+		name      string
+		err       error  // hard driver error (nil when the tables rendered)
+		failed    uint64 // run failures surfaced as FAILED(...) cells
+		cancelled uint64 // runs abandoned by an interrupt mid-experiment
+		skipped   bool   // campaign interrupted before this experiment started
+		secs      float64
+	}
+	var verdicts []verdict
 	ran := false
 	for _, e := range experiments {
-		if *which != "all" && *which != e.name {
+		if which != "all" && which != e.name {
 			continue
 		}
 		ran = true
-		start := time.Now()
-		fmt.Fprintf(w, "=== %s ===\n", titles[e.name])
-		if err := e.run(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.name, err)
-			os.Exit(1)
+		if eng.Interrupted() && e.name != "table2" {
+			verdicts = append(verdicts, verdict{name: e.name, skipped: true})
+			continue
 		}
-		fmt.Fprintf(w, "(%s in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+		start := time.Now()
+		before := eng.Stats()
+		fmt.Fprintf(w, "=== %s ===\n", titles[e.name])
+		err := e.run()
+		after := eng.Stats()
+		v := verdict{
+			name:      e.name,
+			err:       err,
+			failed:    after.Failed - before.Failed,
+			cancelled: after.Cancelled - before.Cancelled,
+			secs:      time.Since(start).Seconds(),
+		}
+		verdicts = append(verdicts, v)
+		if err != nil {
+			// Driver-level failure (bad arguments, journal I/O): report and
+			// move on to the remaining experiments.
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.name, err)
+		}
+		// Timing to stderr: stdout stays byte-identical across -jobs levels
+		// and checkpoint replays.
+		fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", e.name, v.secs)
+		fmt.Fprintln(w)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
+		return 2
 	}
+
+	eng.Drain()
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "campaign: %s\n", st)
+	exitCode := 0
+	if len(verdicts) > 1 || st.Failed > 0 || eng.Interrupted() {
+		fmt.Fprintln(os.Stderr, "campaign summary:")
+		for _, v := range verdicts {
+			status := "PASS"
+			detail := fmt.Sprintf("%.1fs", v.secs)
+			switch {
+			case v.skipped:
+				status, detail = "SKIP", "interrupted before start"
+			case v.err != nil:
+				status, detail = "FAIL", v.err.Error()
+			case v.failed > 0:
+				status = "FAIL"
+				detail = fmt.Sprintf("%d run(s) FAILED, see cells above", v.failed)
+			case v.cancelled > 0:
+				status = "FAIL"
+				detail = fmt.Sprintf("interrupted: %d run(s) cancelled", v.cancelled)
+			}
+			fmt.Fprintf(os.Stderr, "  %-10s %-4s %s\n", v.name, status, detail)
+			if status != "PASS" {
+				exitCode = 1
+			}
+		}
+	}
+	if eng.Interrupted() {
+		fmt.Fprintln(os.Stderr, "campaign interrupted; partial results rendered above")
+		exitCode = 1
+	}
+	if err := eng.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: closing checkpoint journal: %v\n", err)
+		exitCode = 1
+	}
+	return exitCode
 }

@@ -1,0 +1,460 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sttsim/internal/cpu"
+	"sttsim/internal/noc"
+	"sttsim/internal/sim"
+	"sttsim/internal/workload"
+)
+
+// cfgN builds the nth distinct cacheable configuration.
+func cfgN(n int) sim.Config {
+	return sim.Config{Scheme: sim.SchemeSTT64TSB, Seed: uint64(1000 + n)}
+}
+
+// okResult builds a recognizable fake result for configuration n.
+func okResult(n int) *sim.Result {
+	return &sim.Result{Cycles: uint64(n), InstructionThroughput: float64(n) / 2}
+}
+
+// countingRun returns a RunFunc that counts executions per fingerprint and
+// delegates to fn.
+func countingRun(execs *sync.Map, fn RunFunc) RunFunc {
+	return func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		key := cfg.Fingerprint()
+		v, _ := execs.LoadOrStore(key, new(atomic.Int64))
+		v.(*atomic.Int64).Add(1)
+		return fn(ctx, cfg)
+	}
+}
+
+// TestSingleflightDedup: many goroutines racing on the same configuration
+// execute it exactly once and all observe the same result.
+func TestSingleflightDedup(t *testing.T) {
+	var execs sync.Map
+	eng := New(Policy{Jobs: 4})
+	eng.SetRunFunc(countingRun(&execs, func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		time.Sleep(5 * time.Millisecond) // widen the race window
+		return okResult(1), nil
+	}))
+	defer eng.Close()
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	results := make([]*sim.Result, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := eng.Run(cfgN(0))
+			if err != nil {
+				t.Errorf("Run: %v", err)
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+
+	total := int64(0)
+	execs.Range(func(_, v any) bool { total += v.(*atomic.Int64).Load(); return true })
+	if total != 1 {
+		t.Fatalf("executed %d times, want exactly 1", total)
+	}
+	for i, res := range results {
+		if res != results[0] {
+			t.Fatalf("goroutine %d saw a different result pointer", i)
+		}
+	}
+	if s := eng.Stats(); s.Hits != goroutines-1 || s.Completed != 1 {
+		t.Fatalf("stats = %+v, want %d hits and 1 completed", s, goroutines-1)
+	}
+}
+
+// TestPanicQuarantined: a panicking run is recovered into a typed
+// *sim.RunError, classified fatal (no retries), and memoized so duplicate
+// configs do not re-trigger it — while sibling configs are unaffected.
+func TestPanicQuarantined(t *testing.T) {
+	var execs sync.Map
+	eng := New(Policy{Jobs: 2, Attempts: 3})
+	eng.SetRunFunc(countingRun(&execs, func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		if cfg.Seed == cfgN(0).Seed {
+			panic(fmt.Sprintf("bank index out of range for seed %d", cfg.Seed))
+		}
+		return okResult(int(cfg.Seed)), nil
+	}))
+	defer eng.Close()
+
+	_, err := eng.Run(cfgN(0))
+	var re *sim.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T (%v), want *sim.RunError", err, err)
+	}
+	if Classify(err) != VerdictFatal {
+		t.Fatalf("Classify(panic) = %v, want VerdictFatal", Classify(err))
+	}
+	if got := Cause(err); got != "panic" {
+		t.Fatalf("Cause = %q, want %q", got, "panic")
+	}
+	// The quarantined failure is memoized: a second ask joins it.
+	if _, err2 := eng.Run(cfgN(0)); !errors.As(err2, &re) {
+		t.Fatalf("second Run err = %v, want memoized *sim.RunError", err2)
+	}
+	// Siblings still complete.
+	if res, err := eng.Run(cfgN(1)); err != nil || res == nil {
+		t.Fatalf("sibling Run = (%v, %v), want success", res, err)
+	}
+	v, _ := execs.Load(cfgN(0).Fingerprint())
+	if n := v.(*atomic.Int64).Load(); n != 1 {
+		t.Fatalf("panicking config executed %d times, want 1 (fatal: no retries)", n)
+	}
+	if s := eng.Stats(); s.Failed != 1 || s.Completed != 1 {
+		t.Fatalf("stats = %+v, want 1 failed, 1 completed", s)
+	}
+}
+
+// TestRetryPolicy: watchdog deadlocks and timeouts retry up to
+// Policy.Attempts with backoff; a success on a later attempt wins.
+func TestRetryPolicy(t *testing.T) {
+	var calls atomic.Int64
+	eng := New(Policy{Jobs: 1, Attempts: 3, Backoff: time.Millisecond})
+	eng.SetRunFunc(func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		if calls.Add(1) < 3 {
+			return nil, &noc.DeadlockError{Now: 42}
+		}
+		return okResult(7), nil
+	})
+	defer eng.Close()
+
+	res, err := eng.Run(cfgN(0))
+	if err != nil || res == nil {
+		t.Fatalf("Run = (%v, %v), want success on third attempt", res, err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("executed %d attempts, want 3", n)
+	}
+	if s := eng.Stats(); s.Retries != 2 || s.Executed != 3 || s.Completed != 1 {
+		t.Fatalf("stats = %+v, want 2 retries over 3 executions", s)
+	}
+}
+
+// TestRetryExhaustion: a persistent deadlock surfaces after Attempts tries.
+func TestRetryExhaustion(t *testing.T) {
+	var calls atomic.Int64
+	eng := New(Policy{Jobs: 1, Attempts: 2, Backoff: time.Millisecond})
+	eng.SetRunFunc(func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		calls.Add(1)
+		return nil, &noc.DeadlockError{Now: 9}
+	})
+	defer eng.Close()
+
+	_, err := eng.Run(cfgN(0))
+	var dl *noc.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want *noc.DeadlockError", err)
+	}
+	if got := Cause(err); got != "deadlock" {
+		t.Fatalf("Cause = %q, want deadlock", got)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("executed %d attempts, want Attempts=2", n)
+	}
+}
+
+// TestRunTimeoutClassifiedRetryable: a hanging run is cut off by the
+// per-attempt timeout and classified retryable.
+func TestRunTimeoutClassifiedRetryable(t *testing.T) {
+	eng := New(Policy{Jobs: 1, RunTimeout: 5 * time.Millisecond, Attempts: 2, Backoff: time.Millisecond})
+	eng.SetRunFunc(func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		<-ctx.Done() // simulate a hung run honouring cancellation
+		return nil, ctx.Err()
+	})
+	defer eng.Close()
+
+	_, err := eng.Run(cfgN(0))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if got := Cause(err); got != "timeout" {
+		t.Fatalf("Cause = %q, want timeout", got)
+	}
+	if s := eng.Stats(); s.Executed != 2 {
+		t.Fatalf("stats = %+v, want both attempts consumed", s)
+	}
+}
+
+// TestUncacheableBypassesMemo: configs with an opaque GeneratorFactory have
+// no fingerprint and must execute every time, never touching the memo.
+func TestUncacheableBypassesMemo(t *testing.T) {
+	var calls atomic.Int64
+	eng := New(Policy{Jobs: 1})
+	eng.SetRunFunc(func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		calls.Add(1)
+		return okResult(1), nil
+	})
+	defer eng.Close()
+
+	cfg := cfgN(0)
+	cfg.GeneratorFactory = func(int, workload.Profile, float64) cpu.Generator { return nil }
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Run(cfg); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("uncacheable config executed %d times, want 3", n)
+	}
+	if s := eng.Stats(); s.Hits != 0 {
+		t.Fatalf("stats = %+v, want zero memo hits", s)
+	}
+}
+
+// TestJournalRoundTrip: records append, load back intact, and tolerate a
+// torn final line.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Key: "k1", Scheme: "STT-64TSB", Bench: "x264", Status: StatusOK, Result: okResult(3)},
+		{Key: "k2", Status: StatusFailed, Cause: "panic", Error: "boom"},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill mid-write: torn trailing line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"k3","status":"o`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d records, want 2 (torn tail dropped)", len(got))
+	}
+	if got[0].Key != "k1" || got[0].Result == nil || got[0].Result.Cycles != 3 {
+		t.Fatalf("record 0 = %+v, want journaled result back", got[0])
+	}
+	if got[1].Cause != "panic" {
+		t.Fatalf("record 1 cause = %q, want panic", got[1].Cause)
+	}
+	// A missing journal is an empty resume, not an error.
+	if recs, err := LoadJournal(filepath.Join(t.TempDir(), "absent.jsonl")); err != nil || recs != nil {
+		t.Fatalf("LoadJournal(absent) = (%v, %v), want (nil, nil)", recs, err)
+	}
+}
+
+// TestKillAndResume: a campaign interrupted partway re-executes zero
+// completed configurations on resume — the acceptance criterion for
+// -checkpoint/-resume.
+func TestKillAndResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	configs := make([]sim.Config, 6)
+	for i := range configs {
+		configs[i] = cfgN(i)
+	}
+
+	// Phase 1: run the first half, then "die" (close without the rest).
+	var execs1 sync.Map
+	eng1 := New(Policy{Jobs: 2})
+	eng1.SetRunFunc(countingRun(&execs1, func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		if cfg.Seed == configs[2].Seed {
+			return nil, errors.New("deterministic invariant violation")
+		}
+		return okResult(int(cfg.Seed)), nil
+	}))
+	j1, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng1.AttachJournal(j1)
+	for _, cfg := range configs[:3] {
+		eng1.Run(cfg)
+	}
+	if err := eng1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: resume. Journaled outcomes (2 ok + 1 fatal) must replay with
+	// zero re-execution; only the remaining 3 configs run.
+	recs, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs2 sync.Map
+	eng2 := New(Policy{Jobs: 2})
+	eng2.SetRunFunc(countingRun(&execs2, func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		return okResult(int(cfg.Seed)), nil
+	}))
+	if n := eng2.Preload(recs); n != 3 {
+		t.Fatalf("Preload restored %d runs, want 3", n)
+	}
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2.AttachJournal(j2)
+	for i, cfg := range configs {
+		res, err := eng2.Run(cfg)
+		if i == 2 {
+			var rp *ReplayedError
+			if !errors.As(err, &rp) || rp.Token != "error" && rp.Token != "sim-error" {
+				t.Fatalf("config 2 err = %v, want replayed quarantine", err)
+			}
+			continue
+		}
+		if err != nil || res == nil {
+			t.Fatalf("config %d = (%v, %v), want success", i, res, err)
+		}
+		if res.Cycles != uint64(cfg.Seed) {
+			t.Fatalf("config %d result cycles = %d, want %d", i, res.Cycles, cfg.Seed)
+		}
+	}
+	eng2.Close()
+
+	reexecuted := 0
+	execs2.Range(func(k, v any) bool {
+		for _, cfg := range configs[:3] {
+			if k.(string) == cfg.Fingerprint() {
+				reexecuted += int(v.(*atomic.Int64).Load())
+			}
+		}
+		return true
+	})
+	if reexecuted != 0 {
+		t.Fatalf("resume re-executed %d journaled configs, want 0", reexecuted)
+	}
+	if s := eng2.Stats(); s.Executed != 3 || s.Replayed != 3 {
+		t.Fatalf("stats = %+v, want 3 executed and 3 replayed", s)
+	}
+}
+
+// TestPreloadSkipsRetryableFailures: journaled timeout/deadlock failures are
+// environment-dependent, so a resume re-executes them instead of replaying
+// the stale verdict.
+func TestPreloadSkipsRetryableFailures(t *testing.T) {
+	eng := New(Policy{Jobs: 1})
+	var calls atomic.Int64
+	eng.SetRunFunc(func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		calls.Add(1)
+		return okResult(1), nil
+	})
+	defer eng.Close()
+
+	key := cfgN(0).Fingerprint()
+	n := eng.Preload([]Record{
+		{Key: key, Status: StatusFailed, Cause: "timeout", Error: "deadline exceeded"},
+	})
+	if n != 0 {
+		t.Fatalf("Preload restored %d, want 0 (timeouts retry on resume)", n)
+	}
+	if res, err := eng.Run(cfgN(0)); err != nil || res == nil {
+		t.Fatalf("Run = (%v, %v), want fresh successful execution", res, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatal("timed-out config was not re-executed on resume")
+	}
+}
+
+// TestInterruptDrains: Interrupt cancels in-flight runs promptly, queued
+// submissions come back cancelled, and nothing cancelled reaches the
+// journal.
+func TestInterruptDrains(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	started := make(chan struct{})
+	eng := New(Policy{Jobs: 1})
+	eng.SetRunFunc(func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.AttachJournal(j)
+
+	for i := 0; i < 4; i++ {
+		eng.Submit(cfgN(i))
+	}
+	<-started
+	eng.Interrupt()
+	done := make(chan struct{})
+	go func() { eng.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not complete after Interrupt")
+	}
+	for i := 0; i < 4; i++ {
+		_, err := eng.Run(cfgN(i))
+		if Classify(err) != VerdictCancelled {
+			t.Fatalf("config %d verdict = %v (%v), want cancelled", i, Classify(err), err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("journal holds %d cancelled records, want 0", len(recs))
+	}
+	if s := eng.Stats(); s.Cancelled == 0 {
+		t.Fatalf("stats = %+v, want cancelled runs counted", s)
+	}
+}
+
+// TestSubmitThenRunJoins: the drivers' prefetch pattern — Submit the sweep up
+// front, then collect sequentially via Run — executes each config once.
+func TestSubmitThenRunJoins(t *testing.T) {
+	var execs sync.Map
+	eng := New(Policy{Jobs: 4})
+	eng.SetRunFunc(countingRun(&execs, func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		return okResult(int(cfg.Seed)), nil
+	}))
+	defer eng.Close()
+
+	for i := 0; i < 8; i++ {
+		eng.Submit(cfgN(i))
+	}
+	for i := 0; i < 8; i++ {
+		res, err := eng.Run(cfgN(i))
+		if err != nil || res == nil || res.Cycles != uint64(cfgN(i).Seed) {
+			t.Fatalf("config %d = (%v, %v), want its own result", i, res, err)
+		}
+	}
+	total := int64(0)
+	execs.Range(func(_, v any) bool { total += v.(*atomic.Int64).Load(); return true })
+	if total != 8 {
+		t.Fatalf("executed %d runs for 8 configs, want 8", total)
+	}
+}

@@ -1,0 +1,124 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"sttsim/internal/sim"
+)
+
+// Record statuses. Only terminal verdicts are journaled; cancelled runs are
+// omitted so a resumed campaign re-executes them.
+const (
+	StatusOK     = "ok"
+	StatusFailed = "failed"
+)
+
+// Record is one line of the JSONL checkpoint journal: the terminal outcome of
+// one simulation, keyed by the collision-proof fingerprint of its full
+// resolved configuration.
+type Record struct {
+	Key    string      `json:"key"`
+	Scheme string      `json:"scheme,omitempty"`
+	Bench  string      `json:"bench,omitempty"`
+	Status string      `json:"status"`
+	Cause  string      `json:"cause,omitempty"`
+	Error  string      `json:"error,omitempty"`
+	Result *sim.Result `json:"result,omitempty"`
+}
+
+// Journal is an append-only JSONL checkpoint file. Append is safe for
+// concurrent use and flushes after every record, so a campaign killed
+// mid-run loses at most the record being written — and LoadJournal tolerates
+// that torn tail.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// OpenJournal opens path for appending records. With resume set, existing
+// records are preserved (and should first be read back via LoadJournal);
+// otherwise the file is truncated and the campaign starts fresh.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	flags := os.O_CREATE | os.O_WRONLY
+	if resume {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open checkpoint journal: %w", err)
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// LoadJournal reads every intact record from a previous campaign's journal.
+// A torn final line — the usual artefact of a killed process — ends the load
+// without error; everything before it is returned. A missing file is an
+// empty journal, not an error, so -resume works on the very first run.
+func LoadJournal(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("campaign: read checkpoint journal: %w", err)
+	}
+	defer f.Close()
+	var recs []Record
+	dec := json.NewDecoder(f)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return recs, nil
+			}
+			// Torn tail from an interrupted write: keep what decoded.
+			return recs, nil
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// Append writes one record and flushes it to the OS.
+func (j *Journal) Append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: encode journal record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("campaign: journal is closed")
+	}
+	if _, err := j.w.Write(line); err != nil {
+		return err
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	ferr := j.w.Flush()
+	cerr := j.f.Close()
+	j.f = nil
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

@@ -130,7 +130,9 @@ func TestRCAEstimatorTracksCongestion(t *testing.T) {
 	}
 	var congested uint64
 	for now := uint64(0); now < 60; now++ {
-		net.Tick(now)
+		if err := net.Step(now); err != nil {
+			t.Fatal(err)
+		}
 		e.Tick(now)
 		if c := e.Congestion(91, 75, now); c > congested {
 			congested = c
@@ -256,7 +258,9 @@ func TestFigure2Schedule(t *testing.T) {
 		now := uint64(0)
 		for i, d := range seq {
 			for ; now < uint64(i+1); now++ {
-				net.Tick(now)
+				if err := net.Step(now); err != nil {
+					t.Fatal(err)
+				}
 			}
 			net.Inject(&noc.Packet{Kind: noc.KindReadReq, Src: 7, Dst: d}, now)
 		}
@@ -264,7 +268,9 @@ func TestFigure2Schedule(t *testing.T) {
 			if now > 100000 {
 				t.Fatal("network did not drain")
 			}
-			net.Tick(now)
+			if err := net.Step(now); err != nil {
+				t.Fatal(err)
+			}
 		}
 		return order
 	}

@@ -35,31 +35,56 @@ type AblationPoint struct {
 	Perf float64
 	// Normalized is Perf relative to the sweep's reference point.
 	Normalized float64
+	// Failed is the failure cell when any of the point's runs (or the
+	// reference point) did not complete.
+	Failed string
 }
 
 // sweep runs one configuration mutation per label and normalizes to the
-// first point.
+// first point. The configuration fingerprint covers every knob the mutations
+// touch, so no key mangling is needed to keep the points distinct.
 func (r *Runner) sweep(labels []string, mutate func(cfg *sim.Config, i int)) ([]AblationPoint, error) {
+	point := func(i int, prof workload.Profile) sim.Config {
+		cfg := sim.Config{Scheme: sim.SchemeSTT4TSBWB, Assignment: workload.Homogeneous(prof)}
+		mutate(&cfg, i)
+		return cfg
+	}
+	for i := range labels {
+		for _, name := range r.ablationApps() {
+			r.Prefetch(point(i, workload.MustByName(name)))
+		}
+	}
 	points := make([]AblationPoint, 0, len(labels))
 	for i, label := range labels {
 		var sum float64
+		failed := ""
 		for _, name := range r.ablationApps() {
 			prof := workload.MustByName(name)
-			cfg := sim.Config{Scheme: sim.SchemeSTT4TSBWB, Assignment: workload.Homogeneous(prof)}
-			mutate(&cfg, i)
-			// Distinguish memoization keys for mutations the key cannot see.
-			cfg.Assignment.Name = fmt.Sprintf("%s@%s", cfg.Assignment.Name, label)
-			res, err := r.Run(cfg)
+			res, err := r.Run(point(i, prof))
 			if err != nil {
-				return nil, err
+				failed = failedCell(err)
+				break
 			}
 			sum += PerfMetric(prof, res)
 		}
-		points = append(points, AblationPoint{Label: label, Perf: sum / float64(len(r.ablationApps()))})
+		points = append(points, AblationPoint{
+			Label:  label,
+			Perf:   sum / float64(len(r.ablationApps())),
+			Failed: failed,
+		})
+	}
+	if points[0].Failed != "" {
+		// No reference point: the whole sweep fails to normalize.
+		for i := range points {
+			if points[i].Failed == "" {
+				points[i].Failed = points[0].Failed
+			}
+		}
+		return points, nil
 	}
 	base := points[0].Perf
 	for i := range points {
-		if base > 0 {
+		if base > 0 && points[i].Failed == "" {
 			points[i].Normalized = points[i].Perf / base
 		}
 	}
@@ -104,6 +129,9 @@ type WriteLatencyPoint struct {
 	// Gain is mean(WB) / mean(plain 4TSB) - the scheme's benefit at this
 	// write latency.
 	Gain float64
+	// Failed is the failure cell when any run at this point did not
+	// complete.
+	Failed string
 }
 
 // AblationWriteLatency sweeps the bank write service time from SRAM-like (3
@@ -115,26 +143,35 @@ func AblationWriteLatency(r *Runner) ([]WriteLatencyPoint, error) {
 	if r.opts.Quick {
 		sweep = []uint64{3, 33, 150}
 	}
-	var out []WriteLatencyPoint
-	for _, wc := range sweep {
+	pointCfg := func(wc uint64, s sim.Scheme, prof workload.Profile) sim.Config {
 		tech := mem.STTRAM.WithWriteCycles(wc)
 		if wc == mem.PCRAM.WriteCycles {
 			tech = mem.PCRAM
 		}
+		return sim.Config{
+			Scheme:     s,
+			Assignment: workload.Homogeneous(prof),
+			CustomTech: &tech,
+		}
+	}
+	for _, wc := range sweep {
+		for _, name := range r.ablationApps() {
+			for _, s := range []sim.Scheme{sim.SchemeSTT4TSB, sim.SchemeSTT4TSBWB} {
+				r.Prefetch(pointCfg(wc, s, workload.MustByName(name)))
+			}
+		}
+	}
+	var out []WriteLatencyPoint
+	for _, wc := range sweep {
 		var plain, scheme float64
+		failed := ""
 		for _, name := range r.ablationApps() {
 			prof := workload.MustByName(name)
 			for _, s := range []sim.Scheme{sim.SchemeSTT4TSB, sim.SchemeSTT4TSBWB} {
-				techCopy := tech
-				cfg := sim.Config{
-					Scheme:     s,
-					Assignment: workload.Homogeneous(prof),
-					CustomTech: &techCopy,
-				}
-				cfg.Assignment.Name = fmt.Sprintf("%s@wc%d", cfg.Assignment.Name, wc)
-				res, err := r.Run(cfg)
+				res, err := r.Run(pointCfg(wc, s, prof))
 				if err != nil {
-					return nil, err
+					failed = failedCell(err)
+					break
 				}
 				if s == sim.SchemeSTT4TSB {
 					plain += PerfMetric(prof, res)
@@ -142,8 +179,15 @@ func AblationWriteLatency(r *Runner) ([]WriteLatencyPoint, error) {
 					scheme += PerfMetric(prof, res)
 				}
 			}
+			if failed != "" {
+				break
+			}
 		}
-		out = append(out, WriteLatencyPoint{WriteCycles: wc, Gain: scheme / plain})
+		pt := WriteLatencyPoint{WriteCycles: wc, Failed: failed}
+		if failed == "" && plain > 0 {
+			pt.Gain = scheme / plain
+		}
+		out = append(out, pt)
 	}
 	return out, nil
 }
@@ -153,6 +197,10 @@ func PrintAblation(w io.Writer, title string, points []AblationPoint) {
 	fmt.Fprintf(w, "%s\n", title)
 	t := &table{header: []string{"config", "perf", "vs first"}}
 	for _, p := range points {
+		if p.Failed != "" {
+			t.add(p.Label, p.Failed, p.Failed)
+			continue
+		}
 		t.add(p.Label, f3(p.Perf), f3(p.Normalized))
 	}
 	t.write(w)
@@ -162,7 +210,11 @@ func PrintAblation(w io.Writer, title string, points []AblationPoint) {
 func PrintWriteLatency(w io.Writer, points []WriteLatencyPoint) {
 	t := &table{header: []string{"bank write cycles", "WB scheme gain over plain 4TSB"}}
 	for _, p := range points {
-		t.add(fmt.Sprintf("%d", p.WriteCycles), fmt.Sprintf("%+.2f%%", 100*(p.Gain-1)))
+		cell := fmt.Sprintf("%+.2f%%", 100*(p.Gain-1))
+		if p.Failed != "" {
+			cell = p.Failed
+		}
+		t.add(fmt.Sprintf("%d", p.WriteCycles), cell)
 	}
 	t.write(w)
 }

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"sttsim/internal/campaign"
 	"sttsim/internal/sim"
 	"sttsim/internal/workload"
 )
@@ -42,43 +43,38 @@ func (o Options) benchmarks() []workload.Profile {
 	return out
 }
 
-// Runner memoizes simulation runs so experiments sharing configurations
-// (e.g. the SRAM baseline, or alone-IPC references) pay for them once.
+// Runner resolves campaign options onto configurations and executes them
+// through a campaign.Engine: runs are supervised (timeout, panic recovery,
+// retry policy), deduplicated by configuration fingerprint so experiments
+// sharing runs (e.g. the SRAM baseline, or alone-IPC references) pay for
+// them once, and optionally checkpointed to disk.
 type Runner struct {
-	opts  Options
-	cache map[string]*sim.Result
+	opts Options
+	eng  *campaign.Engine
 }
 
-// NewRunner builds a runner for the given options.
+// NewRunner builds a runner backed by a fresh sequential engine — the
+// drop-in equivalent of the old memoizing runner.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts, cache: make(map[string]*sim.Result)}
+	return NewRunnerEngine(opts, campaign.New(campaign.Policy{Jobs: 1}))
+}
+
+// NewRunnerEngine builds a runner on an existing engine, sharing its worker
+// pool, memo and checkpoint journal with other experiments.
+func NewRunnerEngine(opts Options, eng *campaign.Engine) *Runner {
+	return &Runner{opts: opts, eng: eng}
 }
 
 // Options returns the campaign options.
 func (r *Runner) Options() Options { return r.opts }
 
-func key(cfg sim.Config) string {
-	tech := "-"
-	if cfg.CustomTech != nil {
-		tech = fmt.Sprintf("%s/%d", cfg.CustomTech.Name, cfg.CustomTech.WriteCycles)
-	}
-	flt := "-"
-	if cfg.Fault.Enabled() {
-		flt = fmt.Sprintf("%d/%g/%d/%d/%v/%v",
-			cfg.Fault.Seed, cfg.Fault.WriteErrorRate, cfg.Fault.MaxWriteRetries,
-			cfg.Fault.RetryBackoffCycles, cfg.Fault.TSBFailures, cfg.Fault.PortFaults)
-	}
-	return fmt.Sprintf("%d|%s|%d|%d|%v|%d|%d|%v|%v|%d|%d|%d|%s|%d|%d|%d|%v|%d|%s|%d|%d",
-		cfg.Scheme, cfg.Assignment.Name, cfg.Regions, cfg.Placement, cfg.PlacementSet,
-		cfg.Hops, cfg.WriteBufferEntries, cfg.ReadPreemption, cfg.ExtraReqVC,
-		cfg.WBWindow, cfg.WarmupCycles, cfg.MeasureCycles,
-		tech, cfg.HoldCap, cfg.BankQueueDepth, cfg.HybridSRAMBanks,
-		cfg.EarlyWriteTermination, cfg.Seed,
-		flt, cfg.AuditInterval, cfg.WatchdogCycles)
-}
+// Engine exposes the underlying campaign engine (for stats and draining).
+func (r *Runner) Engine() *campaign.Engine { return r.eng }
 
-// Run executes (or recalls) one simulation.
-func (r *Runner) Run(cfg sim.Config) (*sim.Result, error) {
+// resolve fills unset per-run knobs from the campaign options, so identical
+// experiments hash to identical fingerprints regardless of which driver
+// built the config.
+func (r *Runner) resolve(cfg sim.Config) sim.Config {
 	if cfg.WarmupCycles == 0 {
 		cfg.WarmupCycles = r.opts.WarmupCycles
 	}
@@ -88,21 +84,40 @@ func (r *Runner) Run(cfg sim.Config) (*sim.Result, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = r.opts.Seed
 	}
-	k := key(cfg)
-	if res, ok := r.cache[k]; ok {
-		return res, nil
+	return cfg
+}
+
+// Run executes (or joins, or replays) one simulation and blocks for its
+// outcome.
+func (r *Runner) Run(cfg sim.Config) (*sim.Result, error) {
+	return r.eng.Run(r.resolve(cfg))
+}
+
+// Prefetch queues configurations on the engine's worker pool without
+// waiting. Drivers submit their full sweep up front, then keep their
+// sequential collection loops: with -jobs N the runs execute N-wide in the
+// background while the loop joins them in deterministic order, so rendered
+// output is byte-identical to a sequential campaign.
+func (r *Runner) Prefetch(cfgs ...sim.Config) {
+	for _, cfg := range cfgs {
+		r.eng.Submit(r.resolve(cfg))
 	}
-	res, err := sim.Run(cfg)
-	if err != nil {
-		return nil, err
-	}
-	r.cache[k] = res
-	return res, nil
 }
 
 // RunScheme is shorthand for a homogeneous run of one benchmark.
 func (r *Runner) RunScheme(scheme sim.Scheme, prof workload.Profile) (*sim.Result, error) {
 	return r.Run(sim.Config{Scheme: scheme, Assignment: workload.Homogeneous(prof)})
+}
+
+// SchemeConfig is the homogeneous-run config RunScheme executes — drivers
+// use it to prefetch scheme sweeps.
+func SchemeConfig(scheme sim.Scheme, prof workload.Profile) sim.Config {
+	return sim.Config{Scheme: scheme, Assignment: workload.Homogeneous(prof)}
+}
+
+// failedCell renders a failed run's table cell.
+func failedCell(err error) string {
+	return "FAILED(" + campaign.Cause(err) + ")"
 }
 
 // AloneIPC returns the mean per-copy IPC of a benchmark running alone (64
@@ -169,6 +184,9 @@ func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 
 // f3 formats a float with three decimals.
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// sortStrings sorts in place (alias so drivers don't re-import sort).
+func sortStrings(s []string) { sort.Strings(s) }
 
 // sortedNames returns map keys in sorted order.
 func sortedNames[V any](m map[string]V) []string {

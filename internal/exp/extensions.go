@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"fmt"
 	"io"
 
 	"sttsim/internal/sim"
@@ -24,6 +23,8 @@ type ExtDesign struct {
 type ExtEntry struct {
 	Bench      string
 	Normalized []float64
+	// Failed[i] is the failure cell for design i.
+	Failed []string
 }
 
 // extDesigns enumerates the comparison: plain STT-RAM, early write
@@ -39,25 +40,47 @@ func extDesigns() []ExtDesign {
 	}
 }
 
+// extConfig builds design d's run configuration for one benchmark. The
+// configuration fingerprint covers EarlyWriteTermination and
+// HybridSRAMBanks, so designs stay distinct without name mangling.
+func extConfig(d ExtDesign, prof workload.Profile) sim.Config {
+	cfg := d.Cfg
+	cfg.Assignment = workload.Homogeneous(prof)
+	return cfg
+}
+
 // Extensions measures the extension designs on the write-sensitive apps.
 func Extensions(r *Runner) ([]ExtEntry, error) {
 	designs := extDesigns()
+	for _, name := range r.ablationApps() {
+		for _, d := range designs {
+			r.Prefetch(extConfig(d, workload.MustByName(name)))
+		}
+	}
 	var out []ExtEntry
 	for _, name := range r.ablationApps() {
 		prof := workload.MustByName(name)
-		e := ExtEntry{Bench: name, Normalized: make([]float64, len(designs))}
+		e := ExtEntry{Bench: name,
+			Normalized: make([]float64, len(designs)),
+			Failed:     make([]string, len(designs))}
 		var base float64
 		for i, d := range designs {
-			cfg := d.Cfg
-			cfg.Assignment = workload.Homogeneous(prof)
-			cfg.Assignment.Name = fmt.Sprintf("%s@ext-%s", cfg.Assignment.Name, d.Name)
-			res, err := r.Run(cfg)
+			res, err := r.Run(extConfig(d, prof))
 			if err != nil {
-				return nil, err
+				e.Failed[i] = failedCell(err)
+				if i == 0 {
+					// No baseline: mark the rest of the row as it fills in.
+					base = 0
+				}
+				continue
 			}
 			perf := PerfMetric(prof, res)
 			if i == 0 {
 				base = perf
+			}
+			if e.Failed[0] != "" {
+				e.Failed[i] = e.Failed[0]
+				continue
 			}
 			if base > 0 {
 				e.Normalized[i] = perf / base
@@ -77,7 +100,11 @@ func PrintExtensions(w io.Writer, entries []ExtEntry) {
 	t := &table{header: header}
 	for _, e := range entries {
 		row := []string{e.Bench}
-		for _, v := range e.Normalized {
+		for i, v := range e.Normalized {
+			if i < len(e.Failed) && e.Failed[i] != "" {
+				row = append(row, e.Failed[i])
+				continue
+			}
 			row = append(row, f3(v))
 		}
 		t.add(row...)

@@ -25,15 +25,21 @@ type Fig3Entry struct {
 	// from their destination per occupied cache-layer router (the "#Req"
 	// inset).
 	TwoHopReqs float64
+	// Failed is the failure cell when the run did not complete.
+	Failed string
 }
 
 // Figure3 characterizes the access gaps on the STT-RAM baseline.
 func Figure3(r *Runner) ([]Fig3Entry, error) {
+	for _, prof := range r.Options().benchmarks() {
+		r.Prefetch(SchemeConfig(sim.SchemeSTT64TSB, prof))
+	}
 	var out []Fig3Entry
 	for _, prof := range r.Options().benchmarks() {
 		res, err := r.RunScheme(sim.SchemeSTT64TSB, prof)
 		if err != nil {
-			return nil, err
+			out = append(out, Fig3Entry{Profile: prof, Failed: failedCell(err)})
+			continue
 		}
 		out = append(out, Fig3Entry{
 			Profile:    prof,
@@ -44,7 +50,8 @@ func Figure3(r *Runner) ([]Fig3Entry, error) {
 	return out, nil
 }
 
-// PrintFigure3 renders the histogram rows.
+// PrintFigure3 renders the histogram rows. Failed runs render as failure
+// cells and are excluded from the average.
 func PrintFigure3(w io.Writer, entries []Fig3Entry) {
 	h := stats.NewGapHistogram()
 	header := []string{"bench"}
@@ -54,8 +61,18 @@ func PrintFigure3(w io.Writer, entries []Fig3Entry) {
 	header = append(header, "#Req(2hop)")
 	t := &table{header: header}
 	var avg []float64
+	n := 0
 	for _, e := range entries {
 		row := []string{e.Profile.Name}
+		if e.Failed != "" {
+			for i := 0; i < h.Bins(); i++ {
+				row = append(row, e.Failed)
+			}
+			row = append(row, e.Failed)
+			t.add(row...)
+			continue
+		}
+		n++
 		for i, p := range e.BinPct {
 			row = append(row, f2(p))
 			if len(avg) <= i {
@@ -66,10 +83,10 @@ func PrintFigure3(w io.Writer, entries []Fig3Entry) {
 		row = append(row, f2(e.TwoHopReqs))
 		t.add(row...)
 	}
-	if n := float64(len(entries)); n > 0 {
+	if n > 0 {
 		row := []string{"AVG"}
 		for _, v := range avg {
-			row = append(row, f2(v/n))
+			row = append(row, f2(v/float64(n)))
 		}
 		row = append(row, "")
 		t.add(row...)
@@ -86,6 +103,9 @@ type Fig6Entry struct {
 	Profile workload.Profile
 	// Normalized[s] is PerfMetric(scheme s) / PerfMetric(SRAM-64TSB).
 	Normalized [sim.NumSchemes]float64
+	// Failed[s] is the failure cell for scheme s when its run (or the
+	// SRAM-64TSB baseline) did not complete.
+	Failed [sim.NumSchemes]string
 }
 
 // Fig6Result groups entries by suite with averages.
@@ -94,41 +114,58 @@ type Fig6Result struct {
 }
 
 // SuiteAverage returns the mean normalized performance per scheme over one
-// suite (or over everything when suite is -1).
+// suite (or over everything when suite is -1). Failed cells are excluded
+// per scheme.
 func (f *Fig6Result) SuiteAverage(suite workload.Suite, all bool) [sim.NumSchemes]float64 {
 	var sum [sim.NumSchemes]float64
-	n := 0
+	var n [sim.NumSchemes]int
 	for _, e := range f.Entries {
 		if !all && e.Profile.Suite != suite {
 			continue
 		}
 		for s := range e.Normalized {
+			if e.Failed[s] != "" {
+				continue
+			}
 			sum[s] += e.Normalized[s]
+			n[s]++
 		}
-		n++
 	}
-	if n > 0 {
-		for s := range sum {
-			sum[s] /= float64(n)
+	for s := range sum {
+		if n[s] > 0 {
+			sum[s] /= float64(n[s])
 		}
 	}
 	return sum
 }
 
-// Figure6 runs every benchmark under all six schemes.
+// Figure6 runs every benchmark under all six schemes. Individual run
+// failures become failure cells; the campaign continues.
 func Figure6(r *Runner) (*Fig6Result, error) {
+	profs := r.Options().benchmarks()
+	for _, prof := range profs {
+		for _, s := range sim.AllSchemes() {
+			r.Prefetch(SchemeConfig(s, prof))
+		}
+	}
 	out := &Fig6Result{}
-	for _, prof := range r.Options().benchmarks() {
+	for _, prof := range profs {
+		e := Fig6Entry{Profile: prof}
 		base, err := r.RunScheme(sim.SchemeSRAM64TSB, prof)
 		if err != nil {
-			return nil, err
+			// Without the baseline nothing normalizes: mark the whole row.
+			for s := range e.Failed {
+				e.Failed[s] = failedCell(err)
+			}
+			out.Entries = append(out.Entries, e)
+			continue
 		}
 		baseline := PerfMetric(prof, base)
-		e := Fig6Entry{Profile: prof}
 		for _, s := range sim.AllSchemes() {
 			res, err := r.RunScheme(s, prof)
 			if err != nil {
-				return nil, err
+				e.Failed[s] = failedCell(err)
+				continue
 			}
 			if baseline > 0 {
 				e.Normalized[s] = PerfMetric(prof, res) / baseline
@@ -156,6 +193,10 @@ func PrintFigure6(w io.Writer, f *Fig6Result) {
 			found = true
 			row := []string{e.Profile.Name}
 			for _, s := range sim.AllSchemes() {
+				if e.Failed[s] != "" {
+					row = append(row, e.Failed[s])
+					continue
+				}
 				row = append(row, f3(e.Normalized[s]))
 			}
 			t.add(row...)
@@ -195,10 +236,17 @@ type Fig7Entry struct {
 	// NetLat and QueueLat are mean cycles per scheme.
 	NetLat   [sim.NumSchemes]float64
 	QueueLat [sim.NumSchemes]float64
+	// Failed[s] is the failure cell for scheme s.
+	Failed [sim.NumSchemes]string
 }
 
 // Figure7 measures the latency split.
 func Figure7(r *Runner) ([]Fig7Entry, error) {
+	for _, name := range Fig7Apps {
+		for _, s := range sim.AllSchemes() {
+			r.Prefetch(SchemeConfig(s, workload.MustByName(name)))
+		}
+	}
 	var out []Fig7Entry
 	for _, name := range Fig7Apps {
 		prof := workload.MustByName(name)
@@ -206,7 +254,8 @@ func Figure7(r *Runner) ([]Fig7Entry, error) {
 		for _, s := range sim.AllSchemes() {
 			res, err := r.RunScheme(s, prof)
 			if err != nil {
-				return nil, err
+				e.Failed[s] = failedCell(err)
+				continue
 			}
 			e.NetLat[s] = res.NetTransit
 			e.QueueLat[s] = res.BankQueue
@@ -223,10 +272,22 @@ func PrintFigure7(w io.Writer, entries []Fig7Entry) {
 	for _, e := range entries {
 		netRow := []string{e.Bench, "net lat"}
 		queRow := []string{"", "que lat"}
+		baseFailed := e.Failed[sim.SchemeSRAM64TSB]
 		for _, s := range sim.AllSchemes() {
+			if e.Failed[s] != "" {
+				netRow = append(netRow, e.Failed[s])
+				queRow = append(queRow, e.Failed[s])
+				continue
+			}
 			if s == sim.SchemeSRAM64TSB {
 				netRow = append(netRow, f2(e.NetLat[s])+"cyc")
 				queRow = append(queRow, f2(e.QueueLat[s])+"cyc")
+				continue
+			}
+			if baseFailed != "" {
+				// Nothing to normalize against.
+				netRow = append(netRow, baseFailed)
+				queRow = append(queRow, baseFailed)
 				continue
 			}
 			nl, ql := 0.0, 0.0
@@ -261,21 +322,35 @@ var Fig8Schemes = []sim.Scheme{
 type Fig8Entry struct {
 	Profile    workload.Profile
 	Normalized map[sim.Scheme]float64
+	// Failed[s] is the failure cell for scheme s.
+	Failed map[sim.Scheme]string
 }
 
 // Figure8 measures un-core energy per scheme.
 func Figure8(r *Runner) ([]Fig8Entry, error) {
+	for _, prof := range r.Options().benchmarks() {
+		for _, s := range Fig8Schemes {
+			r.Prefetch(SchemeConfig(s, prof))
+		}
+	}
 	var out []Fig8Entry
 	for _, prof := range r.Options().benchmarks() {
+		e := Fig8Entry{Profile: prof,
+			Normalized: make(map[sim.Scheme]float64),
+			Failed:     make(map[sim.Scheme]string)}
 		base, err := r.RunScheme(sim.SchemeSRAM64TSB, prof)
 		if err != nil {
-			return nil, err
+			for _, s := range Fig8Schemes {
+				e.Failed[s] = failedCell(err)
+			}
+			out = append(out, e)
+			continue
 		}
-		e := Fig8Entry{Profile: prof, Normalized: make(map[sim.Scheme]float64)}
 		for _, s := range Fig8Schemes {
 			res, err := r.RunScheme(s, prof)
 			if err != nil {
-				return nil, err
+				e.Failed[s] = failedCell(err)
+				continue
 			}
 			if base.Energy.UncoreJ() > 0 {
 				e.Normalized[s] = res.Energy.UncoreJ() / base.Energy.UncoreJ()
@@ -287,6 +362,7 @@ func Figure8(r *Runner) ([]Fig8Entry, error) {
 }
 
 // PrintFigure8 renders normalized energies with the all-benchmark average.
+// Failed cells are excluded from the per-scheme average.
 func PrintFigure8(w io.Writer, entries []Fig8Entry) {
 	header := []string{"bench"}
 	for _, s := range Fig8Schemes {
@@ -294,18 +370,28 @@ func PrintFigure8(w io.Writer, entries []Fig8Entry) {
 	}
 	t := &table{header: header}
 	avg := make(map[sim.Scheme]float64)
+	n := make(map[sim.Scheme]int)
 	for _, e := range entries {
 		row := []string{e.Profile.Name}
 		for _, s := range Fig8Schemes {
+			if cell := e.Failed[s]; cell != "" {
+				row = append(row, cell)
+				continue
+			}
 			row = append(row, f3(e.Normalized[s]))
 			avg[s] += e.Normalized[s]
+			n[s]++
 		}
 		t.add(row...)
 	}
-	if n := float64(len(entries)); n > 0 {
+	if len(entries) > 0 {
 		row := []string{"Avg."}
 		for _, s := range Fig8Schemes {
-			row = append(row, f3(avg[s]/n))
+			if n[s] == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, f3(avg[s]/float64(n[s])))
 		}
 		t.add(row...)
 	}
@@ -322,6 +408,9 @@ type Fig9Case struct {
 	Name string
 	WS   [sim.NumSchemes]float64
 	IT   [sim.NumSchemes]float64
+	// Failed[s] is the failure cell for scheme s (set when any of the
+	// case's mixes or alone-references failed under that scheme).
+	Failed [sim.NumSchemes]string
 }
 
 // caseMetrics computes WS and IT for one mix under one scheme, using
@@ -341,7 +430,17 @@ func (r *Runner) caseMetrics(a workload.Assignment, s sim.Scheme) (ws, it float6
 	return stats.WeightedSpeedup(res.IPC, alone), res.InstructionThroughput, res, nil
 }
 
-// Figure9 runs Case-1, Case-2 and the 32-mix aggregate (Case-3).
+// prefetchCase queues a mix's runs and its alone-references.
+func (r *Runner) prefetchCase(a workload.Assignment, s sim.Scheme) {
+	r.Prefetch(sim.Config{Scheme: s, Assignment: a})
+	for _, prof := range a.Profiles {
+		r.Prefetch(SchemeConfig(s, prof))
+	}
+}
+
+// Figure9 runs Case-1, Case-2 and the 32-mix aggregate (Case-3). A failure
+// in any run of a (case, scheme) pair marks that cell failed; the other
+// schemes and cases still report.
 func Figure9(r *Runner) ([]Fig9Case, error) {
 	mixCount := 32
 	if r.Options().Quick {
@@ -355,24 +454,45 @@ func Figure9(r *Runner) ([]Fig9Case, error) {
 		{"Case-2", []workload.Assignment{workload.Case2()}},
 		{"Case-3(aggregate)", numberMixes(workload.Case3(r.Options().Seed + 7)[:mixCount])},
 	}
+	for _, c := range cases {
+		for _, s := range sim.AllSchemes() {
+			for _, mix := range c.mixes {
+				r.prefetchCase(mix, s)
+			}
+		}
+	}
 	var out []Fig9Case
 	for _, c := range cases {
 		fc := Fig9Case{Name: c.name}
 		var baseWS, baseIT float64
+		baseErr := ""
 		for _, s := range sim.AllSchemes() {
 			var wsSum, itSum float64
+			failed := ""
 			for _, mix := range c.mixes {
 				ws, it, _, err := r.caseMetrics(mix, s)
 				if err != nil {
-					return nil, err
+					failed = failedCell(err)
+					break
 				}
 				wsSum += ws
 				itSum += it
+			}
+			if failed != "" {
+				fc.Failed[s] = failed
+				if s == sim.SchemeSRAM64TSB {
+					baseErr = failed
+				}
+				continue
 			}
 			wsSum /= float64(len(c.mixes))
 			itSum /= float64(len(c.mixes))
 			if s == sim.SchemeSRAM64TSB {
 				baseWS, baseIT = wsSum, itSum
+			}
+			if baseErr != "" {
+				fc.Failed[s] = baseErr
+				continue
 			}
 			if baseWS > 0 {
 				fc.WS[s] = wsSum / baseWS
@@ -386,7 +506,7 @@ func Figure9(r *Runner) ([]Fig9Case, error) {
 	return out, nil
 }
 
-// numberMixes gives each mix a unique name so the Runner's memoization never
+// numberMixes gives each mix a unique name so run memoization never
 // conflates two random mixes that happen to share a label.
 func numberMixes(mixes []workload.Assignment) []workload.Assignment {
 	for i := range mixes {
@@ -402,6 +522,11 @@ func PrintFigure9(w io.Writer, cases []Fig9Case) {
 		ws := []string{c.Name, "WS"}
 		it := []string{"", "IT"}
 		for _, s := range sim.AllSchemes() {
+			if c.Failed[s] != "" {
+				ws = append(ws, c.Failed[s])
+				it = append(it, c.Failed[s])
+				continue
+			}
 			ws = append(ws, f3(c.WS[s]))
 			it = append(it, f3(c.IT[s]))
 		}
@@ -416,23 +541,31 @@ type Fig10Entry struct {
 	Bench    string
 	STT64TSB float64
 	WBScheme float64
+	// Failed holds per-column failure cells ([0]: STT-64TSB, [1]: WB).
+	Failed [2]string
 }
 
 // Figure10 measures per-application fairness in the Case-2 mix.
 func Figure10(r *Runner) ([]Fig10Entry, error) {
 	mix := workload.Case2()
 	schemes := []sim.Scheme{sim.SchemeSTT64TSB, sim.SchemeSTT4TSBWB}
+	for _, s := range schemes {
+		r.prefetchCase(mix, s)
+	}
 	slow := make(map[string][2]float64)
+	var colFailed [2]string
 	for si, s := range schemes {
 		res, err := r.Run(sim.Config{Scheme: s, Assignment: mix})
 		if err != nil {
-			return nil, err
+			colFailed[si] = failedCell(err)
+			continue
 		}
 		for i, ipc := range res.IPC {
 			prof := mix.Profiles[i]
 			alone, err := r.AloneIPC(s, prof)
 			if err != nil {
-				return nil, err
+				colFailed[si] = failedCell(err)
+				break
 			}
 			if ipc <= 0 {
 				continue
@@ -448,7 +581,7 @@ func Figure10(r *Runner) ([]Fig10Entry, error) {
 	var out []Fig10Entry
 	for _, name := range []string{"lbm", "hmmer", "bzip2", "libqntm"} {
 		v := slow[name]
-		out = append(out, Fig10Entry{Bench: name, STT64TSB: v[0], WBScheme: v[1]})
+		out = append(out, Fig10Entry{Bench: name, STT64TSB: v[0], WBScheme: v[1], Failed: colFailed})
 	}
 	return out, nil
 }
@@ -457,7 +590,14 @@ func Figure10(r *Runner) ([]Fig10Entry, error) {
 func PrintFigure10(w io.Writer, entries []Fig10Entry) {
 	t := &table{header: []string{"bench", "MaxSlowdown STT-RAM-64TSB", "MaxSlowdown STT-RAM-4TSB-WB"}}
 	for _, e := range entries {
-		t.add(e.Bench, f2(e.STT64TSB), f2(e.WBScheme))
+		c0, c1 := f2(e.STT64TSB), f2(e.WBScheme)
+		if e.Failed[0] != "" {
+			c0 = e.Failed[0]
+		}
+		if e.Failed[1] != "" {
+			c1 = e.Failed[1]
+		}
+		t.add(e.Bench, c0, c1)
 	}
 	t.write(w)
 }

@@ -1,10 +1,10 @@
 package exp
 
 import (
-	"errors"
 	"fmt"
 	"io"
 
+	"sttsim/internal/campaign"
 	"sttsim/internal/fault"
 	"sttsim/internal/sim"
 	"sttsim/internal/workload"
@@ -43,9 +43,11 @@ type ResilienceEntry struct {
 	// Fault is the run's degradation report (nil for the fault-free point).
 	Fault *sim.FaultReport
 
-	// Failed records a run that died with a structured RunError instead of
-	// completing — a resilience failure, reported rather than fatal.
+	// Failed records a run that died instead of completing — a resilience
+	// failure, reported rather than fatal. Cause is the campaign failure
+	// token (panic/deadlock/timeout/...), Err the full message.
 	Failed bool
+	Cause  string
 	Err    string
 
 	// perf caches the run's PerfMetric for normalization.
@@ -70,30 +72,29 @@ func Resilience(r *Runner, bench string) ([]ResilienceEntry, error) {
 		rates = []float64{1e-3}
 		kills = []int{2}
 	}
+	for _, scheme := range sim.AllSchemes() {
+		r.Prefetch(resilienceConfig(scheme, prof, 0, 0))
+		for _, rate := range rates {
+			r.Prefetch(resilienceConfig(scheme, prof, rate, 0))
+		}
+		for _, k := range kills {
+			r.Prefetch(resilienceConfig(scheme, prof, 0, k))
+		}
+	}
 	var out []ResilienceEntry
 	for _, scheme := range sim.AllSchemes() {
-		base, entry, err := runResilience(r, scheme, prof, 0, 0)
-		if err != nil {
-			return nil, err
+		base, entry := runResilience(r, scheme, prof, 0, 0)
+		if !entry.Failed {
+			entry.Normalized = 1
 		}
-		if entry.Failed {
-			return nil, fmt.Errorf("exp: fault-free resilience baseline failed: %s", entry.Err)
-		}
-		entry.Normalized = 1
 		out = append(out, entry)
 		for _, rate := range rates {
-			_, e, err := runResilience(r, scheme, prof, rate, 0)
-			if err != nil {
-				return nil, err
-			}
+			_, e := runResilience(r, scheme, prof, rate, 0)
 			e.normalizeTo(prof, base)
 			out = append(out, e)
 		}
 		for _, k := range kills {
-			_, e, err := runResilience(r, scheme, prof, 0, k)
-			if err != nil {
-				return nil, err
-			}
+			_, e := runResilience(r, scheme, prof, 0, k)
 			e.normalizeTo(prof, base)
 			out = append(out, e)
 		}
@@ -111,10 +112,8 @@ func (e *ResilienceEntry) normalizeTo(prof workload.Profile, base *sim.Result) {
 	}
 }
 
-// runResilience executes one design point, converting a *sim.RunError into a
-// Failed entry instead of an error.
-func runResilience(r *Runner, scheme sim.Scheme, prof workload.Profile, rate float64, tsbKills int) (*sim.Result, ResilienceEntry, error) {
-	entry := ResilienceEntry{Scheme: scheme, Rate: rate, TSBKills: tsbKills}
+// resilienceConfig builds one design point's run configuration.
+func resilienceConfig(scheme sim.Scheme, prof workload.Profile, rate float64, tsbKills int) sim.Config {
 	cfg := sim.Config{
 		Scheme:     scheme,
 		Assignment: workload.Homogeneous(prof),
@@ -128,21 +127,26 @@ func runResilience(r *Runner, scheme sim.Scheme, prof workload.Profile, rate flo
 		}
 		cfg.Fault = fc
 	}
-	res, err := r.Run(cfg)
+	return cfg
+}
+
+// runResilience executes one design point. Every engine failure — RunError,
+// timeout, cancellation — becomes a Failed entry: a resilience study reports
+// how designs die, it doesn't die with them.
+func runResilience(r *Runner, scheme sim.Scheme, prof workload.Profile, rate float64, tsbKills int) (*sim.Result, ResilienceEntry) {
+	entry := ResilienceEntry{Scheme: scheme, Rate: rate, TSBKills: tsbKills}
+	res, err := r.Run(resilienceConfig(scheme, prof, rate, tsbKills))
 	if err != nil {
-		var re *sim.RunError
-		if errors.As(err, &re) {
-			entry.Failed = true
-			entry.Err = re.Error()
-			return nil, entry, nil
-		}
-		return nil, entry, err
+		entry.Failed = true
+		entry.Cause = campaign.Cause(err)
+		entry.Err = err.Error()
+		return nil, entry
 	}
 	entry.IT = res.InstructionThroughput
 	entry.MinIPC = res.MinIPC
 	entry.Fault = res.Fault
 	entry.perf = PerfMetric(prof, res)
-	return res, entry, nil
+	return res, entry
 }
 
 // PrintResilience renders the sweep grouped by scheme.
@@ -152,8 +156,9 @@ func PrintResilience(w io.Writer, entries []ResilienceEntry) {
 	}}
 	for _, e := range entries {
 		if e.Failed {
+			cell := "FAILED(" + e.Cause + ")"
 			t.add(e.Scheme.String(), fmt.Sprintf("%g", e.Rate), fmt.Sprintf("%d", e.TSBKills),
-				"-", "-", "-", "-", "-", "-", "FAILED: "+e.Err)
+				cell, cell, cell, "-", "-", "-", "FAILED: "+e.Err)
 			continue
 		}
 		retries, exhausted, rehomed := "-", "-", "-"
@@ -162,8 +167,12 @@ func PrintResilience(w io.Writer, entries []ResilienceEntry) {
 			exhausted = fmt.Sprintf("%d", e.Fault.RetriesExhausted)
 			rehomed = fmt.Sprintf("%d", e.Fault.RegionsRehomed)
 		}
+		norm := f3(e.Normalized)
+		if e.Normalized == 0 {
+			norm = "-" // baseline failed; nothing to normalize against
+		}
 		t.add(e.Scheme.String(), fmt.Sprintf("%g", e.Rate), fmt.Sprintf("%d", e.TSBKills),
-			f2(e.IT), f3(e.MinIPC), f3(e.Normalized), retries, exhausted, rehomed, "ok")
+			f2(e.IT), f3(e.MinIPC), norm, retries, exhausted, rehomed, "ok")
 	}
 	t.write(w)
 }

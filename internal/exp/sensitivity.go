@@ -19,19 +19,40 @@ type Fig12Point struct {
 	Regions    int
 	Placement  core.Placement
 	Normalized float64
+	// Failed is the failure cell when any run of the point (or of the
+	// normalization baseline) did not complete.
+	Failed string
+}
+
+// fig12Config builds one sweep point's run configuration.
+func fig12Config(prof workload.Profile, regions int, placement core.Placement) sim.Config {
+	return sim.Config{
+		Scheme:     sim.SchemeSTT4TSBWB,
+		Assignment: workload.Homogeneous(prof),
+		Regions:    regions, Placement: placement, PlacementSet: true,
+	}
 }
 
 // Figure12 sweeps 4/8/16 regions x corner/stagger.
 func Figure12(r *Runner) ([]Fig12Point, error) {
 	benches := r.Options().benchmarks()
+	sweep := []struct {
+		regions   int
+		placement core.Placement
+	}{
+		{4, core.PlacementCorner}, {4, core.PlacementStagger},
+		{8, core.PlacementCorner}, {8, core.PlacementStagger},
+		{16, core.PlacementCorner}, {16, core.PlacementStagger},
+	}
+	for _, pt := range sweep {
+		for _, prof := range benches {
+			r.Prefetch(fig12Config(prof, pt.regions, pt.placement))
+		}
+	}
 	mean := func(regions int, placement core.Placement) (float64, error) {
 		var sum float64
 		for _, prof := range benches {
-			res, err := r.Run(sim.Config{
-				Scheme:     sim.SchemeSTT4TSBWB,
-				Assignment: workload.Homogeneous(prof),
-				Regions:    regions, Placement: placement, PlacementSet: true,
-			})
+			res, err := r.Run(fig12Config(prof, regions, placement))
 			if err != nil {
 				return 0, err
 			}
@@ -39,23 +60,25 @@ func Figure12(r *Runner) ([]Fig12Point, error) {
 		}
 		return sum / float64(len(benches)), nil
 	}
-	base, err := mean(4, core.PlacementCorner)
-	if err != nil {
-		return nil, err
-	}
+	base, baseErr := mean(4, core.PlacementCorner)
 	var out []Fig12Point
-	for _, regions := range []int{4, 8, 16} {
-		for _, placement := range []core.Placement{core.PlacementCorner, core.PlacementStagger} {
-			v, err := mean(regions, placement)
-			if err != nil {
-				return nil, err
-			}
-			norm := 0.0
-			if base > 0 {
-				norm = v / base
-			}
-			out = append(out, Fig12Point{Regions: regions, Placement: placement, Normalized: norm})
+	for _, pt := range sweep {
+		p := Fig12Point{Regions: pt.regions, Placement: pt.placement}
+		if baseErr != nil {
+			p.Failed = failedCell(baseErr)
+			out = append(out, p)
+			continue
 		}
+		v, err := mean(pt.regions, pt.placement)
+		if err != nil {
+			p.Failed = failedCell(err)
+			out = append(out, p)
+			continue
+		}
+		if base > 0 {
+			p.Normalized = v / base
+		}
+		out = append(out, p)
 	}
 	return out, nil
 }
@@ -64,7 +87,11 @@ func Figure12(r *Runner) ([]Fig12Point, error) {
 func PrintFigure12(w io.Writer, points []Fig12Point) {
 	t := &table{header: []string{"regions", "placement", "perf vs 4/corner"}}
 	for _, p := range points {
-		t.add(fmt.Sprintf("%d", p.Regions), p.Placement.String(), f3(p.Normalized))
+		cell := f3(p.Normalized)
+		if p.Failed != "" {
+			cell = p.Failed
+		}
+		t.add(fmt.Sprintf("%d", p.Regions), p.Placement.String(), cell)
 	}
 	t.write(w)
 }
@@ -81,13 +108,20 @@ var Fig13Apps = []string{"ferret", "facesim", "sclust", "x264", "lbm", "hmmer",
 // mean performance (vs. the unprioritized 4TSB baseline) per hop distance.
 type Fig13Result struct {
 	// Reqs[h] is the mean number of buffered requests h hops from their
-	// destination per occupied cache-layer router, averaged over the apps.
+	// destination per occupied cache-layer router, averaged over the apps
+	// that completed.
 	Reqs [4]float64
 	// PerApp[name][h] is the same per benchmark.
 	PerApp map[string][4]float64
+	// FailedApp[name] is the failure cell for a panel-(a) app whose
+	// characterization run did not complete.
+	FailedApp map[string]string
 	// Improvement[h] is mean performance of WB at Hops=h normalized to the
-	// plain STT-RAM-4TSB baseline, in percent.
+	// plain STT-RAM-4TSB baseline, in percent, over the apps that completed.
 	Improvement [4]float64
+	// FailedImprovement[h] is the failure cell when no app completed at
+	// re-ordering distance h.
+	FailedImprovement [4]string
 }
 
 // Figure13 sweeps the re-ordering distance H = 1..3.
@@ -96,29 +130,54 @@ func Figure13(r *Runner) (*Fig13Result, error) {
 	if r.Options().Quick {
 		apps = apps[:6]
 	}
-	out := &Fig13Result{PerApp: make(map[string][4]float64)}
+	for _, name := range apps {
+		prof := workload.MustByName(name)
+		r.Prefetch(SchemeConfig(sim.SchemeSTT64TSB, prof))
+		r.Prefetch(SchemeConfig(sim.SchemeSTT4TSB, prof))
+		for h := 1; h <= 3; h++ {
+			r.Prefetch(sim.Config{Scheme: sim.SchemeSTT4TSBWB,
+				Assignment: workload.Homogeneous(prof), Hops: h})
+		}
+	}
+	out := &Fig13Result{
+		PerApp:    make(map[string][4]float64),
+		FailedApp: make(map[string]string),
+	}
 	// Panel (a): request population by hop distance, measured on the
-	// STT-RAM baseline.
+	// STT-RAM baseline. Failed apps render as failure cells and drop out of
+	// the average.
+	okApps := 0
 	for _, name := range apps {
 		res, err := r.RunScheme(sim.SchemeSTT64TSB, workload.MustByName(name))
 		if err != nil {
-			return nil, err
+			out.FailedApp[name] = failedCell(err)
+			continue
 		}
+		okApps++
 		var per [4]float64
 		for h := 1; h <= 3; h++ {
 			per[h] = res.HopReqs[h]
-			out.Reqs[h] += res.HopReqs[h] / float64(len(apps))
+			out.Reqs[h] += res.HopReqs[h]
 		}
 		out.PerApp[name] = per
 	}
-	// Panel (b): performance by re-ordering distance.
+	if okApps > 0 {
+		for h := 1; h <= 3; h++ {
+			out.Reqs[h] /= float64(okApps)
+		}
+	}
+	// Panel (b): performance by re-ordering distance, averaged over the apps
+	// whose baseline and WB runs both completed.
 	for h := 1; h <= 3; h++ {
 		var ratio float64
+		ok := 0
+		var lastErr error
 		for _, name := range apps {
 			prof := workload.MustByName(name)
 			base, err := r.RunScheme(sim.SchemeSTT4TSB, prof)
 			if err != nil {
-				return nil, err
+				lastErr = err
+				continue
 			}
 			res, err := r.Run(sim.Config{
 				Scheme:     sim.SchemeSTT4TSBWB,
@@ -126,13 +185,21 @@ func Figure13(r *Runner) (*Fig13Result, error) {
 				Hops:       h,
 			})
 			if err != nil {
-				return nil, err
+				lastErr = err
+				continue
 			}
 			if b := PerfMetric(prof, base); b > 0 {
 				ratio += PerfMetric(prof, res) / b
+				ok++
 			}
 		}
-		out.Improvement[h] = (ratio/float64(len(apps)) - 1) * 100
+		if ok == 0 {
+			if lastErr != nil {
+				out.FailedImprovement[h] = failedCell(lastErr)
+			}
+			continue
+		}
+		out.Improvement[h] = (ratio/float64(ok) - 1) * 100
 	}
 	return out, nil
 }
@@ -140,7 +207,16 @@ func Figure13(r *Runner) (*Fig13Result, error) {
 // PrintFigure13 renders both panels.
 func PrintFigure13(w io.Writer, f *Fig13Result) {
 	t := &table{header: []string{"bench", "1 hop", "2 hop", "3 hop"}}
-	for _, name := range sortedNames(f.PerApp) {
+	names := sortedNames(f.PerApp)
+	for name := range f.FailedApp {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		if cell, bad := f.FailedApp[name]; bad {
+			t.add(name, cell, cell, cell)
+			continue
+		}
 		per := f.PerApp[name]
 		t.add(name, f2(per[1]), f2(per[2]), f2(per[3]))
 	}
@@ -149,7 +225,11 @@ func PrintFigure13(w io.Writer, f *Fig13Result) {
 	fmt.Fprintln(w)
 	t2 := &table{header: []string{"hops", "IPC improvement vs STT-RAM-4TSB (%)"}}
 	for h := 1; h <= 3; h++ {
-		t2.add(fmt.Sprintf("%d", h), f2(f.Improvement[h]))
+		cell := f2(f.Improvement[h])
+		if f.FailedImprovement[h] != "" {
+			cell = f.FailedImprovement[h]
+		}
+		t2.add(fmt.Sprintf("%d", h), cell)
 	}
 	t2.write(w)
 }
@@ -204,10 +284,20 @@ func fig14Config(d Fig14Design, a workload.Assignment) sim.Config {
 type Fig14Entry struct {
 	Bench      string
 	Normalized [numFig14Designs]float64
+	// Failed[d] is the failure cell for design d.
+	Failed [numFig14Designs]string
 }
 
-// Figure14 compares the network scheme against write buffering.
+// Figure14 compares the network scheme against write buffering. Benchmarks
+// with any failed design drop out of the average (so every design averages
+// over the same set); the per-app rows mark the failed cells.
 func Figure14(r *Runner) ([]Fig14Entry, error) {
+	benches := r.Options().benchmarks()
+	for _, prof := range benches {
+		for d := Fig14Design(0); d < numFig14Designs; d++ {
+			r.Prefetch(fig14Config(d, workload.Homogeneous(prof)))
+		}
+	}
 	uncore := func(d Fig14Design, prof workload.Profile) (float64, error) {
 		res, err := r.Run(fig14Config(d, workload.Homogeneous(prof)))
 		if err != nil {
@@ -215,35 +305,60 @@ func Figure14(r *Runner) ([]Fig14Entry, error) {
 		}
 		return res.UncoreLatency(), nil
 	}
-	benches := r.Options().benchmarks()
-	entries := []Fig14Entry{{Bench: fmt.Sprintf("AVG-%d", len(benches))}}
-	// Average over the configured benchmark set.
-	var avg [numFig14Designs]float64
-	for _, prof := range benches {
+	// measure collects one benchmark's value per design, recording failures.
+	measure := func(prof workload.Profile) (vals [numFig14Designs]float64, failed [numFig14Designs]string, clean bool) {
+		clean = true
 		for d := Fig14Design(0); d < numFig14Designs; d++ {
 			v, err := uncore(d, prof)
 			if err != nil {
-				return nil, err
-			}
-			avg[d] += v
-		}
-	}
-	for d := Fig14Design(0); d < numFig14Designs; d++ {
-		entries[0].Normalized[d] = avg[d] / avg[DesignSTT]
-	}
-	for _, name := range Fig14Apps {
-		prof := workload.MustByName(name)
-		var vals [numFig14Designs]float64
-		for d := Fig14Design(0); d < numFig14Designs; d++ {
-			v, err := uncore(d, prof)
-			if err != nil {
-				return nil, err
+				failed[d] = failedCell(err)
+				clean = false
+				continue
 			}
 			vals[d] = v
 		}
-		e := Fig14Entry{Bench: name}
+		return vals, failed, clean
+	}
+	entries := []Fig14Entry{{Bench: fmt.Sprintf("AVG-%d", len(benches))}}
+	var avg [numFig14Designs]float64
+	avgN := 0
+	for _, prof := range benches {
+		vals, _, clean := measure(prof)
+		if !clean {
+			continue
+		}
 		for d := Fig14Design(0); d < numFig14Designs; d++ {
-			e.Normalized[d] = vals[d] / vals[DesignSTT]
+			avg[d] += vals[d]
+		}
+		avgN++
+	}
+	if avgN > 0 && avg[DesignSTT] > 0 {
+		entries[0].Bench = fmt.Sprintf("AVG-%d", avgN)
+		for d := Fig14Design(0); d < numFig14Designs; d++ {
+			entries[0].Normalized[d] = avg[d] / avg[DesignSTT]
+		}
+	} else {
+		for d := Fig14Design(0); d < numFig14Designs; d++ {
+			entries[0].Failed[d] = "FAILED(no-data)"
+		}
+	}
+	for _, name := range Fig14Apps {
+		prof := workload.MustByName(name)
+		vals, failed, _ := measure(prof)
+		e := Fig14Entry{Bench: name, Failed: failed}
+		if failed[DesignSTT] != "" {
+			// No baseline: every cell inherits the baseline failure.
+			for d := Fig14Design(0); d < numFig14Designs; d++ {
+				if e.Failed[d] == "" {
+					e.Failed[d] = failed[DesignSTT]
+				}
+			}
+		} else if vals[DesignSTT] > 0 {
+			for d := Fig14Design(0); d < numFig14Designs; d++ {
+				if e.Failed[d] == "" {
+					e.Normalized[d] = vals[d] / vals[DesignSTT]
+				}
+			}
 		}
 		entries = append(entries, e)
 	}
@@ -260,6 +375,10 @@ func PrintFigure14(w io.Writer, entries []Fig14Entry) {
 	for _, e := range entries {
 		row := []string{e.Bench}
 		for d := Fig14Design(0); d < numFig14Designs; d++ {
+			if e.Failed[d] != "" {
+				row = append(row, e.Failed[d])
+				continue
+			}
 			row = append(row, f3(e.Normalized[d]))
 		}
 		t.add(row...)

@@ -34,16 +34,23 @@ type Table3Row struct {
 	// ShadowPct is the percentage of bank accesses landing within 33 cycles
 	// of a preceding write (the burstiness signal of Figure 3).
 	ShadowPct float64
+	// Failed is the failure cell when the run did not complete; the metric
+	// fields are zero.
+	Failed string
 }
 
 // Table3 re-derives the benchmark characterization from our synthetic
 // streams, validating the workload generator against the paper's Table 3.
 func Table3(r *Runner) ([]Table3Row, error) {
+	for _, prof := range r.Options().benchmarks() {
+		r.Prefetch(SchemeConfig(sim.SchemeSTT64TSB, prof))
+	}
 	var rows []Table3Row
 	for _, prof := range r.Options().benchmarks() {
 		res, err := r.RunScheme(sim.SchemeSTT64TSB, prof)
 		if err != nil {
-			return nil, err
+			rows = append(rows, Table3Row{Profile: prof, Failed: failedCell(err)})
+			continue
 		}
 		var instr, reads, writes, misses uint64
 		for i, cs := range res.CoreStats {
@@ -80,6 +87,12 @@ func PrintTable3(w io.Writer, rows []Table3Row) {
 		b := "Low"
 		if p.Bursty {
 			b = "High"
+		}
+		if row.Failed != "" {
+			t.add(p.Name, p.Suite.String(),
+				f2(p.L2RPKI), row.Failed, f2(p.L2WPKI), row.Failed,
+				f2(p.L2MPKI), row.Failed, b, row.Failed)
+			continue
 		}
 		t.add(p.Name, p.Suite.String(),
 			f2(p.L2RPKI), f2(row.L2RPKI), f2(p.L2WPKI), f2(row.L2WPKI),

@@ -334,18 +334,6 @@ func (n *Network) Step(now uint64) error {
 	return nil
 }
 
-// MustStep advances the network one cycle and panics on a watchdog deadlock —
-// the pre-Step behavior, kept for tests and tools that treat a deadlock as a
-// fatal bug rather than a condition to report.
-func (n *Network) MustStep(now uint64) {
-	if err := n.Step(now); err != nil {
-		panic(err)
-	}
-}
-
-// Tick is an alias for MustStep, preserving the original advancing API.
-func (n *Network) Tick(now uint64) { n.MustStep(now) }
-
 // FailPort kills the output port p of router id: the link never moves another
 // flit. Traffic routed through it will stall (and eventually trip the
 // deadlock watchdog) unless the routing layer steers around the fault.

@@ -17,6 +17,15 @@ func mustNetwork(t *testing.T, cfg Config) *Network {
 	return n
 }
 
+// step advances the network one cycle, failing the test on a watchdog
+// deadlock (tests that expect one call Step directly).
+func step(t *testing.T, n *Network, now uint64) {
+	t.Helper()
+	if err := n.Step(now); err != nil {
+		t.Fatalf("network step at cycle %d: %v", now, err)
+	}
+}
+
 // drain runs the network until no packets are in flight, failing after limit
 // cycles. It returns the final cycle count.
 func drain(t *testing.T, n *Network, start, limit uint64) uint64 {
@@ -26,7 +35,7 @@ func drain(t *testing.T, n *Network, start, limit uint64) uint64 {
 		if now > start+limit {
 			t.Fatalf("network did not drain within %d cycles (%d in flight)", limit, n.InFlight())
 		}
-		n.Tick(now)
+		step(t, n, now)
 	}
 	return now
 }
@@ -226,7 +235,7 @@ func TestForEachBufferedPacket(t *testing.T) {
 	n.Inject(&Packet{Kind: KindWriteReq, Src: 0, Dst: 64}, 0)
 	// Tick a few cycles so flits occupy router buffers.
 	for now := uint64(0); now < 4; now++ {
-		n.Tick(now)
+		step(t, n, now)
 	}
 	found := 0
 	for id := NodeID(0); id < NumNodes; id++ {
@@ -247,7 +256,7 @@ func TestOccupancyTracksBufferedFlits(t *testing.T) {
 	}
 	n.Inject(&Packet{Kind: KindWriteReq, Src: 0, Dst: 64}, 0)
 	for now := uint64(0); now < 3; now++ {
-		n.Tick(now)
+		step(t, n, now)
 	}
 	if used, _ := n.Occupancy(0); used == 0 {
 		t.Fatal("router 0 should be buffering injected flits")
@@ -305,7 +314,7 @@ func TestPriorityReordersContendingPackets(t *testing.T) {
 		// Core 1's packet is one hop closer to router 65; injecting it one
 		// hop-latency later makes the two arrive there together.
 		for now := uint64(0); now < 3; now++ {
-			n.Tick(now)
+			step(t, n, now)
 		}
 		n.Inject(&Packet{Kind: KindReadReq, Src: 1, Dst: 66}, 3)
 		drain(t, n, 3, 5000)
@@ -362,7 +371,7 @@ func TestNetworkConservationProperty(t *testing.T) {
 		}
 		now := uint64(0)
 		for ; n.InFlight() > 0 && now < 200000; now++ {
-			n.Tick(now)
+			step(t, n, now)
 		}
 		if n.InFlight() != 0 {
 			return false
@@ -392,7 +401,7 @@ func TestInvariantsHoldFreshAndAfterTraffic(t *testing.T) {
 		n.Inject(&Packet{Kind: KindWriteReq, Src: NodeID(i % 64), Dst: NodeID(64 + (i*13)%64)}, now)
 	}
 	for ; n.InFlight() > 0 && now < 100000; now++ {
-		n.Tick(now)
+		step(t, n, now)
 		if now%500 == 0 {
 			if err := n.CheckInvariants(); err != nil {
 				t.Fatalf("invariant violated mid-flight at cycle %d: %v", now, err)
@@ -433,7 +442,7 @@ func TestInvariantsUnderGatingProperty(t *testing.T) {
 			n.Inject(&Packet{Kind: kind, Src: NodeID(int(b) % 64), Dst: NodeID(64 + i%64)}, now)
 		}
 		for ; n.InFlight() > 0 && now < 60000; now++ {
-			n.Tick(now)
+			step(t, n, now)
 			if now%997 == 0 && n.CheckInvariants() != nil {
 				return false
 			}

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -14,7 +15,7 @@ func TestGateDefersDelivery(t *testing.T) {
 	n.Inject(&Packet{Kind: KindReadReq, Src: 0, Dst: 64}, 0)
 	now := uint64(0)
 	for ; now < 100; now++ {
-		n.Tick(now)
+		step(t, n, now)
 	}
 	if delivered != 0 {
 		t.Fatal("gated packet was delivered")
@@ -24,7 +25,7 @@ func TestGateDefersDelivery(t *testing.T) {
 	}
 	open = true
 	for ; now < 110; now++ {
-		n.Tick(now)
+		step(t, n, now)
 	}
 	if delivered != 1 {
 		t.Fatal("packet not delivered after the gate opened")
@@ -43,15 +44,15 @@ func TestGatePreservesOrderWithinClass(t *testing.T) {
 	n.Inject(&Packet{Kind: KindReadReq, Src: 0, Dst: 64, Addr: 1}, 0)
 	now := uint64(0)
 	for ; now < 30; now++ {
-		n.Tick(now)
+		step(t, n, now)
 	}
 	n.Inject(&Packet{Kind: KindReadReq, Src: 0, Dst: 64, Addr: 2}, now)
 	for ; now < 60; now++ {
-		n.Tick(now)
+		step(t, n, now)
 	}
 	admit = true
 	for ; now < 120 && n.InFlight() > 0; now++ {
-		n.Tick(now)
+		step(t, n, now)
 	}
 	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
 		t.Fatalf("delivery order = %v, want [1 2]", order)
@@ -78,7 +79,7 @@ func TestGateBackpressuresOnlyItsClass(t *testing.T) {
 	}
 	n.Inject(&Packet{Kind: KindMemResp, Src: 127, Dst: 64}, 0)
 	for now := uint64(0); now < 400; now++ {
-		n.Tick(now)
+		step(t, n, now)
 	}
 	if !gotResp {
 		t.Fatal("response blocked behind gated requests of another class")
@@ -95,7 +96,7 @@ func TestGateBackpressurePropagatesUpstream(t *testing.T) {
 		n.Inject(&Packet{Kind: KindWriteReq, Src: NodeID(i % 8), Dst: 64}, 0)
 	}
 	for now := uint64(0); now < 300; now++ {
-		n.Tick(now)
+		step(t, n, now)
 	}
 	used, _ := n.Occupancy(64)
 	if used == 0 {
@@ -144,13 +145,16 @@ func TestWatchdogFiresOnPermanentBlock(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		n.Inject(&Packet{Kind: KindWriteReq, Src: NodeID(i % 8), Dst: 64}, 0)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("watchdog did not fire on a permanently blocked network")
-		}
-	}()
-	for now := uint64(0); now < 3*WatchdogCycles; now++ {
-		n.Tick(now)
+	var got error
+	for now := uint64(0); now < 3*WatchdogCycles && got == nil; now++ {
+		got = n.Step(now)
+	}
+	var dl *DeadlockError
+	if !errors.As(got, &dl) {
+		t.Fatalf("Step = %v, want *DeadlockError on a permanently blocked network", got)
+	}
+	if dl.InFlight == 0 || len(dl.Stalled) == 0 {
+		t.Fatalf("deadlock report missing detail: %+v", dl)
 	}
 }
 
@@ -161,7 +165,7 @@ func TestQueuedPackets(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		n.Inject(&Packet{Kind: KindWriteReq, Src: 0, Dst: 64}, 0)
 	}
-	n.Tick(0)
+	step(t, n, 0)
 	if n.NIC(0).QueuedPackets() == 0 {
 		t.Fatal("expected queued packets at the source NIC")
 	}

@@ -129,7 +129,9 @@ type Config struct {
 	// stream instead of the built-in synthetic generator — the hook trace
 	// replay (internal/trace) plugs into. missRatio is the technology-
 	// adjusted read miss ratio the built-in generator would have used.
-	GeneratorFactory func(core int, prof workload.Profile, missRatio float64) cpu.Generator
+	// Excluded from JSON (funcs cannot serialize) and from Fingerprint;
+	// such runs are never memoized or checkpoint-journaled (see Cacheable).
+	GeneratorFactory func(core int, prof workload.Profile, missRatio float64) cpu.Generator `json:"-"`
 
 	// Extensions beyond the paper's six schemes (documented in DESIGN.md):
 

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// This file gives a Config a collision-proof identity. The experiment
+// memoizer and the campaign checkpoint journal both key runs by
+// Fingerprint(); two configurations share a fingerprint exactly when they
+// describe the same simulation, field for field, after default resolution.
+// The previous scheme — fmt.Sprintf("%v") over a hand-picked subset of
+// fields — was collision-prone (pointer values, unhashed assignment
+// contents) and missed resolved warmup/measure/seed defaults, so "default"
+// and "explicitly 20000" memoized separately.
+
+// Cacheable reports whether the run's identity is fully captured by its
+// configuration. Runs driven by a GeneratorFactory draw their instruction
+// streams from an opaque closure the fingerprint cannot see, so they must
+// never be deduplicated, memoized, or replayed from a checkpoint.
+func (c Config) Cacheable() bool { return c.GeneratorFactory == nil }
+
+// Fingerprint returns a hex SHA-256 over the canonical serialization of the
+// fully resolved configuration. It is stable across processes, which is what
+// lets an interrupted campaign replay finished runs from an on-disk journal.
+func (c Config) Fingerprint() string {
+	h := sha256.New()
+	c.writeCanonical(h)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeCanonical streams a deterministic, self-delimiting rendering of every
+// semantic Config field. Bump the leading version tag when the encoding (or
+// the meaning of an encoded field) changes, so stale journals are never
+// silently replayed against a different simulator.
+func (c Config) writeCanonical(w io.Writer) {
+	c = c.withDefaults()
+	fmt.Fprintf(w, "sttsim-config-v1|scheme=%d|seed=%d|warmup=%d|measure=%d",
+		c.Scheme, c.Seed, c.WarmupCycles, c.MeasureCycles)
+	fmt.Fprintf(w, "|regions=%d|placement=%d|placementSet=%t|hops=%d",
+		c.Regions, c.Placement, c.PlacementSet, c.Hops)
+	fmt.Fprintf(w, "|wbuf=%d|preempt=%t|extraVC=%t|wbwin=%d|holdcap=%d|bankq=%d",
+		c.WriteBufferEntries, c.ReadPreemption, c.ExtraReqVC,
+		c.WBWindow, c.HoldCap, c.BankQueueDepth)
+	fmt.Fprintf(w, "|hybrid=%d|ewt=%t|audit=%d|watchdog=%d|gen=%t",
+		c.HybridSRAMBanks, c.EarlyWriteTermination,
+		c.AuditInterval, c.WatchdogCycles, c.GeneratorFactory != nil)
+
+	// The assignment is hashed by content, not just by name: drivers used to
+	// mangle Assignment.Name to keep the old key from conflating sweeps, and
+	// random Case-3 mixes can legitimately share a label.
+	fmt.Fprintf(w, "|assign=%q/%d", c.Assignment.Name, c.Assignment.Mode)
+	for i, p := range c.Assignment.Profiles {
+		fmt.Fprintf(w, "|p%d=%q/%d/%g/%g/%g/%g/%t",
+			i, p.Name, p.Suite, p.L1MPKI, p.L2MPKI, p.L2WPKI, p.L2RPKI, p.Bursty)
+	}
+
+	if t := c.CustomTech; t != nil {
+		fmt.Fprintf(w, "|tech=%q/%d/%g/%g/%g/%g/%g/%g/%d/%d",
+			t.Name, t.CapacityMB, t.AreaMM2, t.ReadEnergyNJ, t.WriteEnergyNJ,
+			t.LeakagePowerMW, t.ReadLatencyNS, t.WriteLatencyNS,
+			t.ReadCycles, t.WriteCycles)
+	} else {
+		fmt.Fprint(w, "|tech=-")
+	}
+
+	// withDefaults already normalized a present-but-disabled fault campaign
+	// to nil, so enabled-ness is structural here.
+	if f := c.Fault; f != nil {
+		fmt.Fprintf(w, "|fault=%d/%g/%d/%d",
+			f.Seed, f.WriteErrorRate, f.MaxWriteRetries, f.RetryBackoffCycles)
+		for _, t := range f.TSBFailures {
+			fmt.Fprintf(w, "|tsb=%d/%d", t.Cycle, t.Region)
+		}
+		for _, p := range f.PortFaults {
+			fmt.Fprintf(w, "|port=%d/%d/%d/%d", p.Cycle, p.Node, p.Port, p.Period)
+		}
+	} else {
+		fmt.Fprint(w, "|fault=-")
+	}
+}

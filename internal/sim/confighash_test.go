@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"sttsim/internal/cpu"
+	"sttsim/internal/fault"
+	"sttsim/internal/mem"
+	"sttsim/internal/workload"
+)
+
+func baseCfg() Config {
+	return Config{Scheme: SchemeSTT4TSBWB,
+		Assignment: workload.Homogeneous(workload.MustByName("x264"))}
+}
+
+// TestFingerprintStable: same config, same fingerprint, and explicit defaults
+// hash identically to resolved zero values — the collision the old exp key
+// had (a run with WarmupCycles=20000 and one with 0 are the same run).
+func TestFingerprintStable(t *testing.T) {
+	a := baseCfg()
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	explicit := baseCfg()
+	explicit.WarmupCycles = 20000
+	explicit.MeasureCycles = 60000
+	explicit.Seed = 0x5717AB
+	if a.Fingerprint() != explicit.Fingerprint() {
+		t.Fatal("explicit defaults must fingerprint like resolved zero values")
+	}
+}
+
+// TestFingerprintDistinguishesKnobs mutates every semantic knob and demands a
+// distinct fingerprint, including the cases the old key missed: assignment
+// contents under an unchanged name, and CustomTech contents behind the
+// pointer.
+func TestFingerprintDistinguishesKnobs(t *testing.T) {
+	tech := mem.STTRAM.WithWriteCycles(65)
+	variants := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"scheme", func(c *Config) { c.Scheme = SchemeSTT4TSBRCA }},
+		{"seed", func(c *Config) { c.Seed = 12345 }},
+		{"warmup", func(c *Config) { c.WarmupCycles = 999 }},
+		{"measure", func(c *Config) { c.MeasureCycles = 999 }},
+		{"regions", func(c *Config) { c.Regions = 4 }},
+		{"placement", func(c *Config) { c.Regions = 8; c.PlacementSet = true }},
+		{"hops", func(c *Config) { c.Hops = 3 }},
+		{"wbuf", func(c *Config) { c.WriteBufferEntries = 20 }},
+		{"preempt", func(c *Config) { c.WriteBufferEntries = 20; c.ReadPreemption = true }},
+		{"extraVC", func(c *Config) { c.ExtraReqVC = true }},
+		{"wbwin", func(c *Config) { c.WBWindow = 400 }},
+		{"holdcap", func(c *Config) { c.HoldCap = -1 }},
+		{"bankq", func(c *Config) { c.BankQueueDepth = 8 }},
+		{"hybrid", func(c *Config) { c.HybridSRAMBanks = 16 }},
+		{"ewt", func(c *Config) { c.EarlyWriteTermination = true }},
+		{"audit", func(c *Config) { c.AuditInterval = 500 }},
+		{"watchdog", func(c *Config) { c.WatchdogCycles = 777 }},
+		{"tech", func(c *Config) { c.CustomTech = &tech }},
+		{"tech-contents", func(c *Config) {
+			t2 := mem.STTRAM.WithWriteCycles(150)
+			c.CustomTech = &t2
+		}},
+		{"assignment-name", func(c *Config) { c.Assignment.Name = "x264@variant" }},
+		{"assignment-contents", func(c *Config) {
+			c.Assignment.Profiles[0] = workload.MustByName("lbm")
+		}},
+		{"assignment-mode", func(c *Config) { c.Assignment.Mode = workload.ModePrivate }},
+		{"fault-rate", func(c *Config) { c.Fault = &fault.Config{WriteErrorRate: 1e-3} }},
+		{"fault-tsb", func(c *Config) {
+			c.Fault = &fault.Config{TSBFailures: []fault.TSBFailure{{Cycle: 1, Region: 0}}}
+		}},
+		{"fault-port", func(c *Config) {
+			c.Fault = &fault.Config{PortFaults: []fault.PortFault{{Cycle: 1, Node: 70, Port: 1, Period: 2}}}
+		}},
+	}
+	seen := map[string]string{baseCfg().Fingerprint(): "base"}
+	for _, v := range variants {
+		cfg := baseCfg()
+		v.mutate(&cfg)
+		fp := cfg.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("variant %q collides with %q", v.name, prev)
+		}
+		seen[fp] = v.name
+	}
+}
+
+// TestFingerprintDisabledFaultNormalizes: a present-but-disabled fault config
+// is the same run as no fault config (withDefaults nils it), so the two must
+// share a fingerprint — otherwise checkpoints would re-run identical work.
+func TestFingerprintDisabledFaultNormalizes(t *testing.T) {
+	a := baseCfg()
+	b := baseCfg()
+	b.Fault = &fault.Config{}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("disabled fault campaign must not change the fingerprint")
+	}
+}
+
+// TestConfigShapeGuard pins the Config field count so anyone adding a knob is
+// forced to extend writeCanonical (and this test) in the same change.
+func TestConfigShapeGuard(t *testing.T) {
+	const wantFields = 22
+	if n := reflect.TypeOf(Config{}).NumField(); n != wantFields {
+		t.Fatalf("sim.Config has %d fields, expected %d: update Config.writeCanonical "+
+			"to cover the new field(s), then bump this guard", n, wantFields)
+	}
+}
+
+// TestCacheable: runs driven by an opaque GeneratorFactory must opt out of
+// memoization and journaling.
+func TestCacheable(t *testing.T) {
+	c := baseCfg()
+	if !c.Cacheable() {
+		t.Fatal("plain config should be cacheable")
+	}
+	c.GeneratorFactory = func(int, workload.Profile, float64) cpu.Generator { return nil }
+	if c.Cacheable() {
+		t.Fatal("GeneratorFactory runs must not be cacheable")
+	}
+}

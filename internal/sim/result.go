@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"sttsim/internal/cache"
@@ -94,7 +95,20 @@ func meanService(r *Result) float64 {
 // a watchdog-detected deadlock, an invariant-audit violation, or a router-
 // protocol panic — Run returns a structured *RunError (cycle, in-flight
 // packet dump, audit verdict) instead of panicking.
-func Run(cfg Config) (res *Result, err error) {
+func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// ctxCheckCycles is how often (simulated cycles) RunContext polls its
+// context; a cancelled or expired context stops the run within one window.
+const ctxCheckCycles = 2048
+
+// RunContext is Run under a context: the campaign layer uses it to enforce
+// per-run wall-clock timeouts and to drain in-flight runs on SIGINT. A
+// cancelled run returns a *RunError wrapping ctx.Err() (so errors.Is sees
+// context.DeadlineExceeded / context.Canceled) with the usual cycle and
+// in-flight-packet context attached.
+func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	s, serr := New(cfg)
 	if serr != nil {
 		return nil, serr
@@ -114,6 +128,11 @@ func Run(cfg Config) (res *Result, err error) {
 	}()
 	end := cfg.WarmupCycles + cfg.MeasureCycles
 	for s.now < end {
+		if s.now%ctxCheckCycles == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, s.failure(cerr)
+			}
+		}
 		if s.now == cfg.WarmupCycles {
 			s.resetStats()
 		}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sttsim/internal/workload"
+)
+
+// TestRunContextTimeout: an expired deadline stops the run within one poll
+// window and surfaces as a *RunError wrapping context.DeadlineExceeded — the
+// shape the campaign layer classifies as a retryable timeout.
+func TestRunContextTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	cfg := Config{
+		Scheme:     SchemeSTT64TSB,
+		Assignment: workload.Homogeneous(workload.MustByName("x264")),
+		// Long enough that the deadline always fires first.
+		WarmupCycles: 1, MeasureCycles: 50_000_000,
+	}
+	start := time.Now()
+	res, err := RunContext(ctx, cfg)
+	if res != nil || err == nil {
+		t.Fatalf("RunContext = (%v, %v), want timeout error", res, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in chain", err)
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T, want *RunError", err)
+	}
+	if re.Cycle == 0 && time.Since(start) > 30*time.Second {
+		t.Fatal("cancellation did not interrupt the run promptly")
+	}
+}
+
+// TestRunContextCancel: campaign drain cancels in-flight runs.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{
+		Scheme:       SchemeSRAM64TSB,
+		Assignment:   workload.Homogeneous(workload.MustByName("x264")),
+		WarmupCycles: 1, MeasureCycles: 1_000_000,
+	}
+	_, err := RunContext(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+}

@@ -441,14 +441,6 @@ func (s *Simulator) Step() error {
 	return nil
 }
 
-// Tick advances the whole system one cycle, panicking on structural failures —
-// the legacy interface the fault-free tests and tools keep using.
-func (s *Simulator) Tick() {
-	if err := s.Step(); err != nil {
-		panic(err)
-	}
-}
-
 // applyFault applies one scheduled structural fault.
 func (s *Simulator) applyFault(ev fault.Event) error {
 	switch {

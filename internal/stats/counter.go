@@ -6,6 +6,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -71,6 +72,31 @@ func (a *Accumulator) Max() float64 { return a.max }
 
 // Reset discards all samples.
 func (a *Accumulator) Reset() { *a = Accumulator{} }
+
+// accumulatorJSON is the wire form of an Accumulator. The fields are private
+// in memory (the accessors enforce the zero-samples contract), but the
+// campaign checkpoint journal must round-trip results losslessly.
+type accumulatorJSON struct {
+	Sum   float64 `json:"sum"`
+	Count uint64  `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// MarshalJSON serializes the accumulator for the checkpoint journal.
+func (a Accumulator) MarshalJSON() ([]byte, error) {
+	return json.Marshal(accumulatorJSON{Sum: a.sum, Count: a.count, Min: a.min, Max: a.max})
+}
+
+// UnmarshalJSON restores an accumulator from its journaled form.
+func (a *Accumulator) UnmarshalJSON(data []byte) error {
+	var j accumulatorJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	a.sum, a.count, a.min, a.max = j.Sum, j.Count, j.Min, j.Max
+	return nil
+}
 
 // Set is a registry of named counters, useful for ad-hoc event accounting
 // inside a component. Lookup creates counters on demand.

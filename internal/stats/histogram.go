@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -111,6 +112,40 @@ func (h *Histogram) Reset() {
 		h.counts[i] = 0
 	}
 	h.total = 0
+}
+
+// histogramJSON is the wire form of a Histogram for the campaign checkpoint
+// journal.
+type histogramJSON struct {
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Total  uint64   `json:"total"`
+}
+
+// MarshalJSON serializes the histogram for the checkpoint journal.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Bounds: h.bounds, Counts: h.counts, Total: h.total})
+}
+
+// UnmarshalJSON restores a histogram from its journaled form, re-validating
+// the bin structure so a hand-edited journal cannot smuggle in an
+// inconsistent histogram.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var j histogramJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.Bounds) == 0 || len(j.Counts) != len(j.Bounds)+1 {
+		return fmt.Errorf("stats: journaled histogram has %d bounds and %d counts",
+			len(j.Bounds), len(j.Counts))
+	}
+	for i := 1; i < len(j.Bounds); i++ {
+		if j.Bounds[i] <= j.Bounds[i-1] {
+			return fmt.Errorf("stats: journaled histogram bounds not increasing")
+		}
+	}
+	h.bounds, h.counts, h.total = j.Bounds, j.Counts, j.Total
+	return nil
 }
 
 // String renders the histogram as "label: percent%" lines.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -318,5 +319,51 @@ func TestHeatmapAllZeros(t *testing.T) {
 	Heatmap(&b, "zeros", make([]float64, 4), 2)
 	if !strings.Contains(b.String(), "max 0.000") {
 		t.Fatal("zero heatmap should render with max 0")
+	}
+}
+
+func TestAccumulatorJSONRoundTrip(t *testing.T) {
+	var a Accumulator
+	for _, v := range []float64{3, 1, 4, 1.5, 9} {
+		a.Observe(v)
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Accumulator
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Sum() != a.Sum() || b.Count() != a.Count() || b.Min() != a.Min() || b.Max() != a.Max() {
+		t.Fatalf("round trip lost samples: %+v vs %+v", b, a)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewGapHistogram()
+	for _, v := range []uint64{1, 17, 40, 200, 5, 100} {
+		h.Observe(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &Histogram{}
+	if err := json.Unmarshal(data, g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Total() != h.Total() || g.Bins() != h.Bins() {
+		t.Fatalf("round trip changed shape: %v vs %v", g, h)
+	}
+	for i := 0; i < h.Bins(); i++ {
+		if g.Count(i) != h.Count(i) || g.Label(i) != h.Label(i) {
+			t.Fatalf("bin %d differs after round trip", i)
+		}
+	}
+	// A second round-tripped histogram must still Merge with a live one.
+	h.Merge(g)
+	if err := json.Unmarshal([]byte(`{"bounds":[5,3],"counts":[1,2,3],"total":6}`), g); err == nil {
+		t.Fatal("non-increasing bounds must be rejected")
 	}
 }
