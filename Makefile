@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify smoke
+.PHONY: all build vet test race bench-guard golden verify smoke
 
 all: verify
 
@@ -24,7 +24,22 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-verify: build vet test race
+# Observability disabled-path guardrail: with Obs off, allocs/op must match
+# the checked-in baseline exactly (deterministic) and ns/op must stay within
+# 2% (wall-clock verdict self-skips when the host is too noisy to judge, and
+# on hosts other than the one that recorded the baseline). Re-baseline with
+# scripts/bench_guard.sh -update.
+bench-guard:
+	./scripts/bench_guard.sh
+
+# Golden-trace determinism regression: per-scheme binary traces must stay
+# byte-identical (digest match against internal/sim/testdata/), including
+# across concurrent replicas under the race detector. Re-baseline after a
+# deliberate timing change with: go test -tags golden -run TestGolden ./internal/sim -update
+golden:
+	$(GO) test -tags golden -run TestGolden -race ./internal/sim
+
+verify: build vet test race bench-guard
 
 # Checkpoint round trip: interrupt a campaign mid-flight, resume it from the
 # journal, require byte-identical output to an uninterrupted reference run.

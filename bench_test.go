@@ -21,6 +21,7 @@ import (
 	"sttsim/internal/exp"
 	"sttsim/internal/mem"
 	"sttsim/internal/noc"
+	"sttsim/internal/obs"
 	"sttsim/internal/sim"
 	"sttsim/internal/trace"
 	"sttsim/internal/workload"
@@ -241,6 +242,40 @@ func BenchmarkSimulatorCycle(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchTracing is BenchmarkSimulatorCycle under a given observability
+// configuration; the disabled/enabled pair quantifies the tracing overhead
+// and feeds scripts/bench_guard.sh, which fails `make verify` when the
+// disabled path regresses more than 2% against its checked-in baseline.
+func benchTracing(b *testing.B, oc *sim.ObsConfig) {
+	s, err := sim.New(sim.Config{
+		Scheme:     sim.SchemeSTT4TSBWB,
+		Assignment: workload.Homogeneous(workload.MustByName("tpcc")),
+		Obs:        oc,
+	})
+	must(b, err)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracingDisabled is the guarded hot path: observability compiled in
+// but switched off (the default for every experiment run).
+func BenchmarkTracingDisabled(b *testing.B) { benchTracing(b, nil) }
+
+// BenchmarkTracingEnabled measures the full event-tracing cost into a
+// discarded binary sink (encode + buffer, no disk).
+func BenchmarkTracingEnabled(b *testing.B) {
+	benchTracing(b, &sim.ObsConfig{Sink: obs.NewBinarySink(io.Discard)})
+}
+
+// BenchmarkMetricsEnabled measures the sampling-registry-only configuration.
+func BenchmarkMetricsEnabled(b *testing.B) {
+	benchTracing(b, &sim.ObsConfig{MetricsInterval: 1000})
 }
 
 // BenchmarkAblations regenerates the design-choice sensitivity sweeps

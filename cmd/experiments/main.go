@@ -16,6 +16,7 @@
 //	experiments [-quick] [-exp all|table2|table3|fig3|fig6|fig7|fig8|fig9|fig10|fig12|fig13|fig14]
 //	            [-warmup N] [-measure N] [-seed N]
 //	            [-jobs N] [-run-timeout D] [-checkpoint FILE] [-resume]
+//	            [-obs-addr :6060] [-metrics-out FILE [-metrics-interval N]]
 //
 // All experiment tables go to stdout, which is byte-identical for a given
 // configuration regardless of -jobs and of checkpoint replay; timing and
@@ -24,15 +25,22 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	_ "net/http/pprof" // -obs-addr debug endpoint
+
 	"sttsim/internal/campaign"
 	"sttsim/internal/exp"
+	"sttsim/internal/sim"
+	"sttsim/internal/workload"
 )
 
 func main() {
@@ -45,15 +53,18 @@ func main() {
 	runTimeout := flag.Duration("run-timeout", 0, "wall-clock budget per simulation attempt (0 = none)")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint journal for finished runs (empty = none)")
 	resume := flag.Bool("resume", false, "replay finished runs from the checkpoint journal instead of re-executing them")
+	obsAddr := flag.String("obs-addr", "", "serve net/http/pprof + expvar (live campaign progress) on this address (empty = off)")
+	metricsOut := flag.String("metrics-out", "", "after the campaign, record a representative run's time-series metrics to this file (.jsonl = JSONL, else CSV)")
+	metricsInterval := flag.Uint64("metrics-interval", 1000, "sampling period (cycles) for the -metrics-out run")
 	flag.Parse()
 
-	os.Exit(run(*which, *quick, *warmup, *measure, *seed, *jobs, *runTimeout, *checkpoint, *resume))
+	os.Exit(run(*which, *quick, *warmup, *measure, *seed, *jobs, *runTimeout, *checkpoint, *resume, *obsAddr, *metricsOut, *metricsInterval))
 }
 
 // run executes the selected experiments and returns the process exit code
 // (0 = every experiment passed, 1 = failures or interruption, 2 = bad
 // usage). Factored out of main so deferred cleanup runs before os.Exit.
-func run(which string, quick bool, warmup, measure, seed uint64, jobs int, runTimeout time.Duration, checkpoint string, resume bool) int {
+func run(which string, quick bool, warmup, measure, seed uint64, jobs int, runTimeout time.Duration, checkpoint string, resume bool, obsAddr, metricsOut string, metricsInterval uint64) int {
 	// SIGINT/SIGTERM cancels the campaign context: in-flight runs stop at
 	// their next poll, finished verdicts stay journaled, and the drivers
 	// render what they have with the rest marked FAILED(cancelled).
@@ -62,6 +73,18 @@ func run(which string, quick bool, warmup, measure, seed uint64, jobs int, runTi
 
 	eng := campaign.NewWithContext(ctx, campaign.Policy{Jobs: jobs, RunTimeout: runTimeout})
 	defer eng.Close()
+	if obsAddr != "" {
+		// Live observability endpoint: pprof under /debug/pprof/, campaign
+		// progress as JSON under /debug/vars. Registration happens once per
+		// process, failures are diagnostics, and nothing touches stdout.
+		expvar.Publish("campaign", expvar.Func(func() interface{} { return eng.Stats() }))
+		go func() {
+			if err := http.ListenAndServe(obsAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: obs endpoint: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "experiments: pprof+expvar on http://%s/debug/\n", obsAddr)
+	}
 	if checkpoint != "" {
 		if resume {
 			recs, err := campaign.LoadJournal(checkpoint)
@@ -308,7 +331,10 @@ func run(which string, quick bool, warmup, measure, seed uint64, jobs int, runTi
 			}
 		}
 	}
-	if eng.Interrupted() {
+	// Close cancels the engine context, so capture interrupted-ness first —
+	// the metrics artifact below must be skipped only on a real SIGINT.
+	interrupted := eng.Interrupted()
+	if interrupted {
 		fmt.Fprintln(os.Stderr, "campaign interrupted; partial results rendered above")
 		exitCode = 1
 	}
@@ -316,5 +342,49 @@ func run(which string, quick bool, warmup, measure, seed uint64, jobs int, runTi
 		fmt.Fprintf(os.Stderr, "experiments: closing checkpoint journal: %v\n", err)
 		exitCode = 1
 	}
+	if metricsOut != "" && !interrupted {
+		// Metrics artifact: one representative WB/tpcc run outside the
+		// campaign (observed runs are not cacheable, so this never perturbs
+		// the journal or the memoized tables above).
+		if err := writeMetricsArtifact(metricsOut, metricsInterval, warmup, measure, seed); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: metrics artifact: %v\n", err)
+			exitCode = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "experiments: metrics artifact written to %s\n", metricsOut)
+		}
+	}
 	return exitCode
+}
+
+// writeMetricsArtifact samples the recommended scheme on tpcc and exports the
+// time series next to the campaign's other outputs.
+func writeMetricsArtifact(path string, interval, warmup, measure, seed uint64) error {
+	prof, err := workload.ByName("tpcc")
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(sim.Config{
+		Scheme:        sim.SchemeSTT4TSBWB,
+		Assignment:    workload.Homogeneous(prof),
+		Seed:          seed,
+		WarmupCycles:  warmup,
+		MeasureCycles: measure,
+		Obs:           &sim.ObsConfig{MetricsInterval: interval},
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = res.Metrics.WriteJSONL(f)
+	} else {
+		err = res.Metrics.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -8,6 +8,7 @@
 //	faultcamp [-scheme wb] [-bench tpcc] [-rate 1e-4] [-kill-tsbs 1]
 //	          [-kill-cycle 1] [-regions 4] [-seed N] [-warmup N] [-measure N]
 //	          [-max-retries 3] [-deadlock] [-sweep]
+//	          [-trace FILE] [-metrics-out FILE [-metrics-interval N]]
 //
 // Examples:
 //
@@ -26,7 +27,9 @@ import (
 	"sttsim/internal/exp"
 	"sttsim/internal/fault"
 	"sttsim/internal/noc"
+	"sttsim/internal/obs"
 	"sttsim/internal/sim"
+	"sttsim/internal/stats"
 	"sttsim/internal/workload"
 )
 
@@ -54,6 +57,9 @@ func main() {
 	audit := flag.Uint64("audit", 10000, "invariant audit interval in cycles (0 disables)")
 	deadlock := flag.Bool("deadlock", false, "induce a deadlock (kill a bank's local port) and show the structured report")
 	sweep := flag.Bool("sweep", false, "run the full resilience sweep instead of one campaign")
+	tracePath := flag.String("trace", "", "record packet-lifecycle and fault events to this file (.jsonl = JSONL, else binary)")
+	metricsOut := flag.String("metrics-out", "", "write sampled time-series metrics to this file (.jsonl = JSONL, else CSV)")
+	metricsInterval := flag.Uint64("metrics-interval", 1000, "sampling period in cycles for -metrics-out")
 	flag.Parse()
 
 	if *sweep {
@@ -107,10 +113,36 @@ func main() {
 		cfg.WatchdogCycles = 2000
 	}
 
+	var sink obs.Sink
+	if *tracePath != "" || *metricsOut != "" {
+		cfg.Obs = &sim.ObsConfig{}
+		if *tracePath != "" {
+			f, ferr := os.Create(*tracePath)
+			if ferr != nil {
+				fmt.Fprintf(os.Stderr, "faultcamp: %v\n", ferr)
+				os.Exit(1)
+			}
+			if strings.HasSuffix(*tracePath, ".jsonl") {
+				sink = obs.NewJSONLSink(f)
+			} else {
+				sink = obs.NewBinarySink(f)
+			}
+			cfg.Obs.Sink = sink
+		}
+		if *metricsOut != "" {
+			cfg.Obs.MetricsInterval = *metricsInterval
+		}
+	}
+
 	fmt.Printf("campaign: scheme=%s bench=%s rate=%g kill-tsbs=%d@%d regions=%d\n",
 		scheme, prof.Name, *rate, *killTSBs, *killCycle, *regions)
 
 	res, err := sim.Run(cfg)
+	if sink != nil {
+		if cerr := sink.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "faultcamp: trace: %v\n", cerr)
+		}
+	}
 	if err != nil {
 		var re *sim.RunError
 		if errors.As(err, &re) {
@@ -120,6 +152,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faultcamp: %v\n", err)
 		os.Exit(1)
 	}
+	if *metricsOut != "" && res.Metrics != nil {
+		if werr := writeMetrics(*metricsOut, res.Metrics); werr != nil {
+			fmt.Fprintf(os.Stderr, "faultcamp: metrics: %v\n", werr)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Println(res.Summary())
 	if res.Fault != nil {
@@ -127,6 +165,23 @@ func main() {
 	} else {
 		fmt.Println("degradation: campaign disabled (no faults injected)")
 	}
+}
+
+// writeMetrics exports the sampled time series (CSV, or JSONL for .jsonl).
+func writeMetrics(path string, ml *stats.MetricsLog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = ml.WriteJSONL(f)
+	} else {
+		err = ml.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // printRunError renders the structured failure: headline, audit verdict, and

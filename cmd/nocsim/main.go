@@ -5,6 +5,7 @@
 //
 //	nocsim -bench tpcc -scheme wb [-regions 8] [-stagger] [-hops 2]
 //	       [-warmup 20000] [-measure 60000] [-writebuf 0] [-plus1vc]
+//	       [-trace out.jsonl [-decompose]] [-metrics-interval 1000 -metrics-out m.csv]
 package main
 
 import (
@@ -16,7 +17,9 @@ import (
 
 	"sttsim/internal/core"
 	"sttsim/internal/noc"
+	"sttsim/internal/obs"
 	"sttsim/internal/sim"
+	"sttsim/internal/stats"
 	"sttsim/internal/workload"
 )
 
@@ -63,6 +66,11 @@ func main() {
 	preempt := flag.Bool("preempt", false, "enable read preemption in the write buffer")
 	plus1vc := flag.Bool("plus1vc", false, "grant the request class one extra VC")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	tracePath := flag.String("trace", "", "record packet-lifecycle events to this file (internal/obs)")
+	traceFormat := flag.String("trace-format", "auto", "trace encoding: auto|jsonl|binary (auto: .jsonl extension means JSONL)")
+	decompose := flag.Bool("decompose", false, "after the run, reduce the -trace file into the latency-breakdown table")
+	metricsInterval := flag.Uint64("metrics-interval", 0, "sample time-series metrics every K cycles (0 = off; implied 1000 when -metrics-out is set)")
+	metricsOut := flag.String("metrics-out", "", "write sampled metrics to this file (.jsonl extension means JSONL, else CSV)")
 	flag.Parse()
 
 	scheme, ok := schemeFlags[strings.ToLower(*schemeName)]
@@ -90,6 +98,35 @@ func main() {
 	if *stagger {
 		placement = core.PlacementStagger
 	}
+
+	if *decompose && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "-decompose needs -trace to know where the events went")
+		os.Exit(2)
+	}
+	if *metricsOut != "" && *metricsInterval == 0 {
+		*metricsInterval = 1000
+	}
+	var obsCfg *sim.ObsConfig
+	var sink obs.Sink
+	if *tracePath != "" || *metricsInterval > 0 {
+		obsCfg = &sim.ObsConfig{MetricsInterval: *metricsInterval}
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			binary := *traceFormat == "binary" ||
+				(*traceFormat == "auto" && !strings.HasSuffix(*tracePath, ".jsonl"))
+			if binary {
+				sink = obs.NewBinarySink(f)
+			} else {
+				sink = obs.NewJSONLSink(f)
+			}
+			obsCfg.Sink = sink
+		}
+	}
+
 	res, err := sim.Run(sim.Config{
 		Scheme:             scheme,
 		Assignment:         assignment,
@@ -103,10 +140,25 @@ func main() {
 		WriteBufferEntries: *writebuf,
 		ReadPreemption:     *preempt,
 		ExtraReqVC:         *plus1vc,
+		Obs:                obsCfg,
 	})
+	if sink != nil {
+		// Flush buffered events before reporting (and before -decompose
+		// reads the file back).
+		if cerr := sink.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "trace:", cerr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *metricsOut != "" && res.Metrics != nil {
+		if werr := writeMetrics(*metricsOut, res.Metrics); werr != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", werr)
+			os.Exit(1)
+		}
 	}
 
 	if *asJSON {
@@ -159,5 +211,49 @@ func main() {
 		fmt.Printf("arbiter           %d delay decisions, %d reads + %d writes via parents\n",
 			res.Arbiter.DelayDecisions, res.Arbiter.ForwardedReads, res.Arbiter.ForwardedWrites)
 	}
+	if *decompose {
+		if derr := runDecompose(*tracePath); derr != nil {
+			fmt.Fprintln(os.Stderr, "decompose:", derr)
+			os.Exit(1)
+		}
+	}
 	_ = noc.NumNodes
+}
+
+// writeMetrics exports the sampled time series (CSV, or JSONL for .jsonl).
+func writeMetrics(path string, ml *stats.MetricsLog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = ml.WriteJSONL(f)
+	} else {
+		err = ml.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// runDecompose reduces a recorded trace into the paper-style latency
+// breakdown (Figure 7's queueing-vs-service story, reconstructed per packet).
+func runDecompose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	d, err := obs.Decompose(events)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nlatency decomposition (%d trace events)\n", len(events))
+	obs.PrintSummary(os.Stdout, d)
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"sttsim/internal/mem"
 	"sttsim/internal/noc"
+	"sttsim/internal/obs"
 	"sttsim/internal/stats"
 )
 
@@ -29,6 +30,9 @@ type mshr struct {
 type waiter struct {
 	core int
 	src  noc.NodeID
+	// pktID is the merged request's network packet ID, echoed on the response
+	// so the event trace can stitch the round trip (internal/obs).
+	pktID uint64
 	// queueDelay accumulated before the miss was discovered (the initial tag
 	// probe's controller-queue wait), reported on the eventual response.
 	queueDelay uint64
@@ -53,6 +57,7 @@ type reqMeta struct {
 	src      noc.NodeID
 	addr     uint64
 	injected uint64 // original request's network injection cycle
+	pktID    uint64 // original request's network packet ID (internal/obs)
 
 	// Write-failure retry state (fault injection): attempts already failed,
 	// and the queue delay accumulated across them (reported on the final ack).
@@ -119,6 +124,10 @@ type BankController struct {
 	maxRetries   int
 	retryBackoff uint64
 	retryQ       []retryEntry
+
+	// tracer records bank access and write-fault events; nil (the default)
+	// means disabled, and every call site is nil-safe.
+	tracer *obs.Tracer
 }
 
 // WriteFaultInjector is the hook through which the fault-injection engine
@@ -174,6 +183,9 @@ func (bc *BankController) Outbox() []*noc.Packet {
 	bc.outbox = nil
 	return out
 }
+
+// SetTracer installs the observability tracer (nil disables it).
+func (bc *BankController) SetTracer(t *obs.Tracer) { bc.tracer = t }
 
 // SetWriteFaults installs the stochastic write-failure model: each completed
 // array write consults f; failures are retried up to maxRetries times,
@@ -249,14 +261,14 @@ func (bc *BankController) HandlePacket(p *noc.Packet, now uint64) {
 		la := LineAddr(p.Addr)
 		if m, ok := bc.mshrs[la]; ok {
 			// Merge onto the outstanding miss: no bank access needed.
-			m.waiters = append(m.waiters, waiter{core: p.Proc, src: p.Src, injected: p.Injected})
+			m.waiters = append(m.waiters, waiter{core: p.Proc, src: p.Src, injected: p.Injected, pktID: p.ID})
 			bc.stats.MSHRMerges++
 			return
 		}
-		bc.enqueue(mem.OpRead, reqMeta{kind: accRead, core: p.Proc, src: p.Src, addr: p.Addr, injected: p.Injected}, now)
+		bc.enqueue(mem.OpRead, reqMeta{kind: accRead, core: p.Proc, src: p.Src, addr: p.Addr, injected: p.Injected, pktID: p.ID}, now)
 	case noc.KindWriteReq:
 		bc.observeGap(p, now)
-		bc.enqueue(mem.OpWrite, reqMeta{kind: accWrite, core: p.Proc, src: p.Src, addr: p.Addr, injected: p.Injected}, now)
+		bc.enqueue(mem.OpWrite, reqMeta{kind: accWrite, core: p.Proc, src: p.Src, addr: p.Addr, injected: p.Injected, pktID: p.ID}, now)
 	case noc.KindMemResp:
 		// Fill-buffer forwarding: answer the merged waiters immediately —
 		// the requester gets the data as it arrives from memory — while the
@@ -293,6 +305,7 @@ func (bc *BankController) Tick(now uint64) {
 		panic(fmt.Sprintf("cache: bank %d completion for unknown request %d", bc.node, c.Req.ID))
 	}
 	delete(bc.meta, c.Req.ID)
+	bc.tracer.BankAccess(bc.node, m.pktID, accessNocKind(m.kind), c.Done, c.QueueDelay, c.Service)
 	switch m.kind {
 	case accRead:
 		bc.finishRead(m, c, now)
@@ -300,6 +313,19 @@ func (bc *BankController) Tick(now uint64) {
 		bc.finishWrite(m, c, now)
 	case accFill:
 		bc.finishFill(m, c, now)
+	}
+}
+
+// accessNocKind maps an access kind onto the packet kind recorded in bank
+// trace events.
+func accessNocKind(k accessKind) noc.Kind {
+	switch k {
+	case accRead:
+		return noc.KindReadReq
+	case accWrite:
+		return noc.KindWriteReq
+	default:
+		return noc.KindMemResp
 	}
 }
 
@@ -316,11 +342,12 @@ func (bc *BankController) finishRead(m reqMeta, c *mem.Completion, now uint64) {
 			Kind: noc.KindReadResp, Src: bc.node, Dst: m.src,
 			Addr: m.addr, Proc: m.core,
 			BankQueueDelay: c.QueueDelay, BankService: c.Service, ReqInjected: m.injected,
+			ReqID: m.pktID,
 		})
 		return
 	}
 	bc.stats.ReadMisses++
-	bc.startMiss(waiter{core: m.core, src: m.src, queueDelay: c.QueueDelay, injected: m.injected}, la, now)
+	bc.startMiss(waiter{core: m.core, src: m.src, queueDelay: c.QueueDelay, injected: m.injected, pktID: m.pktID}, la, now)
 }
 
 // startMiss allocates (or queues for) an MSHR and issues the memory request.
@@ -352,6 +379,7 @@ func (bc *BankController) finishWrite(m reqMeta, c *mem.Completion, now uint64) 
 		if m.retries < bc.maxRetries {
 			m.retries++
 			m.queueDelay += c.QueueDelay
+			bc.tracer.Fault(obs.FaultWriteRetry, bc.node, m.pktID, uint64(m.retries), 0, now)
 			bc.scheduleRetry(now, mem.OpWrite, m)
 			return
 		}
@@ -359,6 +387,7 @@ func (bc *BankController) finishWrite(m reqMeta, c *mem.Completion, now uint64) 
 		// (now stale) resident copy so no one reads it, and still ack the
 		// writer — the hardware raises a machine-check, not a hang.
 		bc.stats.RetriesExhausted++
+		bc.tracer.Fault(obs.FaultWriteDropped, bc.node, m.pktID, uint64(m.retries), 0, now)
 		if ln := bc.lookup(la); ln != nil {
 			bc.invalidateSharers(ln, -1)
 			ln.valid = false
@@ -369,6 +398,7 @@ func (bc *BankController) finishWrite(m reqMeta, c *mem.Completion, now uint64) 
 			Kind: noc.KindWriteAck, Src: bc.node, Dst: m.src,
 			Addr: m.addr, Proc: m.core,
 			BankQueueDelay: m.queueDelay + c.QueueDelay, BankService: c.Service, ReqInjected: m.injected,
+			ReqID: m.pktID,
 		})
 		return
 	}
@@ -391,6 +421,7 @@ func (bc *BankController) finishWrite(m reqMeta, c *mem.Completion, now uint64) 
 		Kind: noc.KindWriteAck, Src: bc.node, Dst: m.src,
 		Addr: m.addr, Proc: m.core,
 		BankQueueDelay: m.queueDelay + c.QueueDelay, BankService: c.Service, ReqInjected: m.injected,
+		ReqID: m.pktID,
 	})
 }
 
@@ -409,6 +440,7 @@ func (bc *BankController) forwardFill(p *noc.Packet, now uint64) {
 			Kind: noc.KindReadResp, Src: bc.node, Dst: w.src,
 			Addr: p.Addr, Proc: w.core,
 			BankQueueDelay: w.queueDelay, ReqInjected: w.injected,
+			ReqID: w.pktID,
 		})
 	}
 	// MSHR freed: admit a waiting miss, if any.
@@ -439,6 +471,7 @@ func (bc *BankController) finishFill(m reqMeta, c *mem.Completion, now uint64) {
 		bc.stats.WriteFaults++
 		if m.retries < bc.maxRetries {
 			m.retries++
+			bc.tracer.Fault(obs.FaultWriteRetry, bc.node, m.pktID, uint64(m.retries), 0, now)
 			bc.scheduleRetry(now, mem.OpWrite, m)
 			return
 		}
@@ -447,6 +480,7 @@ func (bc *BankController) finishFill(m reqMeta, c *mem.Completion, now uint64) {
 		// re-fetch.
 		bc.stats.RetriesExhausted++
 		bc.stats.FillsDropped++
+		bc.tracer.Fault(obs.FaultWriteDropped, bc.node, m.pktID, uint64(m.retries), 0, now)
 		delete(bc.fillSharers, la)
 		return
 	}

@@ -151,6 +151,15 @@ func (b *Bank) Stats() BankStats { return b.stats }
 // QueueLen returns the number of requests waiting in the controller queue.
 func (b *Bank) QueueLen() int { return len(b.queue) }
 
+// BufferLen returns the number of writes parked in the write buffer (0 when
+// the bank has none) — the write-buffer-depth probe of the metrics registry.
+func (b *Bank) BufferLen() int {
+	if b.buf == nil {
+		return 0
+	}
+	return b.buf.Len()
+}
+
 // Busy reports whether the array is servicing a request (or drain) at now.
 func (b *Bank) Busy(now uint64) bool {
 	return now < b.busyUntil && (b.current != nil || b.draining != nil)

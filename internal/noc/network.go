@@ -36,6 +36,10 @@ type Config struct {
 	// WatchdogCycles overrides the deadlock watchdog window; 0 means the
 	// WatchdogCycles default.
 	WatchdogCycles uint64
+	// Observer, when non-nil, receives packet-lifecycle notifications
+	// (internal/obs). Callers must leave it nil — not a typed nil — when
+	// tracing is disabled so the hot path stays a single nil check.
+	Observer Observer
 }
 
 // NetStats aggregates network-wide activity.
@@ -60,6 +64,7 @@ type Network struct {
 
 	routing     *Routing
 	prioritizer Prioritizer
+	obs         Observer
 
 	numVCs   int
 	bufDepth int
@@ -88,6 +93,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 	n := &Network{
 		routing:     cfg.Routing,
 		prioritizer: cfg.Prioritizer,
+		obs:         cfg.Observer,
 		bufDepth:    cfg.BufDepth,
 		watchdog:    cfg.WatchdogCycles,
 	}
@@ -265,6 +271,9 @@ func (n *Network) Inject(p *Packet, now uint64) {
 	p.Injected = now
 	n.inflight++
 	n.stats.PacketsInjected++
+	if n.obs != nil {
+		n.obs.PacketInjected(p, now)
+	}
 	if p.Src == p.Dst {
 		// Degenerate local delivery: skip the network entirely.
 		p.Ejected = now
@@ -286,6 +295,9 @@ func (n *Network) onDelivered(p *Packet, now uint64) {
 	n.stats.KindLatency[p.Kind].Observe(float64(p.NetworkLatency()))
 	n.stats.Hops.Observe(float64(p.Hops))
 	n.lastMove = now
+	if n.obs != nil {
+		n.obs.PacketDelivered(p, now)
+	}
 }
 
 // countTraversal classifies one flit-link traversal for the energy model.

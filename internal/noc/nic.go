@@ -173,7 +173,7 @@ func (n *NIC) injectOne(now uint64) {
 			readyAt: now + 1, // one cycle to cross into the router buffer
 		}
 		n.inj.credits[s.vc]--
-		n.router.acceptFlit(PortLocal, s.vc, f)
+		n.router.acceptFlit(PortLocal, s.vc, f, now)
 		n.net.lastMove = now
 		s.next++
 		if f.Tail {

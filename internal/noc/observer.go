@@ -1,0 +1,25 @@
+package noc
+
+// Observer receives packet-lifecycle notifications from the network. It is
+// defined here (and implemented by internal/obs) so the noc package does not
+// depend on the observability layer. All callbacks fire synchronously on the
+// simulator's single thread, in the network's deterministic iteration order,
+// and must not mutate the packet: they are pure observations, so an observed
+// and an unobserved run make identical decisions.
+type Observer interface {
+	// PacketInjected fires when a packet enters its source NIC queue (or is
+	// delivered locally when Src == Dst, in which case PacketDelivered fires
+	// in the same cycle).
+	PacketInjected(p *Packet, now uint64)
+	// HeaderEnqueued fires when a packet's header flit is buffered into a
+	// router's input VC — the router where the packet now waits for VC and
+	// switch allocation (the "parent enqueue" point at parent routers).
+	HeaderEnqueued(at NodeID, p *Packet, now uint64)
+	// HeaderGranted fires when a router's switch forwards the header through
+	// out — arbitration won ("parent grant"; "TSB arbitrate" when out is the
+	// down port of a wide-TSB node).
+	HeaderGranted(at NodeID, out Port, p *Packet, now uint64)
+	// PacketDelivered fires when the tail flit is ejected and the packet is
+	// handed to its destination.
+	PacketDelivered(p *Packet, now uint64)
+}

@@ -105,7 +105,7 @@ func (r *Router) numVCs() int { return r.net.numVCs }
 
 // acceptFlit buffers a flit arriving on (port, vc). The header flit claims
 // the VC and has its route computed (the RC stage).
-func (r *Router) acceptFlit(port Port, vc int, f Flit) {
+func (r *Router) acceptFlit(port Port, vc int, f Flit, now uint64) {
 	ip := r.in[port]
 	st := &ip.vcs[vc]
 	if len(st.buf) >= r.net.bufDepth {
@@ -119,6 +119,9 @@ func (r *Router) acceptFlit(port Port, vc int, f Flit) {
 		st.outPort = r.net.routing.NextPort(r.id, f.Pkt)
 		st.outVC = -1
 		r.needVC++
+		if o := r.net.obs; o != nil {
+			o.HeaderEnqueued(r.id, f.Pkt, now)
+		}
 	}
 	st.buf = append(st.buf, f)
 	r.bufferedFlits++
@@ -302,6 +305,9 @@ func (r *Router) forward(port Port, vc int, ol *outLink, now uint64) {
 		if pr := r.net.prioritizer; pr != nil {
 			pr.OnForward(r.id, f.Pkt, now)
 		}
+		if o := r.net.obs; o != nil {
+			o.HeaderGranted(r.id, ol.srcPort, f.Pkt, now)
+		}
 	}
 
 	ol.credits[outVC]--
@@ -321,7 +327,7 @@ func (r *Router) forward(port Port, vc int, ol *outLink, now uint64) {
 		// The NIC sinks ejected flits unconditionally; return the credit now.
 		ol.credits[outVC]++
 	} else {
-		ol.dst.acceptFlit(ol.dstPort, outVC, f)
+		ol.dst.acceptFlit(ol.dstPort, outVC, f, now)
 	}
 	r.net.lastMove = now
 }

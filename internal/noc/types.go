@@ -242,6 +242,10 @@ type Packet struct {
 	// request entered the network, so the requester can compute the whole
 	// un-core round trip.
 	ReqInjected uint64
+	// ReqID is carried on response packets: the network-assigned ID of the
+	// originating demand request, so an event trace can stitch a request and
+	// its response into one lifecycle (internal/obs).
+	ReqID uint64
 }
 
 // NetworkLatency returns the cycles the packet spent from injection to

@@ -1,0 +1,238 @@
+package obs
+
+// The compact binary trace format, mirroring internal/trace's format hygiene:
+// magic header, varint coding, strict bounds on decode, and a decoder that
+// returns errors (never panics) on arbitrary input — it is the subject of
+// FuzzDecodeBinary.
+//
+// Format (little-endian varints):
+//
+//	magic "STTOBS1\n"
+//	per event:
+//	  byte   type (0..numEventTypes)
+//	  varint cycle delta from the previous event (zigzag; bank-start events
+//	         legitimately step backwards)
+//	  uvarint pkt, uvarint req
+//	  byte   kind-or-code (fault code for EvFault, packet kind otherwise)
+//	  uvarint node+1 (0 encodes "none")
+//	  uvarint port+1 (0 encodes "none")
+//	  uvarint a, uvarint b
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sttsim/internal/noc"
+)
+
+var binaryMagic = []byte("STTOBS1\n")
+
+// MaxBinaryEvents bounds how many events DecodeBinary will read, so a
+// malicious or corrupt stream cannot exhaust memory.
+const MaxBinaryEvents = 1 << 26
+
+// BinarySink writes the compact binary format.
+type BinarySink struct {
+	w         *bufio.Writer
+	c         io.Closer
+	prevCycle uint64
+	wroteHead bool
+}
+
+// NewBinarySink buffers writes to w. If w is also an io.Closer it is closed
+// by Close.
+func NewBinarySink(w io.Writer) *BinarySink {
+	s := &BinarySink{w: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+func (s *BinarySink) uvarint(v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := s.w.Write(buf[:n])
+	return err
+}
+
+func (s *BinarySink) varint(v int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, err := s.w.Write(buf[:n])
+	return err
+}
+
+// Emit implements Sink.
+func (s *BinarySink) Emit(ev Event) error {
+	if !s.wroteHead {
+		s.wroteHead = true
+		if _, err := s.w.Write(binaryMagic); err != nil {
+			return err
+		}
+	}
+	if err := s.w.WriteByte(byte(ev.Type)); err != nil {
+		return err
+	}
+	if err := s.varint(int64(ev.Cycle) - int64(s.prevCycle)); err != nil {
+		return err
+	}
+	s.prevCycle = ev.Cycle
+	if err := s.uvarint(ev.Pkt); err != nil {
+		return err
+	}
+	if err := s.uvarint(ev.Req); err != nil {
+		return err
+	}
+	kc := byte(ev.Kind)
+	if ev.Type == EvFault {
+		kc = ev.Code
+	}
+	if err := s.w.WriteByte(kc); err != nil {
+		return err
+	}
+	if err := s.uvarint(uint64(ev.Node + 1)); err != nil {
+		return err
+	}
+	if err := s.uvarint(uint64(ev.Port + 1)); err != nil {
+		return err
+	}
+	if err := s.uvarint(ev.A); err != nil {
+		return err
+	}
+	return s.uvarint(ev.B)
+}
+
+// Close implements Sink. An empty trace still gets its magic so a recorded
+// file is always recognizable.
+func (s *BinarySink) Close() error {
+	var err error
+	if !s.wroteHead {
+		s.wroteHead = true
+		_, err = s.w.Write(binaryMagic)
+	}
+	if ferr := s.w.Flush(); err == nil {
+		err = ferr
+	}
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// IsBinaryTrace reports whether head starts with the binary trace magic.
+func IsBinaryTrace(head []byte) bool {
+	if len(head) < len(binaryMagic) {
+		return false
+	}
+	for i := range binaryMagic {
+		if head[i] != binaryMagic[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DecodeBinary reads an entire binary event trace. It is hardened against
+// arbitrary input: every field is bounds-checked, truncation is reported with
+// the event index, and at most MaxBinaryEvents events are accepted.
+func DecodeBinary(r io.Reader) ([]Event, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("obs: reading trace magic: %w", err)
+	}
+	if !IsBinaryTrace(head) {
+		return nil, errors.New("obs: bad magic (not a binary event trace)")
+	}
+	var out []Event
+	var prevCycle uint64
+	for {
+		tb, err := br.ReadByte()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: event %d: %w", len(out), err)
+		}
+		if len(out) >= MaxBinaryEvents {
+			return nil, fmt.Errorf("obs: trace exceeds %d events", MaxBinaryEvents)
+		}
+		if EventType(tb) >= numEventTypes {
+			return nil, fmt.Errorf("obs: event %d: unknown event type %d", len(out), tb)
+		}
+		ev := Event{Type: EventType(tb)}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("obs: event %d: cycle: %w", len(out), err)
+		}
+		cyc := int64(prevCycle) + delta
+		if cyc < 0 {
+			return nil, fmt.Errorf("obs: event %d: negative cycle", len(out))
+		}
+		ev.Cycle = uint64(cyc)
+		prevCycle = ev.Cycle
+		if ev.Pkt, err = binary.ReadUvarint(br); err != nil {
+			return nil, fmt.Errorf("obs: event %d: pkt: %w", len(out), err)
+		}
+		if ev.Req, err = binary.ReadUvarint(br); err != nil {
+			return nil, fmt.Errorf("obs: event %d: req: %w", len(out), err)
+		}
+		kc, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("obs: event %d: kind: %w", len(out), err)
+		}
+		if ev.Type == EvFault {
+			if int(kc) >= len(faultNames) {
+				return nil, fmt.Errorf("obs: event %d: unknown fault code %d", len(out), kc)
+			}
+			ev.Code = kc
+		} else {
+			if _, ok := kindByName[noc.Kind(kc).String()]; !ok {
+				return nil, fmt.Errorf("obs: event %d: unknown packet kind %d", len(out), kc)
+			}
+			ev.Kind = noc.Kind(kc)
+		}
+		node, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("obs: event %d: node: %w", len(out), err)
+		}
+		if node > uint64(noc.NumNodes) {
+			return nil, fmt.Errorf("obs: event %d: node %d out of range", len(out), node)
+		}
+		ev.Node = int16(node) - 1
+		port, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("obs: event %d: port: %w", len(out), err)
+		}
+		if port > uint64(noc.NumPorts) {
+			return nil, fmt.Errorf("obs: event %d: port %d out of range", len(out), port)
+		}
+		ev.Port = int8(port) - 1
+		if ev.A, err = binary.ReadUvarint(br); err != nil {
+			return nil, fmt.Errorf("obs: event %d: a: %w", len(out), err)
+		}
+		if ev.B, err = binary.ReadUvarint(br); err != nil {
+			return nil, fmt.Errorf("obs: event %d: b: %w", len(out), err)
+		}
+		out = append(out, ev)
+	}
+}
+
+// ReadTrace loads a trace in either format, sniffing the binary magic.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(len(binaryMagic))
+	if err != nil && len(head) == 0 {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	if IsBinaryTrace(head) {
+		return DecodeBinary(br)
+	}
+	return DecodeJSONL(br)
+}

@@ -1,0 +1,251 @@
+package obs
+
+// The offline latency-decomposition reducer (cmd/nocsim -decompose): given a
+// recorded event trace, reconstruct every demand request's end-to-end
+// lifecycle — injection, per-router queueing, ejection, bank queueing, bank
+// service, memory residual, and the response's way back — as a sequence of
+// consecutive stages whose cycle counts telescope exactly to the
+// requester-observed round trip. The decomposition property test
+// (internal/sim) enforces the exactness for every packet of every scheme.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sttsim/internal/noc"
+)
+
+// Stage is one consecutive slice of a request's lifetime.
+type Stage struct {
+	Label  string
+	Cycles uint64
+}
+
+// RequestDecomp is one demand request's reconstructed lifecycle.
+type RequestDecomp struct {
+	Req      uint64   // request packet ID
+	Kind     noc.Kind // KindReadReq or KindWriteReq
+	Inject   uint64   // cycle the request entered its source NIC
+	Complete uint64   // cycle the response was delivered back
+	Stages   []Stage  // consecutive; cycle counts sum to Complete-Inject
+}
+
+// Total returns the end-to-end round trip in cycles.
+func (r *RequestDecomp) Total() uint64 { return r.Complete - r.Inject }
+
+// StageSum returns the sum of the per-stage cycle counts; the decomposition
+// invariant is StageSum() == Total() for every request.
+func (r *RequestDecomp) StageSum() uint64 {
+	var sum uint64
+	for _, s := range r.Stages {
+		sum += s.Cycles
+	}
+	return sum
+}
+
+// Decomposition is the reducer's output over one trace.
+type Decomposition struct {
+	Requests []RequestDecomp
+	// Incomplete counts demand requests whose lifecycle did not finish inside
+	// the trace window (no response, or the response was still in flight).
+	Incomplete int
+	// Faults counts fault/degradation events seen in the trace.
+	Faults int
+}
+
+// Canonical stage labels, in lifecycle order.
+const (
+	StageReqNIC      = "req-nic-queue"  // source NIC queueing + injection serialization
+	StageReqRouter   = "req-router"     // router buffering, VA/SA arbitration (incl. parent holds)
+	StageReqHop      = "req-hop"        // inter-router flight not absorbed by buffering
+	StageReqEject    = "req-eject"      // last link + tail reassembly + interface gating
+	StageBankQueue   = "bank-queue"     // bank controller queue (incl. write-retry backoff)
+	StageBankService = "bank-service"   // array/buffer service time
+	StageMemory      = "memory"         // off-chip residual: miss round trip, MSHR merge wait
+	StageRespNIC     = "resp-nic-queue" // response-side NIC queueing
+	StageRespRouter  = "resp-router"
+	StageRespHop     = "resp-hop"
+	StageRespEject   = "resp-eject"
+)
+
+// stageOrder fixes the rendering order of Summary.
+var stageOrder = []string{
+	StageReqNIC, StageReqRouter, StageReqHop, StageReqEject,
+	StageBankQueue, StageBankService, StageMemory,
+	StageRespNIC, StageRespRouter, StageRespHop, StageRespEject,
+}
+
+// netStages converts one packet's ordered events (inject, (enqueue, grant)*,
+// deliver) into network stages appended to dst. prefix distinguishes the
+// request and response legs.
+func netStages(dst []Stage, evs []Event, prefix string) ([]Stage, error) {
+	if len(evs) < 2 || evs[0].Type != EvInject || evs[len(evs)-1].Type != EvDeliver {
+		return nil, fmt.Errorf("obs: packet %d: malformed lifecycle (%d events)", evs[0].Pkt, len(evs))
+	}
+	prev := evs[0].Cycle
+	label := prefix + "-nic-queue"
+	for _, ev := range evs[1 : len(evs)-1] {
+		if ev.Cycle < prev {
+			return nil, fmt.Errorf("obs: packet %d: %s at cycle %d before %d", ev.Pkt, ev.Type, ev.Cycle, prev)
+		}
+		switch ev.Type {
+		case EvEnqueue:
+			dst = append(dst, Stage{label, ev.Cycle - prev})
+			label = prefix + "-router"
+		case EvGrant:
+			dst = append(dst, Stage{label, ev.Cycle - prev})
+			label = prefix + "-hop"
+		default:
+			return nil, fmt.Errorf("obs: packet %d: unexpected %s inside lifecycle", ev.Pkt, ev.Type)
+		}
+		prev = ev.Cycle
+	}
+	last := evs[len(evs)-1]
+	if last.Cycle < prev {
+		return nil, fmt.Errorf("obs: packet %d: delivered at %d before %d", last.Pkt, last.Cycle, prev)
+	}
+	return append(dst, Stage{prefix + "-eject", last.Cycle - prev}), nil
+}
+
+// Decompose reduces a trace into per-request latency decompositions.
+func Decompose(events []Event) (*Decomposition, error) {
+	// Group packet events by ID in file order (the file order is the
+	// simulator's deterministic emission order).
+	perPkt := make(map[uint64][]Event)
+	bankByReq := make(map[uint64][]Event)
+	respByReq := make(map[uint64]uint64)
+	d := &Decomposition{}
+	for _, ev := range events {
+		switch ev.Type {
+		case EvInject, EvEnqueue, EvGrant, EvDeliver:
+			perPkt[ev.Pkt] = append(perPkt[ev.Pkt], ev)
+			if ev.Type == EvInject && ev.Req != 0 &&
+				(ev.Kind == noc.KindReadResp || ev.Kind == noc.KindWriteAck) {
+				if prior, dup := respByReq[ev.Req]; dup {
+					return nil, fmt.Errorf("obs: request %d has responses %d and %d", ev.Req, prior, ev.Pkt)
+				}
+				respByReq[ev.Req] = ev.Pkt
+			}
+		case EvBankStart, EvBankDone:
+			if ev.Req != 0 {
+				bankByReq[ev.Req] = append(bankByReq[ev.Req], ev)
+			}
+		case EvFault:
+			d.Faults++
+		}
+	}
+
+	// Stable request order: by packet ID (== injection order).
+	reqIDs := make([]uint64, 0)
+	for id, evs := range perPkt {
+		if evs[0].Type == EvInject &&
+			(evs[0].Kind == noc.KindReadReq || evs[0].Kind == noc.KindWriteReq) {
+			reqIDs = append(reqIDs, id)
+		}
+	}
+	sort.Slice(reqIDs, func(i, j int) bool { return reqIDs[i] < reqIDs[j] })
+
+	for _, id := range reqIDs {
+		reqEvs := perPkt[id]
+		respID, ok := respByReq[id]
+		if !ok || reqEvs[len(reqEvs)-1].Type != EvDeliver {
+			d.Incomplete++
+			continue
+		}
+		respEvs := perPkt[respID]
+		if respEvs[len(respEvs)-1].Type != EvDeliver {
+			d.Incomplete++
+			continue
+		}
+		rd := RequestDecomp{Req: id, Kind: reqEvs[0].Kind, Inject: reqEvs[0].Cycle}
+		stages, err := netStages(nil, reqEvs, "req")
+		if err != nil {
+			return nil, err
+		}
+		// Bank attempts: start/done pairs in emission order. Retried writes
+		// contribute one pair per pulse; the inter-attempt backoff lands in
+		// bank-queue.
+		prev := reqEvs[len(reqEvs)-1].Cycle
+		for _, bev := range bankByReq[id] {
+			if bev.Cycle < prev {
+				return nil, fmt.Errorf("obs: request %d: bank %s at cycle %d before %d", id, bev.Type, bev.Cycle, prev)
+			}
+			label := StageBankQueue
+			if bev.Type == EvBankDone {
+				label = StageBankService
+			}
+			stages = append(stages, Stage{label, bev.Cycle - prev})
+			prev = bev.Cycle
+		}
+		// Off-chip / merge residual up to the response's injection.
+		if respEvs[0].Cycle < prev {
+			return nil, fmt.Errorf("obs: request %d: response injected at %d before %d", id, respEvs[0].Cycle, prev)
+		}
+		stages = append(stages, Stage{StageMemory, respEvs[0].Cycle - prev})
+		if stages, err = netStages(stages, respEvs, "resp"); err != nil {
+			return nil, err
+		}
+		rd.Stages = stages
+		rd.Complete = respEvs[len(respEvs)-1].Cycle
+		d.Requests = append(d.Requests, rd)
+	}
+	return d, nil
+}
+
+// StageSummary aggregates one stage label across all completed requests.
+type StageSummary struct {
+	Label  string
+	Cycles uint64 // total cycles spent in this stage
+}
+
+// Summary aggregates stage totals in canonical lifecycle order.
+func (d *Decomposition) Summary() []StageSummary {
+	totals := make(map[string]uint64)
+	for _, r := range d.Requests {
+		for _, s := range r.Stages {
+			totals[s.Label] += s.Cycles
+		}
+	}
+	out := make([]StageSummary, 0, len(stageOrder))
+	for _, l := range stageOrder {
+		out = append(out, StageSummary{Label: l, Cycles: totals[l]})
+	}
+	return out
+}
+
+// MeanTotal returns the mean end-to-end round trip over completed requests.
+func (d *Decomposition) MeanTotal() float64 {
+	if len(d.Requests) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, r := range d.Requests {
+		sum += r.Total()
+	}
+	return float64(sum) / float64(len(d.Requests))
+}
+
+// PrintSummary renders the paper-style latency-breakdown table.
+func PrintSummary(w io.Writer, d *Decomposition) {
+	n := len(d.Requests)
+	fmt.Fprintf(w, "requests decomposed  %d (%d incomplete at trace end", n, d.Incomplete)
+	if d.Faults > 0 {
+		fmt.Fprintf(w, ", %d fault events", d.Faults)
+	}
+	fmt.Fprintln(w, ")")
+	if n == 0 {
+		return
+	}
+	mean := d.MeanTotal()
+	fmt.Fprintf(w, "mean round trip      %.1f cycles\n", mean)
+	fmt.Fprintf(w, "%-15s %12s %10s\n", "stage", "cycles/req", "share")
+	for _, s := range d.Summary() {
+		per := float64(s.Cycles) / float64(n)
+		share := 0.0
+		if mean > 0 {
+			share = 100 * per / mean
+		}
+		fmt.Fprintf(w, "%-15s %12.2f %9.1f%%\n", s.Label, per, share)
+	}
+}

@@ -1,0 +1,240 @@
+// Package obs is the packet-lifecycle observability layer: structured event
+// tracing (packet lifecycle and fault/degradation events emitted through a
+// pluggable sink), a compact binary trace format with a hardened decoder, and
+// an offline reducer that reconstructs the paper's latency decomposition
+// (queueing vs serialization vs service, Sections 3-4) from a recorded trace.
+//
+// The layer is strictly zero-cost when disabled: a nil *Tracer is the
+// disabled state, every emission site in the simulator guards on it, and no
+// event machinery is allocated or consulted on the hot path. Enabling a
+// tracer never perturbs simulation outcomes — events are pure observations of
+// decisions the simulator already made — so traced and untraced runs of the
+// same configuration produce identical Results.
+package obs
+
+import (
+	"fmt"
+
+	"sttsim/internal/noc"
+)
+
+// EventType classifies one trace event.
+type EventType uint8
+
+const (
+	// EvInject: a packet entered its source NIC queue.
+	EvInject EventType = iota
+	// EvEnqueue: a packet's header flit was buffered at a router ("parent
+	// enqueue" when the router is the packet's parent re-ordering point).
+	EvEnqueue
+	// EvGrant: a packet's header was granted the switch at a router and is
+	// being forwarded through the recorded output port ("parent grant" at the
+	// parent router; "TSB arbitrate" when the port is the down TSB/TSV).
+	EvGrant
+	// EvDeliver: the packet's tail flit was ejected and the packet handed to
+	// its destination sink.
+	EvDeliver
+	// EvBankStart: a cache bank's array began servicing an access.
+	EvBankStart
+	// EvBankDone: the access completed; A carries the controller-queue delay
+	// and B the service time, in cycles.
+	EvBankDone
+	// EvFault: a fault-injection or graceful-degradation action (Code says
+	// which; see the Fault* constants).
+	EvFault
+	numEventTypes
+)
+
+var eventNames = [numEventTypes]string{
+	"inject", "enqueue", "grant", "deliver", "bank-start", "bank-done", "fault",
+}
+
+// String names the event type.
+func (t EventType) String() string {
+	if int(t) < len(eventNames) {
+		return eventNames[t]
+	}
+	return fmt.Sprintf("EventType(%d)", uint8(t))
+}
+
+// eventTypeByName inverts String for the JSONL decoder.
+var eventTypeByName = func() map[string]EventType {
+	m := make(map[string]EventType, numEventTypes)
+	for t := EventType(0); t < numEventTypes; t++ {
+		m[eventNames[t]] = t
+	}
+	return m
+}()
+
+// Fault codes carried in Event.Code when Type == EvFault.
+const (
+	// FaultTSBKilled: a region TSB's down link died; Node is the TSB's
+	// core-layer node, A the region index, B the number of regions re-homed.
+	FaultTSBKilled uint8 = iota
+	// FaultPortDegraded: a router output port was killed or degraded; Node is
+	// the router, A the port index, B the duty-cycle period (0 = dead).
+	FaultPortDegraded
+	// FaultWriteRetry: a stochastic STT-RAM write failure scheduled a
+	// re-pulse; Node is the bank node, Req the victim request's packet ID.
+	FaultWriteRetry
+	// FaultWriteDropped: write retries were exhausted; the line was
+	// invalidated (writes) or the fill install abandoned (fills).
+	FaultWriteDropped
+)
+
+var faultNames = [...]string{"tsb-killed", "port-degraded", "write-retry", "write-dropped"}
+
+// FaultName renders a fault code.
+func FaultName(code uint8) string {
+	if int(code) < len(faultNames) {
+		return faultNames[code]
+	}
+	return fmt.Sprintf("fault(%d)", code)
+}
+
+// Event is one trace record. The fields beyond (Cycle, Type) are populated
+// per type; zero values mean "not applicable" except where documented.
+type Event struct {
+	Cycle uint64
+	Type  EventType
+
+	// Pkt is the network-assigned packet ID for packet events; 0 for
+	// component events (bank, fault) that are keyed by Req instead.
+	Pkt uint64
+	// Req links an event back to the originating demand request's packet ID:
+	// response packets, bank accesses, and write-fault events carry it so a
+	// request's full lifecycle is reconstructible offline.
+	Req uint64
+	// Kind is the noc packet kind for packet events.
+	Kind noc.Kind
+	// Code is the fault code for EvFault events.
+	Code uint8
+	// Node is the component coordinate: router for enqueue/grant, bank node
+	// for bank events, fault site for faults; -1 when not applicable.
+	Node int16
+	// Port is the granted output port for EvGrant; -1 otherwise.
+	Port int8
+	// A and B are per-type payloads (see the EventType docs).
+	A, B uint64
+}
+
+// packetEvent fills the common packet-event fields.
+func packetEvent(t EventType, p *noc.Packet, now uint64) Event {
+	return Event{
+		Cycle: now, Type: t, Pkt: p.ID, Req: p.ReqID, Kind: p.Kind,
+		Node: -1, Port: -1,
+	}
+}
+
+// Tracer emits lifecycle events into a Sink. A nil *Tracer is the disabled
+// tracer: every method is nil-safe and free of side effects, which is what
+// lets the simulator call hooks unconditionally once wired. Errors from the
+// sink are sticky: the first one is retained (Err) and later emissions are
+// dropped, so a full disk cannot corrupt a trace mid-record.
+type Tracer struct {
+	sink  Sink
+	err   error
+	count uint64
+}
+
+// NewTracer wraps a sink. A nil sink yields a nil (disabled) tracer.
+func NewTracer(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink}
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Events returns the number of events emitted so far.
+func (t *Tracer) Events() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.count
+}
+
+// Err returns the first sink error encountered, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}
+
+// Close flushes and closes the sink.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	if cerr := t.sink.Close(); t.err == nil {
+		t.err = cerr
+	}
+	return t.err
+}
+
+// Emit records one event.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil || t.err != nil {
+		return
+	}
+	t.count++
+	if err := t.sink.Emit(ev); err != nil {
+		t.err = err
+	}
+}
+
+// PacketInjected implements noc.Observer.
+func (t *Tracer) PacketInjected(p *noc.Packet, now uint64) {
+	t.Emit(packetEvent(EvInject, p, now))
+}
+
+// HeaderEnqueued implements noc.Observer.
+func (t *Tracer) HeaderEnqueued(at noc.NodeID, p *noc.Packet, now uint64) {
+	ev := packetEvent(EvEnqueue, p, now)
+	ev.Node = int16(at)
+	t.Emit(ev)
+}
+
+// HeaderGranted implements noc.Observer.
+func (t *Tracer) HeaderGranted(at noc.NodeID, out noc.Port, p *noc.Packet, now uint64) {
+	ev := packetEvent(EvGrant, p, now)
+	ev.Node = int16(at)
+	ev.Port = int8(out)
+	t.Emit(ev)
+}
+
+// PacketDelivered implements noc.Observer.
+func (t *Tracer) PacketDelivered(p *noc.Packet, now uint64) {
+	t.Emit(packetEvent(EvDeliver, p, now))
+}
+
+// BankAccess records a completed bank access as a start/done event pair
+// (the start cycle is reconstructed from the completion, which is when the
+// controller learns the access's queue delay and service time).
+func (t *Tracer) BankAccess(bank noc.NodeID, req uint64, kind noc.Kind, done, qdelay, service uint64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{
+		Cycle: done - service, Type: EvBankStart, Req: req, Kind: kind,
+		Node: int16(bank), Port: -1,
+	})
+	t.Emit(Event{
+		Cycle: done, Type: EvBankDone, Req: req, Kind: kind,
+		Node: int16(bank), Port: -1, A: qdelay, B: service,
+	})
+}
+
+// Fault records a fault-injection or degradation action.
+func (t *Tracer) Fault(code uint8, node noc.NodeID, req, a, b, now uint64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{
+		Cycle: now, Type: EvFault, Code: code, Req: req,
+		Node: int16(node), Port: -1, A: a, B: b,
+	})
+}

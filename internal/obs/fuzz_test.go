@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"sttsim/internal/noc"
+)
+
+// FuzzDecodeBinary hardens the binary trace decoder against arbitrary input:
+// it must never panic, and anything it accepts must re-encode to the same
+// byte stream (canonical round trip).
+func FuzzDecodeBinary(f *testing.F) {
+	// Seed with an empty trace and a representative encoded stream.
+	var empty bytes.Buffer
+	NewBinarySink(&empty).Close()
+	f.Add(empty.Bytes())
+
+	var full bytes.Buffer
+	sink := NewBinarySink(&full)
+	for _, ev := range sampleEvents() {
+		sink.Emit(ev)
+	}
+	sink.Close()
+	f.Add(full.Bytes())
+
+	// Truncated and mutated variants.
+	f.Add(full.Bytes()[:len(full.Bytes())/2])
+	mut := append([]byte{}, full.Bytes()...)
+	mut[len(binaryMagic)] = 0xEE
+	f.Add(mut)
+	f.Add([]byte("STTOBS1\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := DecodeBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip canonically.
+		var buf bytes.Buffer
+		s := NewBinarySink(&buf)
+		for _, ev := range evs {
+			if ev.Type >= numEventTypes {
+				t.Fatalf("decoder admitted bad type %d", ev.Type)
+			}
+			if ev.Node < -1 || ev.Node >= int16(noc.NumNodes) {
+				t.Fatalf("decoder admitted bad node %d", ev.Node)
+			}
+			if ev.Port < -1 || ev.Port >= int8(noc.NumPorts) {
+				t.Fatalf("decoder admitted bad port %d", ev.Port)
+			}
+			s.Emit(ev)
+		}
+		s.Close()
+		got, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if !reflect.DeepEqual(got, evs) {
+			t.Fatal("canonical round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sttsim/internal/noc"
+)
+
+// sampleEvents exercises every event type, both payload fields, a backwards
+// cycle step (bank-start), and the node/port "none" encodings.
+func sampleEvents() []Event {
+	return []Event{
+		{Cycle: 5, Type: EvInject, Pkt: 1, Kind: noc.KindReadReq, Node: -1, Port: -1},
+		{Cycle: 6, Type: EvEnqueue, Pkt: 1, Kind: noc.KindReadReq, Node: 3, Port: -1},
+		{Cycle: 9, Type: EvGrant, Pkt: 1, Kind: noc.KindReadReq, Node: 3, Port: int8(noc.PortDown)},
+		{Cycle: 14, Type: EvDeliver, Pkt: 1, Kind: noc.KindReadReq, Node: -1, Port: -1},
+		{Cycle: 17, Type: EvBankStart, Req: 1, Kind: noc.KindReadReq, Node: 70, Port: -1},
+		{Cycle: 20, Type: EvBankDone, Req: 1, Kind: noc.KindReadReq, Node: 70, Port: -1, A: 3, B: 3},
+		{Cycle: 18, Type: EvBankStart, Req: 2, Kind: noc.KindWriteReq, Node: 71, Port: -1},
+		{Cycle: 51, Type: EvBankDone, Req: 2, Kind: noc.KindWriteReq, Node: 71, Port: -1, A: 0, B: 33},
+		{Cycle: 21, Type: EvInject, Pkt: 9, Req: 1, Kind: noc.KindReadResp, Node: -1, Port: -1},
+		{Cycle: 30, Type: EvDeliver, Pkt: 9, Req: 1, Kind: noc.KindReadResp, Node: -1, Port: -1},
+		{Cycle: 40, Type: EvFault, Code: FaultTSBKilled, Node: 12, Port: -1, A: 3, B: 2},
+		{Cycle: 41, Type: EvFault, Code: FaultWriteRetry, Req: 2, Node: 71, Port: -1, A: 1},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	evs := sampleEvents()
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	for _, ev := range evs {
+		if err := sink.Emit(ev); err != nil {
+			t.Fatalf("emit: %v", err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	got, err := DecodeJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("jsonl round trip mismatch:\n got %+v\nwant %+v", got, evs)
+	}
+	// The rendering must be deterministic byte-for-byte.
+	var buf2 bytes.Buffer
+	sink2 := NewJSONLSink(&buf2)
+	for _, ev := range evs {
+		sink2.Emit(ev)
+	}
+	sink2.Close()
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("jsonl rendering is not deterministic")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	evs := sampleEvents()
+	var buf bytes.Buffer
+	sink := NewBinarySink(&buf)
+	for _, ev := range evs {
+		if err := sink.Emit(ev); err != nil {
+			t.Fatalf("emit: %v", err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if !IsBinaryTrace(buf.Bytes()) {
+		t.Fatal("binary trace missing magic")
+	}
+	got, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("binary round trip mismatch:\n got %+v\nwant %+v", got, evs)
+	}
+}
+
+func TestReadTraceSniffsFormat(t *testing.T) {
+	evs := sampleEvents()
+	for _, mk := range []func(io_ *bytes.Buffer) Sink{
+		func(b *bytes.Buffer) Sink { return NewJSONLSink(b) },
+		func(b *bytes.Buffer) Sink { return NewBinarySink(b) },
+	} {
+		var buf bytes.Buffer
+		sink := mk(&buf)
+		for _, ev := range evs {
+			sink.Emit(ev)
+		}
+		sink.Close()
+		got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadTrace: %v", err)
+		}
+		if !reflect.DeepEqual(got, evs) {
+			t.Fatal("ReadTrace mismatch")
+		}
+	}
+}
+
+func TestEmptyBinaryTraceHasMagic(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewBinarySink(&buf)
+	if err := sink.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	evs, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("empty trace decoded %d events", len(evs))
+	}
+}
+
+func TestDecodeBinaryRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewBinarySink(&buf)
+	for _, ev := range sampleEvents() {
+		sink.Emit(ev)
+	}
+	sink.Close()
+	valid := buf.Bytes()
+
+	if _, err := DecodeBinary(bytes.NewReader([]byte("not a trace at all"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncations must error, never panic.
+	for cut := len(validMagicPrefix(valid)); cut < len(valid); cut++ {
+		if _, err := DecodeBinary(bytes.NewReader(valid[:cut])); err == nil &&
+			cut != expectedEventBoundary(valid, cut) {
+			// Cuts on an exact event boundary decode the prefix cleanly; any
+			// other cut must report an error.
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// A bogus event type byte right after the magic.
+	bad := append(append([]byte{}, binaryMagic...), 0xFF)
+	if _, err := DecodeBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bogus event type accepted")
+	}
+}
+
+// validMagicPrefix / expectedEventBoundary keep the truncation loop honest:
+// we only demand an error when the cut is not a clean event boundary.
+func validMagicPrefix(b []byte) []byte { return b[:len(binaryMagic)] }
+
+func expectedEventBoundary(valid []byte, cut int) int {
+	evs, err := DecodeBinary(bytes.NewReader(valid[:cut]))
+	if err != nil {
+		return -1
+	}
+	// Re-encode the decoded prefix; a clean boundary reproduces the cut.
+	var buf bytes.Buffer
+	s := NewBinarySink(&buf)
+	for _, ev := range evs {
+		s.Emit(ev)
+	}
+	s.Close()
+	if buf.Len() == cut {
+		return cut
+	}
+	return -1
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	p := &noc.Packet{ID: 1, Kind: noc.KindReadReq}
+	tr.PacketInjected(p, 1)
+	tr.HeaderEnqueued(3, p, 2)
+	tr.HeaderGranted(3, noc.PortDown, p, 3)
+	tr.PacketDelivered(p, 4)
+	tr.BankAccess(70, 1, noc.KindReadReq, 20, 3, 3)
+	tr.Fault(FaultTSBKilled, 12, 0, 0, 0, 5)
+	tr.Emit(Event{})
+	if tr.Events() != 0 || tr.Err() != nil || tr.Close() != nil {
+		t.Fatal("nil tracer has state")
+	}
+	if NewTracer(nil) != nil {
+		t.Fatal("NewTracer(nil) should be nil")
+	}
+}
+
+func TestTracerStickyError(t *testing.T) {
+	sink := &failingSink{failAfter: 2}
+	tr := NewTracer(sink)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Cycle: uint64(i)})
+	}
+	if tr.Err() == nil {
+		t.Fatal("sink error not surfaced")
+	}
+	if sink.emits > 3 {
+		t.Fatalf("emissions continued after error: %d", sink.emits)
+	}
+}
+
+type failingSink struct {
+	failAfter int
+	emits     int
+}
+
+func (s *failingSink) Emit(Event) error {
+	s.emits++
+	if s.emits > s.failAfter {
+		return errFail
+	}
+	return nil
+}
+func (s *failingSink) Close() error { return nil }
+
+var errFail = &trailerError{"sink full"}
+
+type trailerError struct{ msg string }
+
+func (e *trailerError) Error() string { return e.msg }
+
+// syntheticLifecycle builds a two-hop read with a bank access and response,
+// with known per-stage cycle counts.
+func syntheticLifecycle() []Event {
+	return []Event{
+		// Request packet 1: inject@100, enqueue@102 (nic 2), grant@105
+		// (router 3), enqueue@105 (hop 0), grant@107 (router 2), deliver@110
+		// (eject 3).
+		{Cycle: 100, Type: EvInject, Pkt: 1, Kind: noc.KindReadReq, Node: -1, Port: -1},
+		{Cycle: 102, Type: EvEnqueue, Pkt: 1, Kind: noc.KindReadReq, Node: 4, Port: -1},
+		{Cycle: 105, Type: EvGrant, Pkt: 1, Kind: noc.KindReadReq, Node: 4, Port: int8(noc.PortEast)},
+		{Cycle: 105, Type: EvEnqueue, Pkt: 1, Kind: noc.KindReadReq, Node: 5, Port: -1},
+		{Cycle: 107, Type: EvGrant, Pkt: 1, Kind: noc.KindReadReq, Node: 5, Port: int8(noc.PortDown)},
+		{Cycle: 110, Type: EvDeliver, Pkt: 1, Kind: noc.KindReadReq, Node: -1, Port: -1},
+		// Bank: queue 4 (110→114), service 3 (114→117).
+		{Cycle: 114, Type: EvBankStart, Req: 1, Kind: noc.KindReadReq, Node: 69, Port: -1},
+		{Cycle: 117, Type: EvBankDone, Req: 1, Kind: noc.KindReadReq, Node: 69, Port: -1, A: 4, B: 3},
+		// Response packet 7: memory residual 1 (117→118), then net back.
+		{Cycle: 118, Type: EvInject, Pkt: 7, Req: 1, Kind: noc.KindReadResp, Node: -1, Port: -1},
+		{Cycle: 119, Type: EvEnqueue, Pkt: 7, Req: 1, Kind: noc.KindReadResp, Node: 69, Port: -1},
+		{Cycle: 121, Type: EvGrant, Pkt: 7, Req: 1, Kind: noc.KindReadResp, Node: 69, Port: int8(noc.PortUp)},
+		{Cycle: 125, Type: EvDeliver, Pkt: 7, Req: 1, Kind: noc.KindReadResp, Node: -1, Port: -1},
+	}
+}
+
+func TestDecomposeSynthetic(t *testing.T) {
+	d, err := Decompose(syntheticLifecycle())
+	if err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	if len(d.Requests) != 1 || d.Incomplete != 0 {
+		t.Fatalf("got %d requests, %d incomplete", len(d.Requests), d.Incomplete)
+	}
+	r := d.Requests[0]
+	if r.Req != 1 || r.Inject != 100 || r.Complete != 125 {
+		t.Fatalf("bad request bounds: %+v", r)
+	}
+	if r.Total() != 25 || r.StageSum() != 25 {
+		t.Fatalf("telescoping broken: total %d, stage sum %d", r.Total(), r.StageSum())
+	}
+	want := map[string]uint64{
+		StageReqNIC: 2, StageReqRouter: 3 + 2, StageReqHop: 0, StageReqEject: 3,
+		StageBankQueue: 4, StageBankService: 3, StageMemory: 1,
+		StageRespNIC: 1, StageRespRouter: 2, StageRespEject: 4,
+	}
+	got := make(map[string]uint64)
+	for _, s := range r.Stages {
+		got[s.Label] += s.Cycles
+	}
+	for label, cyc := range want {
+		if got[label] != cyc {
+			t.Errorf("stage %s: got %d, want %d", label, got[label], cyc)
+		}
+	}
+	sum := d.Summary()
+	if len(sum) != len(stageOrder) {
+		t.Fatalf("summary has %d rows", len(sum))
+	}
+	var total uint64
+	for _, s := range sum {
+		total += s.Cycles
+	}
+	if total != 25 {
+		t.Fatalf("summary total %d, want 25", total)
+	}
+	var out strings.Builder
+	PrintSummary(&out, d)
+	if !strings.Contains(out.String(), "bank-service") {
+		t.Fatal("summary table missing stage rows")
+	}
+}
+
+func TestDecomposeIncomplete(t *testing.T) {
+	evs := syntheticLifecycle()
+	// Drop the response delivery: request must be counted incomplete.
+	d, err := Decompose(evs[:len(evs)-1])
+	if err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	if len(d.Requests) != 0 || d.Incomplete != 1 {
+		t.Fatalf("got %d requests, %d incomplete", len(d.Requests), d.Incomplete)
+	}
+	// A lone request with no response at all.
+	d, err = Decompose(evs[:6])
+	if err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	if d.Incomplete != 1 {
+		t.Fatalf("no-response request not counted: %+v", d)
+	}
+}
+
+func TestDecomposeRejectsInconsistency(t *testing.T) {
+	evs := syntheticLifecycle()
+	bad := make([]Event, len(evs))
+	copy(bad, evs)
+	bad[8].Cycle = 90 // response injected before the bank finished
+	if _, err := Decompose(bad); err == nil {
+		t.Fatal("inconsistent chain accepted")
+	}
+}

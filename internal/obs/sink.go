@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"sttsim/internal/noc"
+)
+
+// Sink consumes trace events. Implementations are single-goroutine (the
+// simulator is single-threaded); Close flushes any buffering.
+type Sink interface {
+	Emit(Event) error
+	Close() error
+}
+
+// MemorySink accumulates events in memory — the test harness's sink.
+type MemorySink struct {
+	Events []Event
+}
+
+// Emit implements Sink.
+func (s *MemorySink) Emit(ev Event) error {
+	s.Events = append(s.Events, ev)
+	return nil
+}
+
+// Close implements Sink.
+func (s *MemorySink) Close() error { return nil }
+
+// kindByName inverts noc.Kind.String for the JSONL decoder.
+var kindByName = func() map[string]noc.Kind {
+	m := make(map[string]noc.Kind)
+	for k := noc.Kind(0); k < 64; k++ {
+		s := k.String()
+		if strings.HasPrefix(s, "Kind(") {
+			break
+		}
+		m[s] = k
+	}
+	return m
+}()
+
+// portByName inverts noc.Port.String.
+var portByName = func() map[string]noc.Port {
+	m := make(map[string]noc.Port)
+	for p := noc.Port(0); p < noc.NumPorts; p++ {
+		m[p.String()] = p
+	}
+	return m
+}()
+
+// faultByName inverts FaultName.
+var faultByName = func() map[string]uint8 {
+	m := make(map[string]uint8)
+	for c := range faultNames {
+		m[faultNames[c]] = uint8(c)
+	}
+	return m
+}()
+
+// JSONLSink writes one compact JSON object per event. The rendering is
+// hand-rolled (fixed key order, integers only, absent fields omitted) so a
+// given event stream always produces identical bytes — the golden-trace
+// determinism tests rely on this.
+type JSONLSink struct {
+	w *bufio.Writer
+	c io.Closer // closed by Close when the target is a file; may be nil
+}
+
+// NewJSONLSink buffers writes to w. If w is also an io.Closer it is closed
+// by Close.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(ev Event) error {
+	w := s.w
+	fmt.Fprintf(w, `{"c":%d,"t":%q`, ev.Cycle, ev.Type.String())
+	if ev.Pkt != 0 {
+		fmt.Fprintf(w, `,"p":%d`, ev.Pkt)
+	}
+	if ev.Req != 0 {
+		fmt.Fprintf(w, `,"r":%d`, ev.Req)
+	}
+	if ev.Type == EvFault {
+		fmt.Fprintf(w, `,"f":%q`, FaultName(ev.Code))
+	} else {
+		fmt.Fprintf(w, `,"k":%q`, ev.Kind.String())
+	}
+	if ev.Node >= 0 {
+		fmt.Fprintf(w, `,"n":%d`, ev.Node)
+	}
+	if ev.Port >= 0 {
+		fmt.Fprintf(w, `,"o":%q`, noc.Port(ev.Port).String())
+	}
+	if ev.A != 0 {
+		fmt.Fprintf(w, `,"a":%d`, ev.A)
+	}
+	if ev.B != 0 {
+		fmt.Fprintf(w, `,"b":%d`, ev.B)
+	}
+	_, err := w.WriteString("}\n")
+	return err
+}
+
+// Close implements Sink.
+func (s *JSONLSink) Close() error {
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// jsonlEvent is the decoding shape of one JSONL line.
+type jsonlEvent struct {
+	C uint64  `json:"c"`
+	T string  `json:"t"`
+	P uint64  `json:"p"`
+	R uint64  `json:"r"`
+	K *string `json:"k"`
+	F *string `json:"f"`
+	N *int16  `json:"n"`
+	O *string `json:"o"`
+	A uint64  `json:"a"`
+	B uint64  `json:"b"`
+}
+
+// DecodeJSONL parses a JSONL event stream back into events.
+func DecodeJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+		}
+		t, ok := eventTypeByName[je.T]
+		if !ok {
+			return nil, fmt.Errorf("obs: jsonl line %d: unknown event type %q", line, je.T)
+		}
+		ev := Event{Cycle: je.C, Type: t, Pkt: je.P, Req: je.R, Node: -1, Port: -1, A: je.A, B: je.B}
+		if je.K != nil {
+			k, ok := kindByName[*je.K]
+			if !ok {
+				return nil, fmt.Errorf("obs: jsonl line %d: unknown packet kind %q", line, *je.K)
+			}
+			ev.Kind = k
+		}
+		if je.F != nil {
+			c, ok := faultByName[*je.F]
+			if !ok {
+				return nil, fmt.Errorf("obs: jsonl line %d: unknown fault code %q", line, *je.F)
+			}
+			ev.Code = c
+		}
+		if je.N != nil {
+			ev.Node = *je.N
+		}
+		if je.O != nil {
+			p, ok := portByName[*je.O]
+			if !ok {
+				return nil, fmt.Errorf("obs: jsonl line %d: unknown port %q", line, *je.O)
+			}
+			ev.Port = int8(p)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: jsonl scan: %w", err)
+	}
+	return out, nil
+}

@@ -154,6 +154,15 @@ type Config struct {
 	// wired.
 	Fault *fault.Config
 
+	// Obs, when non-nil and enabled, wires the observability layer
+	// (internal/obs): packet-lifecycle event tracing into Obs.Sink and/or
+	// time-series metrics sampling every Obs.MetricsInterval cycles. Like
+	// Fault, a present-but-disabled config is normalized to nil by
+	// withDefaults, so disabled runs take exactly the pre-observability code
+	// paths. Excluded from JSON (sinks cannot serialize) and from
+	// fingerprinting; observed runs are never memoized (see Cacheable).
+	Obs *ObsConfig `json:"-"`
+
 	// AuditInterval, when nonzero, runs noc.CheckInvariants every
 	// AuditInterval cycles during the run; a violation aborts the run with a
 	// structured *RunError. DefaultAuditInterval (via cmd drivers) is 10000.
@@ -203,6 +212,11 @@ func (c Config) withDefaults() Config {
 	// running fault-free.
 	if c.Fault != nil && !c.Fault.Enabled() && c.Fault.Validate() == nil {
 		c.Fault = nil
+	}
+	// Same guarantee for the observability layer: a present-but-inert Obs
+	// config wires nothing.
+	if !c.Obs.enabled() {
+		c.Obs = nil
 	}
 	return c
 }

@@ -19,8 +19,10 @@ import (
 // Cacheable reports whether the run's identity is fully captured by its
 // configuration. Runs driven by a GeneratorFactory draw their instruction
 // streams from an opaque closure the fingerprint cannot see, so they must
-// never be deduplicated, memoized, or replayed from a checkpoint.
-func (c Config) Cacheable() bool { return c.GeneratorFactory == nil }
+// never be deduplicated, memoized, or replayed from a checkpoint. Observed
+// runs (Config.Obs) are likewise excluded: their value is the side-channel
+// artifacts (trace, metrics), which a journal replay would silently skip.
+func (c Config) Cacheable() bool { return c.GeneratorFactory == nil && c.Obs == nil }
 
 // Fingerprint returns a hex SHA-256 over the canonical serialization of the
 // fully resolved configuration. It is stable across processes, which is what

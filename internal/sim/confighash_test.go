@@ -103,8 +103,11 @@ func TestFingerprintDisabledFaultNormalizes(t *testing.T) {
 
 // TestConfigShapeGuard pins the Config field count so anyone adding a knob is
 // forced to extend writeCanonical (and this test) in the same change.
+// Deliberate exclusions: Obs is not serialized — observed runs are never
+// cacheable (see Cacheable), so covering it would only perturb the stable
+// fingerprints of every existing journal.
 func TestConfigShapeGuard(t *testing.T) {
-	const wantFields = 22
+	const wantFields = 23
 	if n := reflect.TypeOf(Config{}).NumField(); n != wantFields {
 		t.Fatalf("sim.Config has %d fields, expected %d: update Config.writeCanonical "+
 			"to cover the new field(s), then bump this guard", n, wantFields)
@@ -121,5 +124,10 @@ func TestCacheable(t *testing.T) {
 	c.GeneratorFactory = func(int, workload.Profile, float64) cpu.Generator { return nil }
 	if c.Cacheable() {
 		t.Fatal("GeneratorFactory runs must not be cacheable")
+	}
+	c = baseCfg()
+	c.Obs = &ObsConfig{MetricsInterval: 100}
+	if c.Cacheable() {
+		t.Fatal("observed runs must not be cacheable")
 	}
 }

@@ -1,0 +1,134 @@
+package sim
+
+// Observability wiring (internal/obs): per-run event tracing and time-series
+// metrics sampling. Everything here is zero-cost when Config.Obs is nil — the
+// default — mirroring how a disabled fault campaign is normalized away: no
+// tracer, no registry, and no observer installed in the network, so the hot
+// loop pays a nil check at most.
+
+import (
+	"sttsim/internal/core"
+	"sttsim/internal/noc"
+	"sttsim/internal/obs"
+	"sttsim/internal/stats"
+)
+
+// ObsConfig enables the observability layer for one run. The zero/disabled
+// value is normalized to a nil pointer by withDefaults, which keeps disabled
+// runs byte-identical to pre-observability builds (and non-nil Obs makes the
+// run non-cacheable — see Config.Cacheable).
+type ObsConfig struct {
+	// Sink receives every lifecycle event (obs.NewJSONLSink, obs.NewBinarySink,
+	// obs.MemorySink...). nil disables event tracing. The caller owns the
+	// sink's lifetime: close it after the run to flush buffered events.
+	Sink obs.Sink
+
+	// MetricsInterval samples the time-series registry every this many
+	// cycles; 0 disables metrics.
+	MetricsInterval uint64
+	// MetricsCap bounds each series' ring buffer (0 = stats.DefaultSeriesCap).
+	MetricsCap int
+}
+
+// enabled reports whether the config asks for any observability at all.
+func (o *ObsConfig) enabled() bool {
+	return o != nil && (o.Sink != nil || o.MetricsInterval > 0)
+}
+
+// Tracer exposes the run's event tracer (nil when tracing is disabled) so
+// tests and drivers can inspect emission counts and sink errors.
+func (s *Simulator) Tracer() *obs.Tracer { return s.tracer }
+
+// Metrics exposes the run's sampling registry (nil when disabled).
+func (s *Simulator) Metrics() *stats.Registry { return s.metrics }
+
+// registerProbes wires the time-series probes the paper's dynamics argument
+// cares about: router occupancy, bank busy state, queue and write-buffer
+// depths, and — for prioritized schemes — the congestion estimator and the
+// arbiter's predicted bank-busy horizon.
+func (s *Simulator) registerProbes() {
+	m := s.metrics
+	if m == nil {
+		return
+	}
+	m.Register("net.inflight", func() float64 {
+		return float64(s.net.InFlight())
+	})
+	m.Register("net.occupancy.mean", func() float64 {
+		var used, capacity int
+		for id := noc.NodeID(0); id < noc.NumNodes; id++ {
+			u, c := s.net.Occupancy(id)
+			used += u
+			capacity += c
+		}
+		if capacity == 0 {
+			return 0
+		}
+		return float64(used) / float64(capacity)
+	})
+	m.Register("net.occupancy.max", func() float64 {
+		var max float64
+		for id := noc.NodeID(0); id < noc.NumNodes; id++ {
+			u, c := s.net.Occupancy(id)
+			if c > 0 {
+				if f := float64(u) / float64(c); f > max {
+					max = f
+				}
+			}
+		}
+		return max
+	})
+	m.Register("bank.busy.frac", func() float64 {
+		busy := 0
+		for _, bc := range s.banks {
+			if bc.Bank().Busy(s.now) {
+				busy++
+			}
+		}
+		return float64(busy) / float64(len(s.banks))
+	})
+	m.Register("bank.queue.mean", func() float64 {
+		var q int
+		for _, bc := range s.banks {
+			q += bc.Bank().QueueLen()
+		}
+		return float64(q) / float64(len(s.banks))
+	})
+	if s.cfg.WriteBufferEntries > 0 {
+		m.Register("bank.wbuf.mean", func() float64 {
+			var d int
+			for _, bc := range s.banks {
+				d += bc.Bank().BufferLen()
+			}
+			return float64(d) / float64(len(s.banks))
+		})
+	}
+	if s.arbiter != nil {
+		m.Register("arb.busy.horizon", func() float64 {
+			var sum uint64
+			for _, bc := range s.banks {
+				if bu := s.arbiter.BusyUntil(bc.Node()); bu > s.now {
+					sum += bu - s.now
+				}
+			}
+			return float64(sum) / float64(len(s.banks))
+		})
+		var est core.Estimator
+		switch {
+		case s.wb != nil:
+			est = s.wb
+		case s.rca != nil:
+			est = s.rca
+		default:
+			est = core.SSEstimator{}
+		}
+		m.Register("est.congestion.mean", func() float64 {
+			var sum uint64
+			for _, bc := range s.banks {
+				child := bc.Node()
+				sum += est.Congestion(child-noc.NodeID(noc.LayerSize), child, s.now)
+			}
+			return float64(sum) / float64(len(s.banks))
+		})
+	}
+}

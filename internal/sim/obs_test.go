@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sttsim/internal/fault"
+	"sttsim/internal/obs"
+	"sttsim/internal/workload"
+)
+
+// obsCfg is quickCfg plus an in-memory trace sink.
+func obsCfg(s Scheme, bench string, sink obs.Sink) Config {
+	cfg := quickCfg(s, bench)
+	cfg.Obs = &ObsConfig{Sink: sink}
+	return cfg
+}
+
+// TestDisabledObsConfigIsByteIdentical is the zero-cost acceptance criterion
+// (the Fault analogue): a present-but-disabled ObsConfig must produce a
+// Result deeply identical to a run with no observability at all, for every
+// scheme — withDefaults normalizes it to nil, so no observer, tracer or
+// registry is ever wired.
+func TestDisabledObsConfigIsByteIdentical(t *testing.T) {
+	for _, s := range AllSchemes() {
+		plain, err := Run(quickCfg(s, "sclust"))
+		if err != nil {
+			t.Fatalf("%s plain: %v", s, err)
+		}
+		cfg := quickCfg(s, "sclust")
+		cfg.Obs = &ObsConfig{}
+		disabled, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s disabled-obs: %v", s, err)
+		}
+		if !reflect.DeepEqual(plain, disabled) {
+			t.Errorf("%s: disabled observability perturbed the Result", s)
+		}
+	}
+}
+
+// TestTracingDoesNotPerturbResults: enabling a tracer must not change any
+// simulation outcome — events are pure observations. Everything except the
+// Config.Obs pointer and the Metrics log must match the untraced run.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	plain, err := Run(quickCfg(SchemeSTT4TSBWB, "tpcc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &obs.MemorySink{}
+	traced, err := Run(obsCfg(SchemeSTT4TSBWB, "tpcc", sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Events) == 0 {
+		t.Fatal("traced run emitted no events")
+	}
+	// Strip the fields tracing legitimately adds, then demand identity.
+	traced.Config.Obs = nil
+	traced.Metrics = nil
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatal("tracing perturbed the simulation Result")
+	}
+}
+
+// TestTraceConservation checks the flow-conservation invariant on the event
+// stream of a run with an active fault campaign (TSB kill + stochastic write
+// errors): every packet ID is injected at most once, delivered at most once,
+// never delivered without an injection, and the injected-minus-delivered
+// difference equals the packets still in flight when the run stops.
+func TestTraceConservation(t *testing.T) {
+	sink := &obs.MemorySink{}
+	cfg := obsCfg(SchemeSTT4TSBWB, "tpcc", sink)
+	cfg.Regions = 4
+	cfg.Fault = &fault.Config{
+		WriteErrorRate: 1e-3,
+		TSBFailures:    []fault.TSBFailure{{Cycle: 3000, Region: 1}},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := s.cfg.WarmupCycles + s.cfg.MeasureCycles
+	for s.now < end {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	injected := make(map[uint64]int)
+	delivered := make(map[uint64]int)
+	faults := 0
+	for _, ev := range sink.Events {
+		switch ev.Type {
+		case obs.EvInject:
+			injected[ev.Pkt]++
+		case obs.EvDeliver:
+			delivered[ev.Pkt]++
+		case obs.EvFault:
+			faults++
+		}
+	}
+	if len(injected) == 0 {
+		t.Fatal("no injections traced")
+	}
+	if faults == 0 {
+		t.Fatal("fault campaign ran but no fault events were traced")
+	}
+	for id, n := range injected {
+		if n != 1 {
+			t.Fatalf("packet %d injected %d times", id, n)
+		}
+	}
+	for id, n := range delivered {
+		if n != 1 {
+			t.Fatalf("packet %d delivered %d times", id, n)
+		}
+		if injected[id] == 0 {
+			t.Fatalf("packet %d delivered but never injected", id)
+		}
+	}
+	leftover := len(injected) - len(delivered)
+	if inflight := s.net.InFlight(); leftover != inflight {
+		t.Fatalf("conservation violated: %d injected - %d delivered = %d, but network reports %d in flight",
+			len(injected), len(delivered), leftover, inflight)
+	}
+	if err := s.tracer.Err(); err != nil {
+		t.Fatalf("tracer error: %v", err)
+	}
+}
+
+// TestLatencyDecompositionProperty is the telescoping property, checked with
+// testing/quick over random (scheme, benchmark, seed) draws: for every
+// completed request the offline reducer reconstructs, the per-stage deltas
+// must sum exactly to the end-to-end latency — the decomposition may never
+// invent or lose cycles.
+func TestLatencyDecompositionProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run property test")
+	}
+	benches := []string{"tpcc", "sclust"}
+	prop := func(schemeDraw, benchDraw uint8, seed uint64) bool {
+		s := AllSchemes()[int(schemeDraw)%len(AllSchemes())]
+		sink := &obs.MemorySink{}
+		cfg := Config{
+			Scheme:        s,
+			Assignment:    workload.Homogeneous(workload.MustByName(benches[int(benchDraw)%len(benches)])),
+			Seed:          seed%1000 + 1,
+			WarmupCycles:  1000,
+			MeasureCycles: 3000,
+			Obs:           &ObsConfig{Sink: sink},
+		}
+		if _, err := Run(cfg); err != nil {
+			t.Logf("run failed: %v", err)
+			return false
+		}
+		d, err := obs.Decompose(sink.Events)
+		if err != nil {
+			t.Logf("decompose: %v", err)
+			return false
+		}
+		if len(d.Requests) == 0 {
+			t.Log("no complete requests reconstructed")
+			return false
+		}
+		for _, r := range d.Requests {
+			if r.StageSum() != r.Total() {
+				t.Logf("req %d: stage sum %d != end-to-end %d (stages %v)",
+					r.Req, r.StageSum(), r.Total(), r.Stages)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 6,
+		Rand:     rand.New(rand.NewSource(1)),
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsSampling checks the time-series registry end to end: samples
+// land every interval, cycles are strictly increasing, every registered
+// series is exported with one value per sample, and warmup samples are
+// discarded by the stats reset.
+func TestMetricsSampling(t *testing.T) {
+	cfg := quickCfg(SchemeSTT4TSBWB, "tpcc")
+	cfg.Obs = &ObsConfig{MetricsInterval: 500}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := res.Metrics
+	if ml == nil {
+		t.Fatal("metrics enabled but Result.Metrics is nil")
+	}
+	if ml.Interval != 500 {
+		t.Fatalf("interval = %d, want 500", ml.Interval)
+	}
+	if len(ml.Cycles) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	for i, c := range ml.Cycles {
+		if c%500 != 0 {
+			t.Fatalf("sample %d at cycle %d, not on the interval grid", i, c)
+		}
+		if c < cfg.WarmupCycles {
+			t.Fatalf("sample %d at cycle %d predates the warmup reset", i, c)
+		}
+		if i > 0 && c <= ml.Cycles[i-1] {
+			t.Fatalf("sample cycles not strictly increasing at %d", i)
+		}
+	}
+	want := map[string]bool{
+		"net.inflight": false, "net.occupancy.mean": false,
+		"bank.busy.frac": false, "arb.busy.horizon": false,
+	}
+	for _, s := range ml.Series {
+		if len(s.Values) != len(ml.Cycles) {
+			t.Fatalf("series %s has %d values for %d samples",
+				s.Name, len(s.Values), len(ml.Cycles))
+		}
+		if _, ok := want[s.Name]; ok {
+			want[s.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("expected series %s not exported", name)
+		}
+	}
+}

@@ -55,6 +55,11 @@ type Result struct {
 	// pre-resilience code paths).
 	Fault *FaultReport
 
+	// Metrics is the time-series sampling log (nil unless Config.Obs enabled
+	// metrics; omitted from JSON when nil so checkpoint-journal records stay
+	// byte-identical for unobserved runs).
+	Metrics *stats.MetricsLog `json:"metrics,omitempty"`
+
 	// Figure 8: un-core energy.
 	Energy energy.Report
 }
@@ -207,6 +212,7 @@ func (s *Simulator) result() *Result {
 		}
 		r.Fault = &fr
 	}
+	r.Metrics = s.metrics.Log()
 	r.Energy = energy.Compute(s.cfg.BankTech(), r.BankStats, r.Net, cycles, energy.DefaultParams)
 	return r
 }

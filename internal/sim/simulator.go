@@ -9,6 +9,7 @@ import (
 	"sttsim/internal/fault"
 	"sttsim/internal/mem"
 	"sttsim/internal/noc"
+	"sttsim/internal/obs"
 	"sttsim/internal/stats"
 	"sttsim/internal/workload"
 )
@@ -62,6 +63,10 @@ type Simulator struct {
 	failedTSBs map[noc.NodeID]bool
 	freport    FaultReport
 
+	// Observability state (both nil when Config.Obs is nil — the default).
+	tracer  *obs.Tracer
+	metrics *stats.Registry
+
 	now uint64
 
 	// Measurement state.
@@ -106,6 +111,19 @@ func New(cfg Config) (*Simulator, error) {
 					f.Region, cfg.Regions)
 			}
 		}
+	}
+
+	// Observability: the tracer and sampling registry exist only when asked
+	// for, and the network sees an observer only when event tracing is on
+	// (assigning a nil *obs.Tracer into the interface would defeat the
+	// network's nil check).
+	if cfg.Obs != nil {
+		s.tracer = obs.NewTracer(cfg.Obs.Sink)
+		s.metrics = stats.NewRegistry(cfg.Obs.MetricsInterval, cfg.Obs.MetricsCap)
+	}
+	var observer noc.Observer
+	if s.tracer != nil {
+		observer = s.tracer
 	}
 
 	// Routing and, for the restricted schemes, the region geometry. An
@@ -179,12 +197,12 @@ func New(cfg Config) (*Simulator, error) {
 		}
 		s.net, err = noc.NewNetwork(noc.Config{
 			Routing: routing, VCsPerClass: vcs, WideTSBs: wide, Prioritizer: prioritizerForNet,
-			WatchdogCycles: cfg.WatchdogCycles,
+			WatchdogCycles: cfg.WatchdogCycles, Observer: observer,
 		})
 	} else {
 		s.net, err = noc.NewNetwork(noc.Config{
 			Routing: routing, VCsPerClass: vcs, WideTSBs: wide,
-			WatchdogCycles: cfg.WatchdogCycles,
+			WatchdogCycles: cfg.WatchdogCycles, Observer: observer,
 		})
 	}
 	if err != nil {
@@ -240,6 +258,9 @@ func New(cfg Config) (*Simulator, error) {
 		}
 		s.banks[i] = cache.NewBankController(node, bank)
 		s.banks[i].SetGapHistogram(s.gapHist)
+		if s.tracer != nil {
+			s.banks[i].SetTracer(s.tracer)
+		}
 		// Stochastic write failure is a property of resistive/MTJ cells;
 		// SRAM banks (the baseline scheme, hybrid SRAM banks) are immune.
 		if s.faults != nil && cfg.Fault.WriteErrorRate > 0 && bankTech.Name != mem.SRAM.Name {
@@ -269,6 +290,7 @@ func New(cfg Config) (*Simulator, error) {
 	}
 
 	s.wireDelivery()
+	s.registerProbes()
 	return s, nil
 }
 
@@ -432,6 +454,9 @@ func (s *Simulator) Step() error {
 	if now%sampleInterval == 0 {
 		s.sampleRouters()
 	}
+	if s.metrics.Due(now) {
+		s.metrics.Sample(now)
+	}
 	if ai := s.cfg.AuditInterval; ai > 0 && now > 0 && now%ai == 0 {
 		if err := s.net.CheckInvariants(); err != nil {
 			return err
@@ -456,6 +481,7 @@ func (s *Simulator) applyFault(ev fault.Event) error {
 		} else {
 			s.freport.PortsDegraded++
 		}
+		s.tracer.Fault(obs.FaultPortDegraded, f.Node, 0, uint64(f.Port), f.Period, s.now)
 	}
 	return nil
 }
@@ -494,6 +520,7 @@ func (s *Simulator) failTSB(region int) error {
 		}
 	}
 	s.net.RecomputeRoutes()
+	s.tracer.Fault(obs.FaultTSBKilled, t, 0, uint64(region), s.freport.RegionsRehomed, s.now)
 	return nil
 }
 
@@ -589,4 +616,5 @@ func (s *Simulator) resetStats() {
 	if s.faults != nil {
 		s.faults.ResetStats()
 	}
+	s.metrics.Reset()
 }

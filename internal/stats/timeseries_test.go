@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistrySampling(t *testing.T) {
+	r := NewRegistry(10, 4)
+	var occ float64
+	r.Register("occ", func() float64 { return occ })
+	r.Register("busy", func() float64 { return occ * 2 })
+	for now := uint64(0); now <= 100; now++ {
+		if r.Due(now) {
+			occ = float64(now)
+			r.Sample(now)
+		}
+	}
+	// 11 samples pushed into capacity-4 rings: the last 4 survive.
+	ml := r.Log()
+	if ml.Interval != 10 {
+		t.Fatalf("interval %d", ml.Interval)
+	}
+	wantCycles := []uint64{70, 80, 90, 100}
+	if len(ml.Cycles) != len(wantCycles) {
+		t.Fatalf("got %d cycles %v", len(ml.Cycles), ml.Cycles)
+	}
+	for i, c := range wantCycles {
+		if ml.Cycles[i] != c {
+			t.Fatalf("cycles %v, want %v", ml.Cycles, wantCycles)
+		}
+	}
+	// Series are name-sorted: busy then occ.
+	if len(ml.Series) != 2 || ml.Series[0].Name != "busy" || ml.Series[1].Name != "occ" {
+		t.Fatalf("series order: %+v", ml.Series)
+	}
+	if got := ml.Series[1].Values; got[0] != 70 || got[3] != 100 {
+		t.Fatalf("occ values %v", got)
+	}
+	if got := ml.Series[0].Values; got[0] != 140 || got[3] != 200 {
+		t.Fatalf("busy values %v", got)
+	}
+}
+
+func TestRegistryResetAndReplace(t *testing.T) {
+	r := NewRegistry(5, 8)
+	r.Register("m", func() float64 { return 1 })
+	r.Sample(0)
+	r.Sample(5)
+	r.Reset()
+	if got := r.Log(); len(got.Cycles) != 0 {
+		t.Fatalf("reset left %d samples", len(got.Cycles))
+	}
+	// Replacing a probe keeps the series identity.
+	r.Register("m", func() float64 { return 9 })
+	r.Sample(10)
+	if got := r.Log(); len(got.Series) != 1 || got.Series[0].Values[0] != 9 {
+		t.Fatalf("probe replacement broken: %+v", got)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	if r.Due(0) || r.Interval() != 0 {
+		t.Fatal("nil registry reports active")
+	}
+	r.Register("x", func() float64 { return 1 })
+	r.Sample(0)
+	r.Reset()
+	if r.Log() != nil {
+		t.Fatal("nil registry produced a log")
+	}
+	if NewRegistry(0, 10) != nil {
+		t.Fatal("zero interval should disable the registry")
+	}
+}
+
+func TestMetricsLogExport(t *testing.T) {
+	r := NewRegistry(10, 8)
+	v := 0.0
+	r.Register("a", func() float64 { v += 1.5; return v })
+	r.Sample(10)
+	r.Sample(20)
+	ml := r.Log()
+
+	var csv strings.Builder
+	if err := ml.WriteCSV(&csv); err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	wantCSV := "cycle,a\n10,1.5\n20,3\n"
+	if csv.String() != wantCSV {
+		t.Fatalf("csv:\n%q\nwant\n%q", csv.String(), wantCSV)
+	}
+
+	var jl strings.Builder
+	if err := ml.WriteJSONL(&jl); err != nil {
+		t.Fatalf("jsonl: %v", err)
+	}
+	wantJL := "{\"cycle\":10,\"a\":1.5}\n{\"cycle\":20,\"a\":3}\n"
+	if jl.String() != wantJL {
+		t.Fatalf("jsonl:\n%q\nwant\n%q", jl.String(), wantJL)
+	}
+}

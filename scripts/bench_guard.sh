@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# bench_guard.sh — regression guard for the observability layer's disabled
+# path. The tracing/metrics hooks are compiled into the hot loop; the design
+# contract (DESIGN.md §11) is that a run with Obs disabled pays at most a nil
+# check. The guard benchmarks BenchmarkTracingDisabled (a full simulator
+# cycle with observability compiled in but off) and compares against the
+# checked-in baseline on two axes:
+#
+#  1. Allocation gate (always enforced): allocs/op and B/op are deterministic
+#     per cycle, so any new allocation on the disabled path — building an
+#     Event before the nil check, a closure, a map — fails exactly,
+#     regardless of machine noise.
+#  2. Wall-clock gate (enforced when measurable): min ns/op may not regress
+#     more than TOLERANCE_PCT over the baseline. Wall-clock is only
+#     trustworthy on a quiet machine, so the guard first measures its own
+#     noise floor — the two halves of the sample set are compared A/A, and
+#     when they disagree by more than the tolerance itself the wall-clock
+#     verdict is skipped with a note (the allocation gate still applies).
+#
+#   scripts/bench_guard.sh           # compare against scripts/bench_baseline.json
+#   scripts/bench_guard.sh -update   # re-record the baseline on this host
+#
+# Benchmarks only compare meaningfully on the machine that recorded the
+# baseline, so a host mismatch downgrades the guard to a warning (exit 0) —
+# CI runners and teammates' laptops are not silently gated on someone else's
+# hardware. `make verify` runs this after the test passes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=scripts/bench_baseline.json
+BENCH=BenchmarkTracingDisabled
+COUNT=6
+BENCHTIME=500ms
+TOLERANCE_PCT=2
+
+host_key="$(uname -sm | tr ' ' '-')-$(nproc)c"
+
+# One line per sample: "<ns/op> <B/op> <allocs/op>".
+run_bench() {
+    go test -run '^$' -bench "^${BENCH}\$" -benchmem \
+        -benchtime "$BENCHTIME" -count "$COUNT" . |
+        awk -v b="$BENCH" '$1 ~ "^"b && $4 == "ns/op" {print $3, $5, $7}'
+}
+
+col_min() { awk -v c="$1" '{print $c}' | sort -n | head -1; }
+
+samples="$(run_bench)"
+n_samples="$(printf '%s\n' "$samples" | wc -l)"
+if [[ -z "$samples" || "$n_samples" -lt "$COUNT" ]]; then
+    echo "bench_guard: expected $COUNT benchmark samples, got $n_samples" >&2
+    exit 1
+fi
+ns="$(printf '%s\n' "$samples" | col_min 1)"
+bytes="$(printf '%s\n' "$samples" | col_min 2)"
+allocs="$(printf '%s\n' "$samples" | col_min 3)"
+
+if [[ "${1:-}" == "-update" ]]; then
+    printf '{\n  "host": "%s",\n  "benchmark": "%s",\n  "ns_per_op": %s,\n  "bytes_per_op": %s,\n  "allocs_per_op": %s\n}\n' \
+        "$host_key" "$BENCH" "$ns" "$bytes" "$allocs" > "$BASELINE"
+    echo "bench_guard: baseline updated: ${ns} ns/op, ${bytes} B/op, ${allocs} allocs/op on ${host_key}"
+    exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_guard: no baseline at ${BASELINE}; record one with scripts/bench_guard.sh -update" >&2
+    exit 0
+fi
+
+json_field() { sed -n "s/.*\"$1\": *\"\{0,1\}\([^\",}]*\).*/\1/p" "$BASELINE"; }
+base_host="$(json_field host)"
+base_ns="$(json_field ns_per_op)"
+base_bytes="$(json_field bytes_per_op)"
+base_allocs="$(json_field allocs_per_op)"
+if [[ -z "$base_host" || -z "$base_ns" || -z "$base_bytes" || -z "$base_allocs" ]]; then
+    echo "bench_guard: malformed baseline ${BASELINE}; re-record with -update" >&2
+    exit 1
+fi
+
+if [[ "$base_host" != "$host_key" ]]; then
+    echo "bench_guard: baseline recorded on ${base_host}, this host is ${host_key}; skipping (re-baseline with -update)"
+    exit 0
+fi
+
+fail=0
+
+# Allocation gate: exact up to the tolerance (B/op can drift <1% with b.N
+# amortization of setup allocations).
+for gate in "allocs/op:$allocs:$base_allocs" "B/op:$bytes:$base_bytes"; do
+    IFS=: read -r label got base <<< "$gate"
+    ok="$(awk -v g="$got" -v b="$base" -v tol="$TOLERANCE_PCT" \
+        'BEGIN { print (g <= b * (1 + tol/100)) ? 1 : 0 }')"
+    if [[ "$ok" != 1 ]]; then
+        echo "bench_guard: FAIL — disabled-path ${label} grew: ${got} vs baseline ${base}" >&2
+        echo "bench_guard: something now allocates before the obs nil check" >&2
+        fail=1
+    fi
+done
+
+# Wall-clock gate, guarded by an A/A noise estimate over the sample halves.
+half=$((n_samples / 2))
+m1="$(printf '%s\n' "$samples" | head -n "$half" | col_min 1)"
+m2="$(printf '%s\n' "$samples" | tail -n "$half" | col_min 1)"
+noise="$(awk -v a="$m1" -v b="$m2" \
+    'BEGIN { d = (a > b) ? a - b : b - a; m = (a < b) ? a : b; printf "%.2f", d * 100 / m }')"
+noisy="$(awk -v n="$noise" -v tol="$TOLERANCE_PCT" 'BEGIN { print (n > tol) ? 1 : 0 }')"
+pct="$(awk -v ns="$ns" -v base="$base_ns" 'BEGIN { printf "%+.2f", (ns/base - 1) * 100 }')"
+if [[ "$noisy" == 1 ]]; then
+    echo "bench_guard: host too noisy to judge wall-clock (A/A split disagrees by ${noise}%); ns/op gate skipped (measured ${ns} vs baseline ${base_ns}, ${pct}%)"
+else
+    ok="$(awk -v ns="$ns" -v base="$base_ns" -v tol="$TOLERANCE_PCT" \
+        'BEGIN { print (ns <= base * (1 + tol/100)) ? 1 : 0 }')"
+    if [[ "$ok" == 1 ]]; then
+        echo "bench_guard: disabled-path ${ns} ns/op vs baseline ${base_ns} ns/op (${pct}%) — within ${TOLERANCE_PCT}%"
+    else
+        echo "bench_guard: FAIL — disabled-path ${ns} ns/op vs baseline ${base_ns} ns/op (${pct}% > +${TOLERANCE_PCT}%)" >&2
+        fail=1
+    fi
+fi
+
+if [[ "$fail" == 1 ]]; then
+    echo "bench_guard: the observability hooks must stay zero-cost when disabled;" >&2
+    echo "bench_guard: fix the regression, or re-baseline deliberately with: scripts/bench_guard.sh -update" >&2
+    exit 1
+fi
+echo "bench_guard: allocation gate clean (${allocs} allocs/op, ${bytes} B/op)"
