@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-guard golden verify smoke
+.PHONY: all build vet test race bench-guard golden verify smoke serve-smoke
 
 all: verify
 
@@ -45,3 +45,9 @@ verify: build vet test race bench-guard
 # journal, require byte-identical output to an uninterrupted reference run.
 smoke:
 	./scripts/checkpoint_smoke.sh
+
+# Daemon round trip: start sttsimd, submit two identical jobs, require a
+# cache hit and byte-identical results, stream the SSE feed, restart against
+# the journal (warm cache, no re-execution), drain on SIGTERM.
+serve-smoke:
+	./scripts/sttsimd_smoke.sh

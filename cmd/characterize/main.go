@@ -15,6 +15,7 @@ import (
 
 	"sttsim/internal/exp"
 	"sttsim/internal/sim"
+	"sttsim/internal/version"
 	"sttsim/internal/workload"
 )
 
@@ -23,7 +24,13 @@ func main() {
 	bench := flag.String("bench", "", "characterize a single benchmark")
 	warmup := flag.Uint64("warmup", 0, "warmup cycles per run (0 = default)")
 	measure := flag.Uint64("measure", 0, "measured cycles per run (0 = default)")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("characterize %s\n", version.String())
+		return
+	}
 
 	r := exp.NewRunner(exp.Options{Quick: *quick, WarmupCycles: *warmup, MeasureCycles: *measure})
 

@@ -40,6 +40,7 @@ import (
 	"sttsim/internal/campaign"
 	"sttsim/internal/exp"
 	"sttsim/internal/sim"
+	"sttsim/internal/version"
 	"sttsim/internal/workload"
 )
 
@@ -56,7 +57,13 @@ func main() {
 	obsAddr := flag.String("obs-addr", "", "serve net/http/pprof + expvar (live campaign progress) on this address (empty = off)")
 	metricsOut := flag.String("metrics-out", "", "after the campaign, record a representative run's time-series metrics to this file (.jsonl = JSONL, else CSV)")
 	metricsInterval := flag.Uint64("metrics-interval", 1000, "sampling period (cycles) for the -metrics-out run")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("experiments %s\n", version.String())
+		return
+	}
 
 	os.Exit(run(*which, *quick, *warmup, *measure, *seed, *jobs, *runTimeout, *checkpoint, *resume, *obsAddr, *metricsOut, *metricsInterval))
 }
@@ -87,10 +94,13 @@ func run(which string, quick bool, warmup, measure, seed uint64, jobs int, runTi
 	}
 	if checkpoint != "" {
 		if resume {
-			recs, err := campaign.LoadJournal(checkpoint)
+			recs, dropped, err := campaign.LoadJournalEx(checkpoint)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 				return 1
+			}
+			if dropped > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: %s: dropped %d torn/corrupt journal line(s); the affected runs will re-execute\n", checkpoint, dropped)
 			}
 			if n := eng.Preload(recs); n > 0 {
 				fmt.Fprintf(os.Stderr, "experiments: resuming, %d finished runs replayed from %s\n", n, checkpoint)

@@ -30,6 +30,7 @@ import (
 	"sttsim/internal/obs"
 	"sttsim/internal/sim"
 	"sttsim/internal/stats"
+	"sttsim/internal/version"
 	"sttsim/internal/workload"
 )
 
@@ -60,7 +61,13 @@ func main() {
 	tracePath := flag.String("trace", "", "record packet-lifecycle and fault events to this file (.jsonl = JSONL, else binary)")
 	metricsOut := flag.String("metrics-out", "", "write sampled time-series metrics to this file (.jsonl = JSONL, else CSV)")
 	metricsInterval := flag.Uint64("metrics-interval", 1000, "sampling period in cycles for -metrics-out")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("faultcamp %s\n", version.String())
+		return
+	}
 
 	if *sweep {
 		r := exp.NewRunner(exp.Options{WarmupCycles: *warmup, MeasureCycles: *measure, Seed: *seed})

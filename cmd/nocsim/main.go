@@ -20,6 +20,7 @@ import (
 	"sttsim/internal/obs"
 	"sttsim/internal/sim"
 	"sttsim/internal/stats"
+	"sttsim/internal/version"
 	"sttsim/internal/workload"
 )
 
@@ -71,7 +72,13 @@ func main() {
 	decompose := flag.Bool("decompose", false, "after the run, reduce the -trace file into the latency-breakdown table")
 	metricsInterval := flag.Uint64("metrics-interval", 0, "sample time-series metrics every K cycles (0 = off; implied 1000 when -metrics-out is set)")
 	metricsOut := flag.String("metrics-out", "", "write sampled metrics to this file (.jsonl extension means JSONL, else CSV)")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("nocsim %s\n", version.String())
+		return
+	}
 
 	scheme, ok := schemeFlags[strings.ToLower(*schemeName)]
 	if !ok {

@@ -1,0 +1,116 @@
+// Command sttsimd is the simulation-as-a-service daemon: an HTTP/JSON front
+// end over the campaign engine.
+//
+//	sttsimd -addr :8734 -checkpoint runs.jsonl -resume
+//
+// Clients POST simulation specs to /v1/jobs, poll /v1/jobs/{id}, stream live
+// progress from /v1/jobs/{id}/events (SSE), fetch /v1/jobs/{id}/result, and
+// scrape /v1/healthz and /v1/stats. Identical configurations — concurrent or
+// repeated — execute once: in-flight submissions join the singleflight memo,
+// finished ones hit the LRU result cache, and with -checkpoint/-resume the
+// cache is warmed from the journal so a restarted daemon serves previously
+// completed configurations without re-executing them. SIGINT/SIGTERM drain
+// gracefully: no new jobs, in-flight runs finish (and journal) within
+// -drain-timeout, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sttsim/internal/campaign"
+	"sttsim/internal/service"
+	"sttsim/internal/version"
+)
+
+func main() {
+	addr := flag.String("addr", ":8734", "listen address")
+	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "max queued+running jobs before 429 backpressure")
+	cacheSize := flag.Int("cache-size", 256, "result cache entries (LRU beyond this)")
+	cacheTTL := flag.Duration("cache-ttl", time.Hour, "result cache entry lifetime (0 = no expiry)")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint journal for finished runs (empty = none)")
+	resume := flag.Bool("resume", false, "warm the memo and result cache from the checkpoint journal")
+	runTimeout := flag.Duration("run-timeout", 10*time.Minute, "wall-clock budget per simulation attempt (0 = none)")
+	rate := flag.Float64("rate", 0, "per-client request rate limit in req/s (0 = unlimited)")
+	burst := flag.Int("burst", 10, "per-client rate limit burst")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
+	flag.Parse()
+
+	ver := version.String()
+	if *showVersion {
+		fmt.Printf("sttsimd %s\n", ver)
+		return
+	}
+	logger := log.New(os.Stderr, "sttsimd: ", log.LstdFlags)
+
+	eng := campaign.New(campaign.Policy{Jobs: *jobs, RunTimeout: *runTimeout})
+	srv, err := service.NewServer(service.Options{
+		Engine:     eng,
+		MaxQueue:   *queue,
+		CacheSize:  *cacheSize,
+		CacheTTL:   *cacheTTL,
+		RatePerSec: *rate,
+		RateBurst:  *burst,
+		Version:    ver,
+		Logf:       logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	if *checkpoint != "" {
+		if *resume {
+			recs, dropped, err := campaign.LoadJournalEx(*checkpoint)
+			if err != nil && !os.IsNotExist(err) {
+				logger.Fatalf("load checkpoint: %v", err)
+			}
+			if dropped > 0 {
+				logger.Printf("dropped %d torn/corrupt journal line(s) from %s", dropped, *checkpoint)
+			}
+			if n := srv.WarmFromJournal(recs); n > 0 || len(recs) > 0 {
+				logger.Printf("resumed %d journal record(s), %d warmed the result cache", len(recs), n)
+			}
+		}
+		jrn, err := campaign.OpenJournal(*checkpoint, *resume)
+		if err != nil {
+			logger.Fatalf("open checkpoint: %v", err)
+		}
+		defer jrn.Close()
+		eng.AttachJournal(jrn)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	logger.Printf("version %s listening on %s (jobs=%d queue=%d cache=%d/%s)",
+		ver, *addr, *jobs, *queue, *cacheSize, cacheTTL)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		logger.Fatalf("listener: %v", err)
+	case s := <-sig:
+		logger.Printf("%s: draining (%s grace)", s, drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		logger.Printf("drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	logger.Printf("stopped")
+}

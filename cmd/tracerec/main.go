@@ -16,6 +16,7 @@ import (
 	"sttsim/internal/noc"
 	"sttsim/internal/sim"
 	"sttsim/internal/trace"
+	"sttsim/internal/version"
 	"sttsim/internal/workload"
 )
 
@@ -26,7 +27,13 @@ func main() {
 	dir := flag.String("dir", "traces", "trace directory")
 	seed := flag.Uint64("seed", 0x5717AB, "workload seed")
 	schemeName := flag.String("scheme", "wb", "scheme for replay (sram|stt64|stt4|ss|rca|wb)")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("tracerec %s\n", version.String())
+		return
+	}
 
 	var err error
 	switch *mode {

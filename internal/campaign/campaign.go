@@ -168,6 +168,12 @@ type call struct {
 	done chan struct{}
 	res  *sim.Result
 	err  error
+
+	// Keyed submissions (SubmitKeyed) additionally carry a per-call cancel
+	// and a refcount of live handles, so a run is abandoned only when every
+	// client that asked for it has walked away.
+	cancel context.CancelFunc
+	refs   int
 }
 
 // Engine is the supervised, deduplicating, checkpointing run executor.
@@ -262,7 +268,7 @@ func (e *Engine) Preload(recs []Record) int {
 func (e *Engine) Run(cfg sim.Config) (*sim.Result, error) {
 	if !cfg.Cacheable() {
 		// Opaque generator: supervised but never deduplicated or journaled.
-		res, err := e.supervised(cfg)
+		res, err := e.supervised(e.ctx, e.runFn, cfg)
 		e.account(err)
 		return res, err
 	}
@@ -277,7 +283,7 @@ func (e *Engine) Run(cfg sim.Config) (*sim.Result, error) {
 	c := &call{done: make(chan struct{})}
 	e.calls[key] = c
 	e.mu.Unlock()
-	return e.execute(cfg, key, c)
+	return e.execute(e.ctx, e.runFn, cfg, key, c)
 }
 
 // Submit queues cfg for background execution on the worker pool — the
@@ -300,14 +306,117 @@ func (e *Engine) Submit(cfg sim.Config) {
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
-		e.execute(cfg, key, c)
+		e.execute(e.ctx, e.runFn, cfg, key, c)
 	}()
 }
 
+// Handle is one client's interest in a (possibly shared) keyed run — the
+// exported subscribe hook the serving layer builds on. Multiple handles can
+// share a call; the underlying run is cancelled only when every handle has
+// been cancelled.
+type Handle struct {
+	// Key is the memo key the run executes (or executed) under.
+	Key string
+	// Joined reports whether an identical key was already in flight or
+	// completed when the handle was created — the submission cost nothing.
+	Joined bool
+
+	e    *Engine
+	c    *call
+	once sync.Once
+}
+
+// Done is closed when the run has reached its terminal outcome.
+func (h *Handle) Done() <-chan struct{} { return h.c.done }
+
+// Outcome blocks until the run is done and returns its terminal result.
+func (h *Handle) Outcome() (*sim.Result, error) {
+	<-h.c.done
+	return h.c.res, h.c.err
+}
+
+// Cancel withdraws this handle's interest. When the last interested handle
+// cancels, the in-flight run itself is cancelled at its next poll; its
+// abandoned verdict is evicted from the memo so a later identical submission
+// re-executes. Cancel is idempotent and safe after completion.
+func (h *Handle) Cancel() {
+	h.once.Do(func() {
+		h.e.mu.Lock()
+		h.c.refs--
+		abandon := h.c.refs <= 0
+		cancel := h.c.cancel
+		h.e.mu.Unlock()
+		if abandon && cancel != nil {
+			cancel()
+		}
+	})
+}
+
+// SubmitKeyed queues cfg for background execution under an explicit memo key
+// and returns a Handle to its outcome. If the key is already in flight or
+// completed, the handle joins it (counted as a memo hit) and run is unused.
+//
+// The explicit key lets a caller attach non-fingerprintable observers
+// (sim.ObsConfig sinks) while still keying the memo and journal by the clean
+// configuration's fingerprint: the observability layer guarantees observed
+// and unobserved runs produce identical Results, so joiners of either kind
+// see the same outcome. run, when non-nil, replaces the engine's RunFunc for
+// this call only (the serving layer uses this to strip streaming side-
+// channels before the result is journaled).
+func (e *Engine) SubmitKeyed(key string, cfg sim.Config, run RunFunc) *Handle {
+	e.mu.Lock()
+	if c, ok := e.calls[key]; ok {
+		e.stats.Hits++
+		c.refs++
+		e.mu.Unlock()
+		return &Handle{Key: key, Joined: true, e: e, c: c}
+	}
+	if run == nil {
+		run = e.runFn
+	}
+	ctx, cancel := context.WithCancel(e.ctx)
+	c := &call{done: make(chan struct{}), cancel: cancel, refs: 1}
+	e.calls[key] = c
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer cancel()
+		e.execute(ctx, run, cfg, key, c)
+	}()
+	return &Handle{Key: key, e: e, c: c}
+}
+
+// Peek reports whether key already has a terminal outcome in the memo,
+// without joining or counting a hit. An in-flight key returns done=false.
+func (e *Engine) Peek(key string) (res *sim.Result, err error, done bool) {
+	e.mu.Lock()
+	c, ok := e.calls[key]
+	e.mu.Unlock()
+	if !ok {
+		return nil, nil, false
+	}
+	select {
+	case <-c.done:
+		return c.res, c.err, true
+	default:
+		return nil, nil, false
+	}
+}
+
 // execute runs the claimed call to its terminal outcome and publishes it.
-func (e *Engine) execute(cfg sim.Config, key string, c *call) (*sim.Result, error) {
-	res, err := e.supervised(cfg)
+func (e *Engine) execute(ctx context.Context, run RunFunc, cfg sim.Config, key string, c *call) (*sim.Result, error) {
+	res, err := e.supervised(ctx, run, cfg)
 	c.res, c.err = res, err
+	if c.cancel != nil && Classify(err) == VerdictCancelled {
+		// A per-call cancellation must not pin the abandoned verdict: a later
+		// identical submission should execute fresh.
+		e.mu.Lock()
+		if e.calls[key] == c {
+			delete(e.calls, key)
+		}
+		e.mu.Unlock()
+	}
 	close(c.done)
 	e.account(err)
 	e.journalOutcome(cfg, key, res, err)
@@ -316,20 +425,20 @@ func (e *Engine) execute(cfg sim.Config, key string, c *call) (*sim.Result, erro
 
 // supervised applies the worker-pool bound, the per-attempt timeout, panic
 // recovery, and the retry policy.
-func (e *Engine) supervised(cfg sim.Config) (*sim.Result, error) {
+func (e *Engine) supervised(ctx context.Context, run RunFunc, cfg sim.Config) (*sim.Result, error) {
 	select {
 	case e.sem <- struct{}{}:
 		defer func() { <-e.sem }()
-	case <-e.ctx.Done():
-		return nil, e.ctx.Err()
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 	var res *sim.Result
 	var err error
 	for attempt := 1; ; attempt++ {
-		if cerr := e.ctx.Err(); cerr != nil {
+		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
 		}
-		res, err = e.attempt(cfg)
+		res, err = e.attempt(ctx, run, cfg)
 		e.mu.Lock()
 		e.stats.Executed++
 		if attempt > 1 {
@@ -343,9 +452,9 @@ func (e *Engine) supervised(cfg sim.Config) (*sim.Result, error) {
 		t := time.NewTimer(e.policy.Backoff << (attempt - 1))
 		select {
 		case <-t.C:
-		case <-e.ctx.Done():
+		case <-ctx.Done():
 			t.Stop()
-			return nil, e.ctx.Err()
+			return nil, ctx.Err()
 		}
 	}
 }
@@ -353,8 +462,7 @@ func (e *Engine) supervised(cfg sim.Config) (*sim.Result, error) {
 // attempt executes one supervised try: timeout context plus recovery of any
 // panic that escapes the simulator's own recover (e.g. in construction or
 // result assembly) into a typed *sim.RunError.
-func (e *Engine) attempt(cfg sim.Config) (res *sim.Result, err error) {
-	ctx := e.ctx
+func (e *Engine) attempt(ctx context.Context, run RunFunc, cfg sim.Config) (res *sim.Result, err error) {
 	if e.policy.RunTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.policy.RunTimeout)
@@ -373,7 +481,7 @@ func (e *Engine) attempt(cfg sim.Config) (res *sim.Result, err error) {
 			}
 		}
 	}()
-	return e.runFn(ctx, cfg)
+	return run(ctx, cfg)
 }
 
 // account folds one terminal outcome into the stats.

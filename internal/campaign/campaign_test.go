@@ -458,3 +458,161 @@ func TestSubmitThenRunJoins(t *testing.T) {
 		t.Fatalf("executed %d runs for 8 configs, want 8", total)
 	}
 }
+
+// TestJournalTornMiddle: a crash mid-append followed by a resumed campaign
+// appending more records used to weld the torn fragment onto the next valid
+// line and discard everything from the tear onward. The tolerant loader must
+// replay every intact record, report exactly the dropped lines, and the
+// resume-time tail repair must keep post-tear appends on their own lines.
+func TestJournalTornMiddle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Key: "k1", Status: StatusOK, Result: okResult(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill mid-write: a torn fragment with no trailing newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"k2","status":"o`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Resume: OpenJournal must repair the tail so the next append starts a
+	// fresh line rather than extending the fragment.
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Record{Key: "k3", Status: StatusOK, Result: okResult(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Record{Key: "k4", Status: StatusFailed, Cause: "panic", Error: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, dropped, err := LoadJournalEx(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want exactly the torn line", dropped)
+	}
+	keys := make([]string, len(recs))
+	for i, r := range recs {
+		keys[i] = r.Key
+	}
+	if len(recs) != 3 || keys[0] != "k1" || keys[1] != "k3" || keys[2] != "k4" {
+		t.Fatalf("loaded keys %v, want [k1 k3 k4] (records after the tear preserved)", keys)
+	}
+	if recs[1].Result == nil || recs[1].Result.Cycles != 3 {
+		t.Fatalf("record k3 = %+v, want its journaled result intact", recs[1])
+	}
+}
+
+// TestSubmitKeyedJoins: keyed submissions singleflight on the explicit key,
+// all handles observe the same outcome, and joins are counted as memo hits.
+func TestSubmitKeyedJoins(t *testing.T) {
+	var execs atomic.Int64
+	eng := New(Policy{Jobs: 4})
+	eng.SetRunFunc(func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		execs.Add(1)
+		time.Sleep(5 * time.Millisecond)
+		return okResult(7), nil
+	})
+	defer eng.Close()
+
+	const clients = 16
+	handles := make([]*Handle, clients)
+	for i := range handles {
+		handles[i] = eng.SubmitKeyed("job-key", cfgN(0), nil)
+	}
+	joined := 0
+	for i, h := range handles {
+		res, err := h.Outcome()
+		if err != nil || res == nil || res.Cycles != 7 {
+			t.Fatalf("handle %d outcome = (%v, %v), want shared result", i, res, err)
+		}
+		if h.Joined {
+			joined++
+		}
+	}
+	if execs.Load() != 1 {
+		t.Fatalf("executed %d times, want exactly 1", execs.Load())
+	}
+	if joined != clients-1 {
+		t.Fatalf("%d handles joined, want %d", joined, clients-1)
+	}
+	if s := eng.Stats(); s.Hits != clients-1 {
+		t.Fatalf("stats = %+v, want %d memo hits", s, clients-1)
+	}
+	if res, err, done := eng.Peek("job-key"); !done || err != nil || res.Cycles != 7 {
+		t.Fatalf("Peek = (%v, %v, %v), want completed outcome", res, err, done)
+	}
+	if _, _, done := eng.Peek("absent"); done {
+		t.Fatal("Peek(absent) reported done")
+	}
+}
+
+// TestSubmitKeyedCancel: cancelling every handle abandons the run; the
+// abandoned key is evicted so a fresh submission re-executes. Cancelling only
+// one of two handles must NOT abandon the shared run.
+func TestSubmitKeyedCancel(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var execs atomic.Int64
+	eng := New(Policy{Jobs: 2})
+	eng.SetRunFunc(func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		if execs.Add(1) == 1 {
+			close(started)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-release:
+			}
+		}
+		return okResult(9), nil
+	})
+	defer eng.Close()
+
+	h1 := eng.SubmitKeyed("k", cfgN(0), nil)
+	h2 := eng.SubmitKeyed("k", cfgN(0), nil)
+	<-started
+
+	h1.Cancel()
+	select {
+	case <-h2.Done():
+		t.Fatal("run abandoned while a handle was still interested")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	h2.Cancel()
+	if _, err := h2.Outcome(); Classify(err) != VerdictCancelled {
+		t.Fatalf("outcome after full cancel = %v, want cancelled verdict", err)
+	}
+
+	// The abandoned verdict must not be pinned: a later submission executes.
+	close(release)
+	h3 := eng.SubmitKeyed("k", cfgN(0), nil)
+	if h3.Joined {
+		t.Fatal("fresh submission joined the abandoned call")
+	}
+	if res, err := h3.Outcome(); err != nil || res == nil || res.Cycles != 9 {
+		t.Fatalf("re-executed outcome = (%v, %v), want success", res, err)
+	}
+	if execs.Load() != 2 {
+		t.Fatalf("executed %d times, want 2 (abandoned + fresh)", execs.Load())
+	}
+}

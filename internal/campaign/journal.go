@@ -2,10 +2,10 @@ package campaign
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"sync"
 
@@ -48,7 +48,9 @@ type Journal struct {
 func OpenJournal(path string, resume bool) (*Journal, error) {
 	flags := os.O_CREATE | os.O_WRONLY
 	if resume {
-		flags |= os.O_APPEND
+		// O_RDWR (not O_WRONLY): the torn-tail repair below reads the last
+		// byte back.
+		flags = os.O_CREATE | os.O_RDWR | os.O_APPEND
 	} else {
 		flags |= os.O_TRUNC
 	}
@@ -56,35 +58,77 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaign: open checkpoint journal: %w", err)
 	}
+	if resume {
+		// Torn-tail repair: a crash mid-append can leave the file without a
+		// trailing newline. Appending a fresh record directly after the torn
+		// fragment would weld two lines together and corrupt an otherwise
+		// valid record, so terminate the fragment first — LoadJournal then
+		// drops exactly the one torn line instead of two.
+		if st, serr := f.Stat(); serr == nil && st.Size() > 0 {
+			buf := make([]byte, 1)
+			if _, rerr := f.ReadAt(buf, st.Size()-1); rerr == nil && buf[0] != '\n' {
+				if _, werr := f.Write([]byte{'\n'}); werr != nil {
+					f.Close()
+					return nil, fmt.Errorf("campaign: repair checkpoint journal tail: %w", werr)
+				}
+			}
+		}
+	}
 	return &Journal{f: f, w: bufio.NewWriter(f)}, nil
 }
 
 // LoadJournal reads every intact record from a previous campaign's journal.
-// A torn final line — the usual artefact of a killed process — ends the load
-// without error; everything before it is returned. A missing file is an
+// Torn or corrupt lines — the usual artefact of a killed process — are
+// skipped, not fatal: every other record still replays. A missing file is an
 // empty journal, not an error, so -resume works on the very first run.
+// Callers that want to report the dropped tail use LoadJournalEx.
 func LoadJournal(path string) ([]Record, error) {
+	recs, _, err := LoadJournalEx(path)
+	return recs, err
+}
+
+// LoadJournalEx is LoadJournal plus a count of dropped (undecodable) lines,
+// so drivers can log how much of the checkpoint was lost to a torn write.
+//
+// The previous implementation streamed one json.Decoder over the whole file,
+// which meant a torn line in the *middle* — e.g. a crash mid-append followed
+// by a resumed campaign appending valid records after the fragment —
+// discarded every record from the tear onward. Decoding line by line
+// confines the damage to the torn line itself.
+func LoadJournalEx(path string) ([]Record, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return nil, nil
+			return nil, 0, nil
 		}
-		return nil, fmt.Errorf("campaign: read checkpoint journal: %w", err)
+		return nil, 0, fmt.Errorf("campaign: read checkpoint journal: %w", err)
 	}
 	defer f.Close()
 	var recs []Record
-	dec := json.NewDecoder(f)
-	for {
+	dropped := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 64<<20) // journaled Results are large
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
 		var rec Record
-		if err := dec.Decode(&rec); err != nil {
-			if errors.Is(err, io.EOF) {
-				return recs, nil
-			}
-			// Torn tail from an interrupted write: keep what decoded.
-			return recs, nil
+		if err := json.Unmarshal(line, &rec); err != nil {
+			dropped++
+			continue
 		}
 		recs = append(recs, rec)
 	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// A record bigger than the scan buffer cannot be replayed; treat
+			// it like any other undecodable tail rather than failing the load.
+			return recs, dropped + 1, nil
+		}
+		return recs, dropped, fmt.Errorf("campaign: read checkpoint journal: %w", err)
+	}
+	return recs, dropped, nil
 }
 
 // Append writes one record and flushes it to the OS.

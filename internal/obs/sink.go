@@ -18,6 +18,18 @@ type Sink interface {
 	Close() error
 }
 
+// FuncSink adapts a function into a Sink — the streaming adapter the serving
+// layer (internal/service) uses to forward live progress off a running
+// simulation without inventing a new sink type per consumer. Close is a
+// no-op; the function owns any downstream flushing.
+type FuncSink func(Event) error
+
+// Emit implements Sink.
+func (f FuncSink) Emit(ev Event) error { return f(ev) }
+
+// Close implements Sink.
+func (f FuncSink) Close() error { return nil }
+
 // MemorySink accumulates events in memory — the test harness's sink.
 type MemorySink struct {
 	Events []Event

@@ -1,0 +1,250 @@
+// Package service is the simulation-as-a-service layer: an HTTP/JSON front
+// end that accepts parameterized runs, validates and fingerprints them,
+// executes them on the campaign engine behind a bounded queue, dedups
+// identical configurations through the singleflight memo and a size-bounded
+// result cache, and streams live progress to clients over SSE.
+//
+// The daemon binary is cmd/sttsimd; this package holds everything testable:
+// the wire types (api.go), the LRU result cache (cache.go), the progress hub
+// and SSE fan-out (hub.go, progress.go), per-client rate limiting
+// (ratelimit.go), and the HTTP server itself (server.go).
+package service
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sttsim/internal/sim"
+	"sttsim/internal/workload"
+)
+
+// ProfileSpec is one custom workload profile on the wire — the Table 3 row
+// shape, client-supplied. Untrusted: every rate is re-validated by
+// sim.Config.Validate after conversion.
+type ProfileSpec struct {
+	Name   string  `json:"name"`
+	Suite  string  `json:"suite,omitempty"` // server|parsec|spec (default spec)
+	L1MPKI float64 `json:"l1_mpki"`
+	L2MPKI float64 `json:"l2_mpki"`
+	L2WPKI float64 `json:"l2_wpki"`
+	L2RPKI float64 `json:"l2_rpki"`
+	Bursty bool    `json:"bursty,omitempty"`
+}
+
+// JobSpec is the body of POST /v1/jobs: one simulation request. Exactly one
+// of Bench (a Table 3 benchmark, case1, or case2) or Profiles (a custom mix,
+// distributed round-robin over the 64 cores) selects the workload.
+type JobSpec struct {
+	Scheme   string        `json:"scheme"`
+	Bench    string        `json:"bench,omitempty"`
+	Profiles []ProfileSpec `json:"profiles,omitempty"`
+
+	Seed          uint64 `json:"seed,omitempty"`
+	WarmupCycles  uint64 `json:"warmup_cycles,omitempty"`
+	MeasureCycles uint64 `json:"measure_cycles,omitempty"`
+
+	Regions int  `json:"regions,omitempty"`
+	Corner  bool `json:"corner,omitempty"` // corner TSB placement instead of staggered
+	Hops    int  `json:"hops,omitempty"`
+
+	WriteBufferEntries    int    `json:"write_buffer_entries,omitempty"`
+	ReadPreemption        bool   `json:"read_preemption,omitempty"`
+	ExtraReqVC            bool   `json:"extra_req_vc,omitempty"`
+	WBWindow              int    `json:"wb_window,omitempty"`
+	HoldCap               int    `json:"hold_cap,omitempty"`
+	BankQueueDepth        int    `json:"bank_queue_depth,omitempty"`
+	HybridSRAMBanks       int    `json:"hybrid_sram_banks,omitempty"`
+	EarlyWriteTermination bool   `json:"early_write_termination,omitempty"`
+	AuditInterval         uint64 `json:"audit_interval,omitempty"`
+	WatchdogCycles        uint64 `json:"watchdog_cycles,omitempty"`
+
+	// Stream asks for live progress snapshots and probe samples on the job's
+	// SSE feed while it runs. Streamed and unstreamed runs of the same
+	// configuration share one memo slot and produce byte-identical results
+	// (the observability layer never perturbs outcomes), so Stream does not
+	// enter the fingerprint.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// schemesByName accepts both the CLI spellings and the paper's names.
+var schemesByName = map[string]sim.Scheme{
+	"sram": sim.SchemeSRAM64TSB, "stt64": sim.SchemeSTT64TSB,
+	"stt4": sim.SchemeSTT4TSB, "ss": sim.SchemeSTT4TSBSS,
+	"rca": sim.SchemeSTT4TSBRCA, "wb": sim.SchemeSTT4TSBWB,
+}
+
+func init() {
+	for _, s := range sim.AllSchemes() {
+		schemesByName[strings.ToLower(s.String())] = s
+	}
+}
+
+var suitesByName = map[string]workload.Suite{
+	"":       workload.SuiteSPEC,
+	"spec":   workload.SuiteSPEC,
+	"parsec": workload.SuitePARSEC,
+	"server": workload.SuiteServer,
+}
+
+// Config converts the wire spec into a validated sim.Config. Every error is
+// a client error (HTTP 400): the spec either named something unknown or
+// failed sim.Config.Validate's bounds.
+func (s JobSpec) Config() (sim.Config, error) {
+	scheme, ok := schemesByName[strings.ToLower(s.Scheme)]
+	if !ok {
+		return sim.Config{}, fmt.Errorf("unknown scheme %q (want sram|stt64|stt4|ss|rca|wb)", s.Scheme)
+	}
+
+	var assignment workload.Assignment
+	switch {
+	case len(s.Profiles) > 0 && s.Bench != "":
+		return sim.Config{}, fmt.Errorf("bench and profiles are mutually exclusive")
+	case len(s.Profiles) > 0:
+		if len(s.Profiles) > 64 {
+			return sim.Config{}, fmt.Errorf("at most 64 profiles, got %d", len(s.Profiles))
+		}
+		profs := make([]workload.Profile, len(s.Profiles))
+		names := make([]string, len(s.Profiles))
+		for i, ps := range s.Profiles {
+			suite, ok := suitesByName[strings.ToLower(ps.Suite)]
+			if !ok {
+				return sim.Config{}, fmt.Errorf("profiles[%d]: unknown suite %q (want server|parsec|spec)", i, ps.Suite)
+			}
+			if ps.Name == "" {
+				return sim.Config{}, fmt.Errorf("profiles[%d]: name must be non-empty", i)
+			}
+			profs[i] = workload.Profile{
+				Name: ps.Name, Suite: suite,
+				L1MPKI: ps.L1MPKI, L2MPKI: ps.L2MPKI,
+				L2WPKI: ps.L2WPKI, L2RPKI: ps.L2RPKI,
+				Bursty: ps.Bursty,
+			}
+			names[i] = ps.Name
+		}
+		assignment = workload.Mix("mix:"+strings.Join(names, "+"), profs)
+	case s.Bench == "case1":
+		assignment = workload.Case1()
+	case s.Bench == "case2":
+		assignment = workload.Case2()
+	case s.Bench != "":
+		prof, err := workload.ByName(s.Bench)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		assignment = workload.Homogeneous(prof)
+	default:
+		return sim.Config{}, fmt.Errorf("one of bench or profiles is required")
+	}
+
+	cfg := sim.Config{
+		Scheme:                scheme,
+		Assignment:            assignment,
+		Seed:                  s.Seed,
+		WarmupCycles:          s.WarmupCycles,
+		MeasureCycles:         s.MeasureCycles,
+		Regions:               s.Regions,
+		Hops:                  s.Hops,
+		WriteBufferEntries:    s.WriteBufferEntries,
+		ReadPreemption:        s.ReadPreemption,
+		ExtraReqVC:            s.ExtraReqVC,
+		WBWindow:              s.WBWindow,
+		HoldCap:               s.HoldCap,
+		BankQueueDepth:        s.BankQueueDepth,
+		HybridSRAMBanks:       s.HybridSRAMBanks,
+		EarlyWriteTermination: s.EarlyWriteTermination,
+		AuditInterval:         s.AuditInterval,
+		WatchdogCycles:        s.WatchdogCycles,
+	}
+	if s.Corner {
+		cfg.Placement = 0 // core.PlacementCorner
+		cfg.PlacementSet = true
+	}
+	if err := cfg.Validate(); err != nil {
+		return sim.Config{}, err
+	}
+	return cfg, nil
+}
+
+// Job states on the wire.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// JobStatus is the wire rendering of one job (GET /v1/jobs/{id} and the SSE
+// status events).
+type JobStatus struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Key    string `json:"key"`
+	Scheme string `json:"scheme"`
+	Bench  string `json:"bench"`
+	// CacheHit: served from the result cache without touching the engine.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Deduped: joined an identical in-flight or memoized run.
+	Deduped   bool    `json:"deduped,omitempty"`
+	Stream    bool    `json:"stream,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	Cause     string  `json:"cause,omitempty"`
+	CreatedAt string  `json:"created_at"`
+	Elapsed   float64 `json:"elapsed_s"`
+	// Summary is the one-line result digest, present once done.
+	Summary string `json:"summary,omitempty"`
+}
+
+// Health is the GET /v1/healthz payload.
+type Health struct {
+	Status     string  `json:"status"` // ok | draining
+	Version    string  `json:"version"`
+	UptimeS    float64 `json:"uptime_s"`
+	QueueDepth int     `json:"queue_depth"`
+	QueueMax   int     `json:"queue_max"`
+	Jobs       int     `json:"jobs"`
+}
+
+// LatencySummary is the per-scheme wall-clock execution latency digest in
+// GET /v1/stats.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	MeanS float64 `json:"mean_s"`
+	P50S  float64 `json:"p50_s"`
+	P90S  float64 `json:"p90_s"`
+	P99S  float64 `json:"p99_s"`
+}
+
+// Stats is the GET /v1/stats payload.
+type Stats struct {
+	UptimeS     float64                   `json:"uptime_s"`
+	QueueDepth  int                       `json:"queue_depth"`
+	QueueMax    int                       `json:"queue_max"`
+	JobsByState map[string]int            `json:"jobs_by_state"`
+	Cache       CacheStats                `json:"cache"`
+	Engine      EngineStats               `json:"engine"`
+	RateLimited uint64                    `json:"rate_limited"`
+	SSEDropped  uint64                    `json:"sse_dropped"`
+	Schemes     map[string]LatencySummary `json:"schemes,omitempty"`
+}
+
+// EngineStats mirrors campaign.Stats with wire-stable names.
+type EngineStats struct {
+	Executed  uint64 `json:"executed"`
+	Retries   uint64 `json:"retries"`
+	MemoHits  uint64 `json:"memo_hits"`
+	Replayed  uint64 `json:"replayed"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+}
+
+// apiError is the uniform error envelope.
+type apiError struct {
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after_s,omitempty"`
+}
+
+// fmtTime renders timestamps consistently (RFC 3339, UTC).
+func fmtTime(t time.Time) string { return t.UTC().Format(time.RFC3339Nano) }

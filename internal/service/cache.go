@@ -1,0 +1,145 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// CacheStats is the result cache's counter snapshot.
+type CacheStats struct {
+	Entries     int     `json:"entries"`
+	Capacity    int     `json:"capacity"`
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	Evictions   uint64  `json:"evictions"`
+	Expirations uint64  `json:"expirations"`
+	HitRatio    float64 `json:"hit_ratio"`
+}
+
+// ResultCache is a size-bounded LRU of marshaled simulation results keyed by
+// config fingerprint, with an optional TTL. It stores the serialized bytes —
+// not the *sim.Result — so every client of a given configuration receives a
+// byte-identical payload, and a hit costs no re-marshaling.
+//
+// The campaign memo already dedups everything this process has executed, but
+// it is unbounded and holds live result structs; the cache is the bounded,
+// expiring tier sized for serving, and the one warmed from the checkpoint
+// journal on restart.
+type ResultCache struct {
+	mu    sync.Mutex
+	max   int
+	ttl   time.Duration
+	now   func() time.Time // test hook
+	ll    *list.List       // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions, expirations uint64
+}
+
+type cacheEntry struct {
+	key    string
+	val    []byte
+	stored time.Time
+}
+
+// NewResultCache builds a cache holding at most max entries (max <= 0 means
+// 256), each expiring ttl after insertion (0 = never).
+func NewResultCache(max int, ttl time.Duration) *ResultCache {
+	if max <= 0 {
+		max = 256
+	}
+	return &ResultCache{
+		max:   max,
+		ttl:   ttl,
+		now:   time.Now,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached bytes for key, refreshing its recency. Expired
+// entries are removed and count as misses.
+func (c *ResultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if c.ttl > 0 && c.now().Sub(ent.stored) > c.ttl {
+		c.removeLocked(el)
+		c.expirations++
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return ent.val, true
+}
+
+// Put stores val under key, evicting the least-recently-used entry when the
+// cache is full. Re-putting an existing key refreshes its value and TTL.
+func (c *ResultCache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.val = val
+		ent.stored = c.now()
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, stored: c.now()})
+	for c.ll.Len() > c.max {
+		c.removeLocked(c.ll.Back())
+		c.evictions++
+	}
+}
+
+// PutIfAbsent stores val under key unless a live entry already exists, and
+// returns the canonical bytes either way. It does not touch the hit/miss
+// counters: it is the engine-side materialization path, not a client lookup,
+// and its first-writer-wins contract is what makes every client of one
+// configuration receive byte-identical payloads.
+func (c *ResultCache) PutIfAbsent(key string, val []byte) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		if c.ttl <= 0 || c.now().Sub(ent.stored) <= c.ttl {
+			c.ll.MoveToFront(el)
+			return ent.val
+		}
+		c.removeLocked(el)
+		c.expirations++
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, stored: c.now()})
+	for c.ll.Len() > c.max {
+		c.removeLocked(c.ll.Back())
+		c.evictions++
+	}
+	return val
+}
+
+func (c *ResultCache) removeLocked(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.items, el.Value.(*cacheEntry).key)
+}
+
+// Stats snapshots the counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Entries: c.ll.Len(), Capacity: c.max,
+		Hits: c.hits, Misses: c.misses,
+		Evictions: c.evictions, Expirations: c.expirations,
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRatio = float64(s.Hits) / float64(total)
+	}
+	return s
+}

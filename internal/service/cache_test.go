@@ -1,0 +1,72 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewResultCache(3, 0)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	// Touch k0 so k1 is the least recently used.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k3", []byte{3})
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted (LRU)")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 || st.Capacity != 3 {
+		t.Fatalf("stats = %+v, want 1 eviction, 3 entries", st)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	c := NewResultCache(8, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh entry should hit")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("expired entry should miss")
+	}
+	st := c.Stats()
+	if st.Expirations != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want 1 expiration, 0 entries", st)
+	}
+	// Re-put refreshes the TTL clock.
+	c.Put("k", []byte("v2"))
+	now = now.Add(30 * time.Second)
+	if v, ok := c.Get("k"); !ok || !bytes.Equal(v, []byte("v2")) {
+		t.Fatalf("refreshed entry should hit with new value, got %q ok=%v", v, ok)
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := NewResultCache(2, 0)
+	c.Get("missing")
+	c.Put("a", []byte("1"))
+	c.Get("a")
+	c.Get("a")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits 1 miss", st)
+	}
+	if got, want := st.HitRatio, 2.0/3.0; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("hit ratio = %v, want %v", got, want)
+	}
+}

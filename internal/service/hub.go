@@ -1,0 +1,105 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// hubEvent is one SSE payload: a named event with pre-marshaled JSON data,
+// serialized once no matter how many subscribers receive it.
+type hubEvent struct {
+	Type string // SSE event name: progress | sample | status | done
+	Data []byte
+}
+
+// Hub fans live events out to SSE subscribers. Topics are keyed by config
+// fingerprint, not job ID: when several jobs join one deduplicated run, the
+// single executing simulation feeds every subscriber, whichever job they
+// arrived through. Slow subscribers never block the simulation — a full
+// subscriber buffer drops the event and counts it.
+type Hub struct {
+	mu      sync.Mutex
+	topics  map[string]map[*Subscription]struct{}
+	dropped atomic.Uint64
+}
+
+// Subscription is one subscriber's buffered feed.
+type Subscription struct {
+	C   <-chan hubEvent
+	ch  chan hubEvent
+	hub *Hub
+	key string
+}
+
+// subscriberBuffer bounds each subscriber's in-flight events.
+const subscriberBuffer = 128
+
+// NewHub builds an empty hub.
+func NewHub() *Hub {
+	return &Hub{topics: make(map[string]map[*Subscription]struct{})}
+}
+
+// Subscribe attaches a new subscriber to key's feed.
+func (h *Hub) Subscribe(key string) *Subscription {
+	sub := &Subscription{ch: make(chan hubEvent, subscriberBuffer), hub: h, key: key}
+	sub.C = sub.ch
+	h.mu.Lock()
+	t := h.topics[key]
+	if t == nil {
+		t = make(map[*Subscription]struct{})
+		h.topics[key] = t
+	}
+	t[sub] = struct{}{}
+	h.mu.Unlock()
+	return sub
+}
+
+// Close detaches the subscriber; its channel stops receiving but is not
+// closed (the SSE handler exits on its own signals).
+func (s *Subscription) Close() {
+	h := s.hub
+	h.mu.Lock()
+	if t, ok := h.topics[s.key]; ok {
+		delete(t, s)
+		if len(t) == 0 {
+			delete(h.topics, s.key)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Publish marshals payload once and fans it out to key's subscribers,
+// dropping (and counting) events for subscribers whose buffers are full.
+func (h *Hub) Publish(key, typ string, payload any) {
+	h.mu.Lock()
+	t := h.topics[key]
+	if len(t) == 0 {
+		h.mu.Unlock()
+		return
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		h.mu.Unlock()
+		return
+	}
+	ev := hubEvent{Type: typ, Data: data}
+	for sub := range t {
+		select {
+		case sub.ch <- ev:
+		default:
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Subscribers reports the current subscriber count for key.
+func (h *Hub) Subscribers(key string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.topics[key])
+}
+
+// Dropped reports how many events were discarded on full subscriber buffers.
+func (h *Hub) Dropped() uint64 { return h.dropped.Load() }

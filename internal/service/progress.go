@@ -1,0 +1,98 @@
+package service
+
+import (
+	"sttsim/internal/obs"
+	"sttsim/internal/sim"
+)
+
+// progressEvent is the periodic run-progress snapshot streamed to SSE
+// subscribers of a running job.
+type progressEvent struct {
+	Cycle       uint64  `json:"cycle"`
+	TotalCycles uint64  `json:"total_cycles"`
+	Percent     float64 `json:"percent"`
+	Injected    uint64  `json:"injected"`
+	Delivered   uint64  `json:"delivered"`
+	BankDone    uint64  `json:"bank_done"`
+	Faults      uint64  `json:"faults"`
+}
+
+// sampleEvent is one live time-series sampling tick (internal/stats probes).
+type sampleEvent struct {
+	Cycle   uint64             `json:"cycle"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// progressFeed aggregates the firehose of packet-lifecycle events from an
+// obs sink into coarse periodic snapshots on the run's hub topic, and
+// forwards stats probe samples as they are taken. It runs on the simulator's
+// goroutine (sinks are single-goroutine by contract), so it keeps no locks —
+// the hub does the cross-goroutine handoff.
+type progressFeed struct {
+	hub   *Hub
+	key   string
+	every uint64 // cycles between snapshots
+
+	total   uint64 // warmup+measure, for percent
+	lastPub uint64
+	snap    progressEvent
+}
+
+// newProgressFeed builds the feed for one run. every is the snapshot period
+// in cycles (0 = 1000).
+func newProgressFeed(hub *Hub, key string, cfg sim.Config, every uint64) *progressFeed {
+	if every == 0 {
+		every = 1000
+	}
+	warmup, measure := cfg.WarmupCycles, cfg.MeasureCycles
+	if warmup == 0 {
+		warmup = 20000
+	}
+	if measure == 0 {
+		measure = 60000
+	}
+	return &progressFeed{hub: hub, key: key, every: every, total: warmup + measure}
+}
+
+// Sink returns the obs.Sink half of the feed.
+func (p *progressFeed) Sink() obs.Sink {
+	return obs.FuncSink(func(ev obs.Event) error {
+		switch ev.Type {
+		case obs.EvInject:
+			p.snap.Injected++
+		case obs.EvDeliver:
+			p.snap.Delivered++
+		case obs.EvBankDone:
+			p.snap.BankDone++
+		case obs.EvFault:
+			p.snap.Faults++
+		}
+		if ev.Cycle >= p.lastPub+p.every {
+			p.lastPub = ev.Cycle - ev.Cycle%p.every
+			p.publish(ev.Cycle)
+		}
+		return nil
+	})
+}
+
+// OnSample is the stats.SampleFunc half: one event per sampling tick.
+func (p *progressFeed) OnSample(cycle uint64, names []string, values []float64) {
+	m := make(map[string]float64, len(names))
+	for i, name := range names {
+		m[name] = values[i]
+	}
+	p.hub.Publish(p.key, "sample", sampleEvent{Cycle: cycle, Metrics: m})
+}
+
+func (p *progressFeed) publish(cycle uint64) {
+	ev := p.snap
+	ev.Cycle = cycle
+	ev.TotalCycles = p.total
+	if p.total > 0 {
+		ev.Percent = 100 * float64(cycle) / float64(p.total)
+		if ev.Percent > 100 {
+			ev.Percent = 100
+		}
+	}
+	p.hub.Publish(p.key, "progress", ev)
+}

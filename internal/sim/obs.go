@@ -28,6 +28,12 @@ type ObsConfig struct {
 	MetricsInterval uint64
 	// MetricsCap bounds each series' ring buffer (0 = stats.DefaultSeriesCap).
 	MetricsCap int
+
+	// OnSample, when non-nil and MetricsInterval > 0, additionally streams
+	// every sampling tick to the caller while the run executes — the live
+	// progress feed of the serving layer. See stats.SampleFunc for the
+	// slice-reuse contract.
+	OnSample stats.SampleFunc
 }
 
 // enabled reports whether the config asks for any observability at all.

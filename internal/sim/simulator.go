@@ -120,6 +120,7 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.Obs != nil {
 		s.tracer = obs.NewTracer(cfg.Obs.Sink)
 		s.metrics = stats.NewRegistry(cfg.Obs.MetricsInterval, cfg.Obs.MetricsCap)
+		s.metrics.SetOnSample(cfg.Obs.OnSample)
 	}
 	var observer noc.Observer
 	if s.tracer != nil {

@@ -58,6 +58,12 @@ func (s *Series) push(v float64) {
 	}
 }
 
+// SampleFunc observes one live sampling tick — the streaming adapter the
+// serving layer uses to push probe samples to SSE subscribers while a run is
+// still executing. names and values are parallel, in registration order, and
+// both slices are reused between ticks: copy them if they outlive the call.
+type SampleFunc func(cycle uint64, names []string, values []float64)
+
 // Registry holds named probes and their sample rings. The zero value is not
 // usable; construct with NewRegistry. A nil *Registry is the disabled state:
 // Register and Sample on nil are no-ops, mirroring obs.Tracer.
@@ -67,6 +73,10 @@ type Registry struct {
 	series   []*Series
 	byName   map[string]*Series
 	cycles   *Series // parallel ring of sample cycles
+
+	onSample SampleFunc
+	names    []string  // lazily built for onSample, invalidated by Register
+	values   []float64 // reused between onSample ticks
 }
 
 // NewRegistry creates a registry sampling every interval cycles, each series
@@ -108,6 +118,16 @@ func (r *Registry) Register(name string, p Probe) {
 	s := &Series{name: name, probe: p, buf: make([]float64, r.cap)}
 	r.byName[name] = s
 	r.series = append(r.series, s)
+	r.names = nil // re-derive on the next streamed sample
+}
+
+// SetOnSample installs a live-sample observer (nil uninstalls). Safe on a nil
+// registry, matching the rest of the disabled-state contract.
+func (r *Registry) SetOnSample(fn SampleFunc) {
+	if r == nil {
+		return
+	}
+	r.onSample = fn
 }
 
 // Due reports whether now is a sampling cycle.
@@ -124,6 +144,24 @@ func (r *Registry) Sample(now uint64) {
 	r.cycles.push(float64(now))
 	for _, s := range r.series {
 		s.push(s.probe())
+	}
+	if r.onSample != nil {
+		if r.names == nil {
+			r.names = make([]string, len(r.series))
+			for i, s := range r.series {
+				r.names[i] = s.name
+			}
+			r.values = make([]float64, len(r.series))
+		}
+		for i, s := range r.series {
+			// The freshest sample is one behind the ring head.
+			idx := s.head - 1
+			if idx < 0 {
+				idx += len(s.buf)
+			}
+			r.values[i] = s.buf[idx]
+		}
+		r.onSample(now, r.names, r.values)
 	}
 }
 

@@ -1,0 +1,46 @@
+// Package version derives a build identity string from the information the
+// Go toolchain embeds in every binary (runtime/debug.ReadBuildInfo), so the
+// commands can report what they are without a linker-flag build pipeline.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// String renders the build identity: module version when tagged, else the
+// VCS revision (with a +dirty marker for modified trees), else "devel" —
+// always with the Go toolchain version.
+func String() string {
+	ver := "devel"
+	var vcs string
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			ver = v
+		}
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "+dirty"
+			}
+			vcs = rev
+		}
+	}
+	if vcs != "" {
+		return fmt.Sprintf("%s (%s, %s)", ver, vcs, runtime.Version())
+	}
+	return fmt.Sprintf("%s (%s)", ver, runtime.Version())
+}

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# sttsimd end-to-end smoke test: start the daemon, submit two identical jobs,
+# require the second to be served from the result cache, stream the job's SSE
+# feed, restart the daemon against the same checkpoint journal and require a
+# warm-cache hit, and finish with a graceful SIGTERM drain. Exercises the
+# whole serving stack: HTTP surface, queue, singleflight/cache tiers, SSE
+# fan-out, journal warm start, shutdown.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+addr="127.0.0.1:${STTSIMD_SMOKE_PORT:-18734}"
+base="http://$addr"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+spec='{"scheme":"stt4","bench":"milc","seed":11,"warmup_cycles":2000,"measure_cycles":6000}'
+
+json_field() { # json_field <key> — first string value of "key" on stdin
+    sed -n "s/.*\"$1\":\"\([^\"]*\)\".*/\1/p" | head -n1
+}
+
+wait_healthy() {
+    for _ in $(seq 1 100); do
+        if curl -sf "$base/v1/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "smoke: daemon never became healthy" >&2
+    exit 1
+}
+
+start_daemon() {
+    "$tmp/sttsimd" -addr "$addr" -checkpoint "$tmp/journal.jsonl" "$@" \
+        >"$tmp/daemon.log" 2>&1 &
+    pid=$!
+    wait_healthy
+}
+
+stop_daemon() {
+    kill -TERM "$pid"
+    if ! wait "$pid"; then
+        echo "smoke: daemon exited non-zero on SIGTERM" >&2
+        cat "$tmp/daemon.log" >&2
+        exit 1
+    fi
+    pid=""
+}
+
+echo "smoke: build" >&2
+go build -o "$tmp/sttsimd" ./cmd/sttsimd
+
+echo "smoke: start daemon" >&2
+start_daemon
+
+echo "smoke: submit job 1" >&2
+id1=$(curl -sf -X POST -d "$spec" "$base/v1/jobs" | json_field id)
+[ -n "$id1" ] || { echo "smoke: no job id returned" >&2; exit 1; }
+
+for _ in $(seq 1 200); do
+    state=$(curl -sf "$base/v1/jobs/$id1" | json_field state)
+    [ "$state" = done ] && break
+    if [ "$state" = failed ] || [ "$state" = cancelled ]; then
+        echo "smoke: job 1 ended $state" >&2
+        curl -sf "$base/v1/jobs/$id1" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ "$state" = done ] || { echo "smoke: job 1 never finished" >&2; exit 1; }
+
+echo "smoke: submit identical job 2 (expect cache hit)" >&2
+resp2=$(curl -sf -X POST -d "$spec" "$base/v1/jobs")
+echo "$resp2" | grep -q '"cache_hit":true' || {
+    echo "smoke: second identical job was not a cache hit: $resp2" >&2
+    exit 1
+}
+id2=$(echo "$resp2" | json_field id)
+
+curl -sf "$base/v1/stats" | grep -q '"hits":[1-9]' || {
+    echo "smoke: /v1/stats reports no cache hits" >&2
+    exit 1
+}
+
+echo "smoke: stream SSE feed" >&2
+sse=$(curl -sf -N --max-time 10 "$base/v1/jobs/$id2/events")
+echo "$sse" | grep -q '^event: status' || { echo "smoke: SSE missing status event" >&2; exit 1; }
+echo "$sse" | grep -q '^event: done' || { echo "smoke: SSE missing done event" >&2; exit 1; }
+
+echo "smoke: byte-identical results for both clients" >&2
+curl -sf "$base/v1/jobs/$id1/result" >"$tmp/r1.json"
+curl -sf "$base/v1/jobs/$id2/result" >"$tmp/r2.json"
+cmp -s "$tmp/r1.json" "$tmp/r2.json" || { echo "smoke: results differ" >&2; exit 1; }
+
+echo "smoke: graceful shutdown" >&2
+stop_daemon
+grep -q '"status":"ok"' "$tmp/journal.jsonl" || {
+    echo "smoke: journal has no ok record after drain" >&2
+    exit 1
+}
+
+echo "smoke: restart with -resume (expect warm-cache hit, no execution)" >&2
+start_daemon -resume
+resp3=$(curl -sf -X POST -d "$spec" "$base/v1/jobs")
+echo "$resp3" | grep -q '"cache_hit":true' || {
+    echo "smoke: restarted daemon did not serve from the warmed cache: $resp3" >&2
+    exit 1
+}
+curl -sf "$base/v1/stats" | grep -q '"executed":0' || {
+    echo "smoke: restarted daemon re-executed a journaled config" >&2
+    exit 1
+}
+stop_daemon
+
+echo "smoke: OK" >&2
