@@ -1,11 +1,12 @@
 # Tier-1 verification for sttsim. `make verify` is the gate every change must
-# pass: build, vet, unit tests, and the race detector over the race-prone
+# pass: build, vet, unit tests, the race detector over the race-prone
 # packages (the full-system sim/exp tests are heavy under -race, so the race
-# pass covers the substrate packages where concurrency could plausibly enter).
+# pass covers the substrate packages where concurrency could plausibly
+# enter), the golden trace digests, and the performance guard.
 
 GO ?= go
 
-.PHONY: all build vet test race bench-guard golden verify smoke serve-smoke
+.PHONY: all build vet test race bench-guard golden verify profile smoke serve-smoke
 
 all: verify
 
@@ -24,10 +25,12 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# Observability disabled-path guardrail: with Obs off, allocs/op must match
-# the checked-in baseline exactly (deterministic) and ns/op must stay within
-# 2% (wall-clock verdict self-skips when the host is too noisy to judge, and
-# on hosts other than the one that recorded the baseline). Re-baseline with
+# Performance guardrail over BENCH_baseline.json: the disabled-observability
+# path and the warmed steady-state cycle must stay at 0 allocs/op, the
+# end-to-end per-scheme run must not grow its allocation count, and ns/op
+# must stay within tolerance (the wall-clock verdict self-skips when the
+# host is too noisy to judge, and on hosts other than the one that recorded
+# the baseline; the allocation gates always apply). Re-baseline with
 # scripts/bench_guard.sh -update.
 bench-guard:
 	./scripts/bench_guard.sh
@@ -39,7 +42,15 @@ bench-guard:
 golden:
 	$(GO) test -tags golden -run TestGolden -race ./internal/sim
 
-verify: build vet test race bench-guard
+verify: build vet test race golden bench-guard
+
+# CPU and heap profile of the steady-state cycle loop (writes cpu.out /
+# mem.out at the repo root and prints the hottest functions). Inspect
+# interactively with: go tool pprof cpu.out
+profile:
+	$(GO) test -run '^$$' -bench '^BenchmarkSteadyStateCycle$$' -benchtime 3s \
+		-cpuprofile cpu.out -memprofile mem.out .
+	$(GO) tool pprof -top -nodecount 15 cpu.out
 
 # Checkpoint round trip: interrupt a campaign mid-flight, resume it from the
 # journal, require byte-identical output to an uninterrupted reference run.

@@ -135,6 +135,7 @@ func BenchmarkFigure14(b *testing.B) {
 // ---------------------------------------------------------------------------
 
 func benchScheme(b *testing.B, s sim.Scheme) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := sim.Run(sim.Config{
 			Scheme:        s,
@@ -152,6 +153,26 @@ func BenchmarkSchemeSTT4TSB(b *testing.B)    { benchScheme(b, sim.SchemeSTT4TSB)
 func BenchmarkSchemeSTT4TSBSS(b *testing.B)  { benchScheme(b, sim.SchemeSTT4TSBSS) }
 func BenchmarkSchemeSTT4TSBRCA(b *testing.B) { benchScheme(b, sim.SchemeSTT4TSBRCA) }
 func BenchmarkSchemeSTT4TSBWB(b *testing.B)  { benchScheme(b, sim.SchemeSTT4TSBWB) }
+
+// BenchmarkFullRun is the bench-guard's end-to-end gate: one complete
+// sim.Run (construction, warmup, measurement, result extraction) per
+// iteration for each contended scheme family of the paper. Unlike the cycle
+// micro-benchmarks there is no amortization across b.N — ns/op and allocs/op
+// are per whole run, so allocs/op is deterministic and comparable across
+// hosts.
+func BenchmarkFullRun(b *testing.B) {
+	for _, c := range []struct {
+		name   string
+		scheme sim.Scheme
+	}{
+		{"baseline", sim.SchemeSTT4TSB},
+		{"ss", sim.SchemeSTT4TSBSS},
+		{"rca", sim.SchemeSTT4TSBRCA},
+		{"wb", sim.SchemeSTT4TSBWB},
+	} {
+		b.Run(c.name, func(b *testing.B) { benchScheme(b, c.scheme) })
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Substrate micro-benchmarks.
@@ -236,6 +257,30 @@ func BenchmarkSimulatorCycle(b *testing.B) {
 		Assignment: workload.Homogeneous(workload.MustByName("tpcc")),
 	})
 	must(b, err)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyStateCycle is the zero-allocation gate: it steps the WB
+// simulator past its fill transient (pools populated, queues at working
+// depth) before the timer starts, so the reported allocs/op is the true
+// steady-state figure — the bench guard pins it at 0.
+func BenchmarkSteadyStateCycle(b *testing.B) {
+	s, err := sim.New(sim.Config{
+		Scheme:     sim.SchemeSTT4TSBWB,
+		Assignment: workload.Homogeneous(workload.MustByName("tpcc")),
+	})
+	must(b, err)
+	for i := 0; i < 5000; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := s.Step(); err != nil {

@@ -17,6 +17,7 @@
 //	            [-warmup N] [-measure N] [-seed N]
 //	            [-jobs N] [-run-timeout D] [-checkpoint FILE] [-resume]
 //	            [-obs-addr :6060] [-metrics-out FILE [-metrics-interval N]]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // All experiment tables go to stdout, which is byte-identical for a given
 // configuration regardless of -jobs and of checkpoint replay; timing and
@@ -39,6 +40,7 @@ import (
 
 	"sttsim/internal/campaign"
 	"sttsim/internal/exp"
+	"sttsim/internal/prof"
 	"sttsim/internal/sim"
 	"sttsim/internal/version"
 	"sttsim/internal/workload"
@@ -58,6 +60,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "after the campaign, record a representative run's time-series metrics to this file (.jsonl = JSONL, else CSV)")
 	metricsInterval := flag.Uint64("metrics-interval", 1000, "sampling period (cycles) for the -metrics-out run")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole campaign to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (post-campaign snapshot) to this file")
 	flag.Parse()
 
 	if *showVersion {
@@ -65,7 +69,19 @@ func main() {
 		return
 	}
 
-	os.Exit(run(*which, *quick, *warmup, *measure, *seed, *jobs, *runTimeout, *checkpoint, *resume, *obsAddr, *metricsOut, *metricsInterval))
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	code := run(*which, *quick, *warmup, *measure, *seed, *jobs, *runTimeout, *checkpoint, *resume, *obsAddr, *metricsOut, *metricsInterval)
+	if perr := stopProf(); perr != nil {
+		fmt.Fprintln(os.Stderr, "experiments: profile:", perr)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
 }
 
 // run executes the selected experiments and returns the process exit code

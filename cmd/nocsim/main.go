@@ -6,6 +6,7 @@
 //	nocsim -bench tpcc -scheme wb [-regions 8] [-stagger] [-hops 2]
 //	       [-warmup 20000] [-measure 60000] [-writebuf 0] [-plus1vc]
 //	       [-trace out.jsonl [-decompose]] [-metrics-interval 1000 -metrics-out m.csv]
+//	       [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"sttsim/internal/core"
 	"sttsim/internal/noc"
 	"sttsim/internal/obs"
+	"sttsim/internal/prof"
 	"sttsim/internal/sim"
 	"sttsim/internal/stats"
 	"sttsim/internal/version"
@@ -55,6 +57,12 @@ var schemeFlags = map[string]sim.Scheme{
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run executes one simulation and returns the process exit code. Factored
+// out of main so the profiler's deferred stop runs before os.Exit.
+func run() int {
 	bench := flag.String("bench", "tpcc", "benchmark name from Table 3, or case1/case2")
 	schemeName := flag.String("scheme", "wb", "sram|stt64|stt4|ss|rca|wb")
 	regions := flag.Int("regions", 0, "cache-layer regions (4, 8, or 16; 0 = default 8)")
@@ -73,17 +81,30 @@ func main() {
 	metricsInterval := flag.Uint64("metrics-interval", 0, "sample time-series metrics every K cycles (0 = off; implied 1000 when -metrics-out is set)")
 	metricsOut := flag.String("metrics-out", "", "write sampled metrics to this file (.jsonl extension means JSONL, else CSV)")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (post-run snapshot) to this file")
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Printf("nocsim %s\n", version.String())
-		return
+		return 0
 	}
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "profile:", perr)
+		}
+	}()
 
 	scheme, ok := schemeFlags[strings.ToLower(*schemeName)]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scheme %q (want sram|stt64|stt4|ss|rca|wb)\n", *schemeName)
-		os.Exit(2)
+		return 2
 	}
 
 	var assignment workload.Assignment
@@ -96,7 +117,7 @@ func main() {
 		prof, err := workload.ByName(*bench)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		assignment = workload.Homogeneous(prof)
 	}
@@ -108,7 +129,7 @@ func main() {
 
 	if *decompose && *tracePath == "" {
 		fmt.Fprintln(os.Stderr, "-decompose needs -trace to know where the events went")
-		os.Exit(2)
+		return 2
 	}
 	if *metricsOut != "" && *metricsInterval == 0 {
 		*metricsInterval = 1000
@@ -121,7 +142,7 @@ func main() {
 			f, err := os.Create(*tracePath)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			binary := *traceFormat == "binary" ||
 				(*traceFormat == "auto" && !strings.HasSuffix(*tracePath, ".jsonl"))
@@ -134,7 +155,7 @@ func main() {
 		}
 	}
 
-	res, err := sim.Run(sim.Config{
+	res, rerr := sim.Run(sim.Config{
 		Scheme:             scheme,
 		Assignment:         assignment,
 		Seed:               *seed,
@@ -154,17 +175,17 @@ func main() {
 		// reads the file back).
 		if cerr := sink.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "trace:", cerr)
-			os.Exit(1)
+			return 1
 		}
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if rerr != nil {
+		fmt.Fprintln(os.Stderr, rerr)
+		return 1
 	}
 	if *metricsOut != "" && res.Metrics != nil {
 		if werr := writeMetrics(*metricsOut, res.Metrics); werr != nil {
 			fmt.Fprintln(os.Stderr, "metrics:", werr)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -194,9 +215,9 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	fmt.Printf("scheme            %s\n", res.Config.Scheme)
@@ -221,10 +242,11 @@ func main() {
 	if *decompose {
 		if derr := runDecompose(*tracePath); derr != nil {
 			fmt.Fprintln(os.Stderr, "decompose:", derr)
-			os.Exit(1)
+			return 1
 		}
 	}
 	_ = noc.NumNodes
+	return 0
 }
 
 // writeMetrics exports the sampled time series (CSV, or JSONL for .jsonl).

@@ -97,7 +97,7 @@ type BankController struct {
 	bank *mem.Bank
 
 	numSets int
-	sets    [][]line // lazily allocated per set
+	lines   []line // tag array, one slab of numSets*Associativity ways
 
 	mshrs    map[uint64]*mshr
 	mshrWait []pendingMiss // misses waiting for a free MSHR
@@ -110,6 +110,15 @@ type BankController struct {
 
 	outbox []*noc.Packet
 	stats  Stats
+
+	// Steady-state allocation elimination: outbound packets come from the
+	// simulator's pool when one is installed, finished mem.Requests and
+	// released MSHRs recirculate through free lists, and the bank writes its
+	// completions into a reused scratch value.
+	pool     *noc.PacketPool
+	reqFree  []*mem.Request
+	mshrFree []*mshr
+	comp     mem.Completion
 
 	// Figure 3 instrumentation: distribution of access arrivals relative to
 	// the most recent preceding write request to this bank.
@@ -161,7 +170,7 @@ func NewBankController(node noc.NodeID, bank *mem.Bank) *BankController {
 		node:        node,
 		bank:        bank,
 		numSets:     SetsFor(bank.Tech().CapacityMB),
-		sets:        make([][]line, SetsFor(bank.Tech().CapacityMB)),
+		lines:       make([]line, SetsFor(bank.Tech().CapacityMB)*Associativity),
 		mshrs:       make(map[uint64]*mshr),
 		fillSharers: make(map[uint64]uint64),
 		meta:        make(map[uint64]reqMeta),
@@ -178,10 +187,26 @@ func (bc *BankController) Bank() *mem.Bank { return bc.bank }
 func (bc *BankController) Stats() Stats { return bc.stats }
 
 // Outbox returns packets generated since the last drain and clears the box.
+// The returned slice is valid until the controller next emits a packet (its
+// backing array is reused); callers drain it before ticking again.
 func (bc *BankController) Outbox() []*noc.Packet {
 	out := bc.outbox
-	bc.outbox = nil
+	bc.outbox = bc.outbox[:0]
 	return out
+}
+
+// UsePool makes the controller draw its outbound packets from pp (the
+// simulator's packet pool); nil (the default) falls back to plain allocations.
+func (bc *BankController) UsePool(pp *noc.PacketPool) { bc.pool = pp }
+
+// pkt materializes one outbound packet from tmpl.
+func (bc *BankController) pkt(tmpl noc.Packet) *noc.Packet {
+	if bc.pool != nil {
+		return bc.pool.NewFrom(tmpl)
+	}
+	p := new(noc.Packet)
+	*p = tmpl
+	return p
 }
 
 // SetTracer installs the observability tracer (nil disables it).
@@ -224,19 +249,24 @@ func (bc *BankController) drainRetries(now uint64) {
 	bc.retryQ = kept
 }
 
-// set returns the (lazily allocated) set for a line address. The index is a
-// hash of the line address above the bank-interleaving bits — LLCs commonly
-// hash their index to break power-of-two stride pathologies, and our
-// synthetic address-space bases are exactly such strides.
+// set returns the ways of the set holding a line address — a window into the
+// bank's single tag-array slab (the slab's untouched pages stay unmapped, so
+// eager sizing costs no more physical memory than lazy per-set allocation
+// did). The index is a hash of the line address above the bank-interleaving
+// bits — LLCs commonly hash their index to break power-of-two stride
+// pathologies, and our synthetic address-space bases are exactly such
+// strides.
 func (bc *BankController) set(lineAddr uint64) []line {
+	idx := bc.setIndex(lineAddr)
+	return bc.lines[idx*Associativity : (idx+1)*Associativity]
+}
+
+// setIndex hashes a line address to its set.
+func (bc *BankController) setIndex(lineAddr uint64) int {
 	v := lineAddr / NumBanks
 	v *= 0x9E3779B97F4A7C15
 	v ^= v >> 29
-	idx := int(v % uint64(bc.numSets))
-	if bc.sets[idx] == nil {
-		bc.sets[idx] = make([]line, Associativity)
-	}
-	return bc.sets[idx]
+	return int(v % uint64(bc.numSets))
 }
 
 // lookup returns the way holding lineAddr, or nil.
@@ -283,11 +313,21 @@ func (bc *BankController) HandlePacket(p *noc.Packet, now uint64) {
 	}
 }
 
-// enqueue hands an access to the bank's timing model.
+// enqueue hands an access to the bank's timing model. Request objects
+// recirculate through reqFree: the bank owns a request from here until its
+// completion is handled in Tick.
 func (bc *BankController) enqueue(op mem.Op, m reqMeta, now uint64) {
 	bc.nextID++
 	bc.meta[bc.nextID] = m
-	bc.bank.Enqueue(&mem.Request{Op: op, Addr: LineAddr(m.addr), ID: bc.nextID, Proc: m.core}, now)
+	var r *mem.Request
+	if n := len(bc.reqFree); n > 0 {
+		r = bc.reqFree[n-1]
+		bc.reqFree = bc.reqFree[:n-1]
+	} else {
+		r = new(mem.Request)
+	}
+	*r = mem.Request{Op: op, Addr: LineAddr(m.addr), ID: bc.nextID, Proc: m.core}
+	bc.bank.Enqueue(r, now)
 }
 
 // Tick advances the bank one cycle and performs the protocol action of
@@ -296,16 +336,17 @@ func (bc *BankController) Tick(now uint64) {
 	if len(bc.retryQ) > 0 {
 		bc.drainRetries(now)
 	}
-	c := bc.bank.Tick(now)
-	if c == nil {
+	if !bc.bank.TickInto(now, &bc.comp) {
 		return
 	}
+	c := &bc.comp
 	m, ok := bc.meta[c.Req.ID]
 	if !ok {
 		panic(fmt.Sprintf("cache: bank %d completion for unknown request %d", bc.node, c.Req.ID))
 	}
 	delete(bc.meta, c.Req.ID)
 	bc.tracer.BankAccess(bc.node, m.pktID, accessNocKind(m.kind), c.Done, c.QueueDelay, c.Service)
+	bc.reqFree = append(bc.reqFree, c.Req)
 	switch m.kind {
 	case accRead:
 		bc.finishRead(m, c, now)
@@ -338,12 +379,12 @@ func (bc *BankController) finishRead(m reqMeta, c *mem.Completion, now uint64) {
 		if m.core >= 0 && m.core < 64 {
 			ln.sharers |= 1 << uint(m.core)
 		}
-		bc.send(&noc.Packet{
+		bc.send(bc.pkt(noc.Packet{
 			Kind: noc.KindReadResp, Src: bc.node, Dst: m.src,
 			Addr: m.addr, Proc: m.core,
 			BankQueueDelay: c.QueueDelay, BankService: c.Service, ReqInjected: m.injected,
 			ReqID: m.pktID,
-		})
+		}))
 		return
 	}
 	bc.stats.ReadMisses++
@@ -362,12 +403,21 @@ func (bc *BankController) startMiss(w waiter, lineAddr uint64, now uint64) {
 		bc.stats.MSHRStalls++
 		return
 	}
-	bc.mshrs[lineAddr] = &mshr{lineAddr: lineAddr, waiters: []waiter{w}}
+	var msh *mshr
+	if n := len(bc.mshrFree); n > 0 {
+		msh = bc.mshrFree[n-1]
+		bc.mshrFree = bc.mshrFree[:n-1]
+		msh.lineAddr = lineAddr
+		msh.waiters = append(msh.waiters[:0], w)
+	} else {
+		msh = &mshr{lineAddr: lineAddr, waiters: []waiter{w}}
+	}
+	bc.mshrs[lineAddr] = msh
 	addr := AddrOfLine(lineAddr)
-	bc.send(&noc.Packet{
+	bc.send(bc.pkt(noc.Packet{
 		Kind: noc.KindMemReq, Src: bc.node, Dst: MCNode(addr),
 		Addr: addr, Proc: w.core, SizeFlits: noc.AddrPacketFlits,
-	})
+	}))
 }
 
 // finishWrite handles a completed write access (an L1 writeback landing in
@@ -394,12 +444,12 @@ func (bc *BankController) finishWrite(m reqMeta, c *mem.Completion, now uint64) 
 			ln.sharers = 0
 			bc.stats.LinesInvalidated++
 		}
-		bc.send(&noc.Packet{
+		bc.send(bc.pkt(noc.Packet{
 			Kind: noc.KindWriteAck, Src: bc.node, Dst: m.src,
 			Addr: m.addr, Proc: m.core,
 			BankQueueDelay: m.queueDelay + c.QueueDelay, BankService: c.Service, ReqInjected: m.injected,
 			ReqID: m.pktID,
-		})
+		}))
 		return
 	}
 	ln := bc.lookup(la)
@@ -417,12 +467,12 @@ func (bc *BankController) finishWrite(m reqMeta, c *mem.Completion, now uint64) 
 	// the line up by writing it back.
 	bc.invalidateSharers(ln, m.core)
 	ln.sharers = 0
-	bc.send(&noc.Packet{
+	bc.send(bc.pkt(noc.Packet{
 		Kind: noc.KindWriteAck, Src: bc.node, Dst: m.src,
 		Addr: m.addr, Proc: m.core,
 		BankQueueDelay: m.queueDelay + c.QueueDelay, BankService: c.Service, ReqInjected: m.injected,
 		ReqID: m.pktID,
-	})
+	}))
 }
 
 // forwardFill answers every waiter merged on the miss as soon as the memory
@@ -436,13 +486,14 @@ func (bc *BankController) forwardFill(p *noc.Packet, now uint64) {
 	delete(bc.mshrs, la)
 	bc.fillSharers[la] = sharersOf(msh.waiters)
 	for _, w := range msh.waiters {
-		bc.send(&noc.Packet{
+		bc.send(bc.pkt(noc.Packet{
 			Kind: noc.KindReadResp, Src: bc.node, Dst: w.src,
 			Addr: p.Addr, Proc: w.core,
 			BankQueueDelay: w.queueDelay, ReqInjected: w.injected,
 			ReqID: w.pktID,
-		})
+		}))
 	}
+	bc.mshrFree = append(bc.mshrFree, msh)
 	// MSHR freed: admit a waiting miss, if any.
 	if len(bc.mshrWait) > 0 {
 		pm := bc.mshrWait[0]
@@ -516,10 +567,10 @@ func (bc *BankController) allocate(lineAddr uint64, now uint64) *line {
 		if v.dirty {
 			bc.stats.Writebacks++
 			addr := AddrOfLine(v.tag)
-			bc.send(&noc.Packet{
+			bc.send(bc.pkt(noc.Packet{
 				Kind: noc.KindMemReq, Src: bc.node, Dst: MCNode(addr),
 				Addr: addr, Proc: -1, SizeFlits: noc.DataPacketFlits, IsBankWrite: true,
-			})
+			}))
 		}
 	}
 	*v = line{tag: lineAddr, valid: true, lastUse: now}
@@ -537,10 +588,10 @@ func (bc *BankController) invalidateSharers(ln *line, except int) {
 			continue
 		}
 		bc.stats.InvSent++
-		bc.send(&noc.Packet{
+		bc.send(bc.pkt(noc.Packet{
 			Kind: noc.KindInv, Src: bc.node, Dst: noc.NodeID(core),
 			Addr: AddrOfLine(ln.tag), Proc: core,
-		})
+		}))
 	}
 }
 
@@ -573,16 +624,53 @@ func (bc *BankController) ResetStats() {
 // tag warmup standing in for the billions of instructions the paper's traces
 // execute before measurement.
 func (bc *BankController) Preload(lineAddr uint64) {
-	if bc.lookup(lineAddr) != nil {
-		return
-	}
+	// Single walk: find the resident copy or the first free way. sim.New
+	// calls this ~400K times per construction, so the separate lookup-then-
+	// insert double scan is worth avoiding.
 	set := bc.set(lineAddr)
+	free := -1
 	for i := range set {
-		if !set[i].valid {
-			set[i] = line{tag: lineAddr, valid: true}
-			return
+		if set[i].valid {
+			if set[i].tag == lineAddr {
+				return
+			}
+		} else if free < 0 {
+			free = i
 		}
 	}
-	// Set full during preload: replace way 0 (deterministic).
-	set[0] = line{tag: lineAddr, valid: true}
+	if free < 0 {
+		free = 0 // set full during preload: replace way 0 (deterministic)
+	}
+	set[free] = line{tag: lineAddr, valid: true}
+}
+
+// PreloadBatch installs many lines at once. Hashed set indices scatter a
+// call-per-line preload randomly over the multi-megabyte tag slab (a TLB and
+// cache miss per line, the dominant cost of simulator construction), so the
+// batch is first bucketed by set index — a stable counting sort, preserving
+// per-set insertion order and therefore the exact way layout sequential
+// Preload calls produce — and then installed in slab order.
+func (bc *BankController) PreloadBatch(lineAddrs []uint64) {
+	n := len(lineAddrs)
+	if n == 0 {
+		return
+	}
+	idxs := make([]int32, n)
+	starts := make([]int32, bc.numSets+1)
+	for i, la := range lineAddrs {
+		ix := int32(bc.setIndex(la))
+		idxs[i] = ix
+		starts[ix+1]++
+	}
+	for s := 0; s < bc.numSets; s++ {
+		starts[s+1] += starts[s]
+	}
+	sorted := make([]uint64, n)
+	for i, la := range lineAddrs {
+		sorted[starts[idxs[i]]] = la
+		starts[idxs[i]]++
+	}
+	for _, la := range sorted {
+		bc.Preload(la)
+	}
 }

@@ -78,13 +78,16 @@ type Core struct {
 	count int
 
 	waiting      map[uint64][]int // line address -> ROB slots blocked on it
+	slotListFree [][]int          // retired waiting lists, reused by new misses
 	loadsOut     int              // distinct outstanding load lines
 	storesOut    int              // posted stores awaiting WriteAck
-	stalledOnMem *Access          // memory op that could not issue this cycle
-	blockedLine  uint64           // serializing load's line (issue stalls)
+	stalledOnMem Access           // memory op that could not issue this cycle
+	hasStalled   bool
+	blockedLine  uint64 // serializing load's line (issue stalls)
 	blocked      bool
 
 	outbox []*noc.Packet
+	pool   *noc.PacketPool // nil: packets are plain heap allocations
 	stats  Stats
 }
 
@@ -110,13 +113,29 @@ func (c *Core) Node() noc.NodeID { return c.node }
 // Stats returns a copy of the core's counters.
 func (c *Core) Stats() Stats { return c.stats }
 
+// UsePool makes the core draw its outbound packets from pp (the simulator's
+// packet pool); nil (the default) falls back to plain allocations.
+func (c *Core) UsePool(pp *noc.PacketPool) { c.pool = pp }
+
+// pkt materializes one outbound packet from tmpl.
+func (c *Core) pkt(tmpl noc.Packet) *noc.Packet {
+	if c.pool != nil {
+		return c.pool.NewFrom(tmpl)
+	}
+	p := new(noc.Packet)
+	*p = tmpl
+	return p
+}
+
 // Committed returns the retired instruction count.
 func (c *Core) Committed() uint64 { return c.stats.Committed }
 
 // Outbox returns packets generated since the last drain and clears the box.
+// The returned slice is valid until the core next generates a packet (its
+// backing array is reused); callers drain it before ticking again.
 func (c *Core) Outbox() []*noc.Packet {
 	out := c.outbox
-	c.outbox = nil
+	c.outbox = c.outbox[:0]
 	return out
 }
 
@@ -130,6 +149,7 @@ func (c *Core) OnPacket(p *noc.Packet, now uint64) {
 				c.rob[s].done = true
 			}
 			delete(c.waiting, la)
+			c.slotListFree = append(c.slotListFree, slots[:0])
 			c.loadsOut--
 		}
 		if c.blocked && la == c.blockedLine {
@@ -142,9 +162,9 @@ func (c *Core) OnPacket(p *noc.Packet, now uint64) {
 	case noc.KindInv:
 		// The directory recalled a line from our L1: acknowledge.
 		c.stats.InvsReceived++
-		c.outbox = append(c.outbox, &noc.Packet{
+		c.outbox = append(c.outbox, c.pkt(noc.Packet{
 			Kind: noc.KindInvAck, Src: c.node, Dst: p.Src, Addr: p.Addr, Proc: c.id,
-		})
+		}))
 	}
 }
 
@@ -180,11 +200,12 @@ func (c *Core) issue(now uint64) {
 			c.stats.StallROB++
 			return
 		}
-		acc := c.stalledOnMem
-		c.stalledOnMem = nil
-		if acc == nil {
-			a := c.gen.Next()
-			acc = &a
+		var acc Access
+		if c.hasStalled {
+			acc = c.stalledOnMem
+			c.hasStalled = false
+		} else {
+			acc = c.gen.Next()
 		}
 		if acc.Kind == AccessNone {
 			c.push(robEntry{done: true})
@@ -192,11 +213,11 @@ func (c *Core) issue(now uint64) {
 		}
 		// Memory operation: at most one per cycle (Table 1).
 		if memIssued {
-			c.stalledOnMem = acc
+			c.stalledOnMem, c.hasStalled = acc, true
 			return
 		}
 		if !c.tryIssueMem(acc, now) {
-			c.stalledOnMem = acc
+			c.stalledOnMem, c.hasStalled = acc, true
 			c.stats.StallMSHR++
 			return
 		}
@@ -206,7 +227,7 @@ func (c *Core) issue(now uint64) {
 
 // tryIssueMem issues one L2 access, returning false when a structural limit
 // (L1 MSHRs for loads, store buffer for writes) blocks it.
-func (c *Core) tryIssueMem(acc *Access, now uint64) bool {
+func (c *Core) tryIssueMem(acc Access, now uint64) bool {
 	la := cache.LineAddr(acc.Addr)
 	switch acc.Kind {
 	case AccessRead:
@@ -224,13 +245,19 @@ func (c *Core) tryIssueMem(acc *Access, now uint64) bool {
 			return false
 		}
 		slot := c.push(robEntry{line: la, load: true})
-		c.waiting[la] = []int{slot}
+		if n := len(c.slotListFree); n > 0 {
+			// Reuse a retired waiting list's backing array.
+			c.waiting[la] = append(c.slotListFree[n-1], slot)
+			c.slotListFree = c.slotListFree[:n-1]
+		} else {
+			c.waiting[la] = []int{slot}
+		}
 		c.loadsOut++
 		c.stats.ReadsIssued++
-		c.outbox = append(c.outbox, &noc.Packet{
+		c.outbox = append(c.outbox, c.pkt(noc.Packet{
 			Kind: noc.KindReadReq, Src: c.node, Dst: cache.HomeNode(acc.Addr),
 			Addr: acc.Addr, Proc: c.id,
-		})
+		}))
 		if acc.Serialize {
 			c.blocked, c.blockedLine = true, la
 		}
@@ -244,10 +271,10 @@ func (c *Core) tryIssueMem(acc *Access, now uint64) bool {
 		c.push(robEntry{done: true})
 		c.storesOut++
 		c.stats.WritesIssued++
-		c.outbox = append(c.outbox, &noc.Packet{
+		c.outbox = append(c.outbox, c.pkt(noc.Packet{
 			Kind: noc.KindWriteReq, Src: c.node, Dst: cache.HomeNode(acc.Addr),
 			Addr: acc.Addr, Proc: c.id, IsBankWrite: true,
-		})
+		}))
 		return true
 	}
 	return true

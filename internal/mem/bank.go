@@ -190,25 +190,38 @@ func (b *Bank) Enqueue(r *Request, now uint64) {
 
 // Tick advances the bank one cycle and returns any completion that finished
 // at cycle now. At most one request completes per cycle because the array is
-// single-ported.
+// single-ported. The returned completion is freshly allocated; hot-loop
+// callers use TickInto with a reused Completion instead.
 func (b *Bank) Tick(now uint64) *Completion {
+	var c Completion
+	if b.TickInto(now, &c) {
+		return &c
+	}
+	return nil
+}
+
+// TickInto is the allocation-free form of Tick: it writes any completion that
+// finished at cycle now into *out and reports whether one did. The pointed-to
+// value is only meaningful on a true return.
+func (b *Bank) TickInto(now uint64, out *Completion) bool {
 	if now < b.busyUntil {
 		b.stats.BusyCycles++
-		return nil
+		return false
 	}
 
 	// Retire whatever just finished.
-	var done *Completion
+	done := false
 	if b.current != nil {
 		r := b.current
 		b.current = nil
-		done = &Completion{
+		*out = Completion{
 			Req:        r,
 			Done:       now,
 			QueueDelay: b.currentStart - r.Arrive,
 			Service:    now - b.currentStart,
 		}
-		b.stats.QueuedCycles += done.QueueDelay
+		b.stats.QueuedCycles += out.QueueDelay
+		done = true
 	}
 	if b.draining != nil {
 		// Drain committed successfully; the entry leaves the system.

@@ -16,6 +16,7 @@ type MemController struct {
 	quota    int
 	inflight []mcEntry
 	perProc  map[int]int
+	comps    []Completion // Tick's reused result buffer
 
 	stats MCStats
 }
@@ -76,9 +77,10 @@ func (m *MemController) Enqueue(r *Request, now uint64) bool {
 	return true
 }
 
-// Tick returns all requests whose DRAM access finished at cycle now.
-func (m *MemController) Tick(now uint64) []*Completion {
-	var out []*Completion
+// Tick returns all requests whose DRAM access finished at cycle now. The
+// returned slice is reused by the next Tick; callers consume it immediately.
+func (m *MemController) Tick(now uint64) []Completion {
+	m.comps = m.comps[:0]
 	kept := m.inflight[:0]
 	for _, e := range m.inflight {
 		if e.done <= now {
@@ -87,7 +89,7 @@ func (m *MemController) Tick(now uint64) []*Completion {
 				delete(m.perProc, e.req.Proc)
 			}
 			m.stats.Completed++
-			out = append(out, &Completion{
+			m.comps = append(m.comps, Completion{
 				Req:     e.req,
 				Done:    now,
 				Service: m.latency,
@@ -97,7 +99,7 @@ func (m *MemController) Tick(now uint64) []*Completion {
 		}
 	}
 	m.inflight = kept
-	return out
+	return m.comps
 }
 
 // ResetStats clears the controller's accumulated statistics (end of warmup).

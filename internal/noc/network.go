@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"sttsim/internal/stats"
 )
@@ -57,6 +58,9 @@ type NetStats struct {
 	Hops             stats.Accumulator
 }
 
+// activeWords is the bitset word count covering every node.
+const activeWords = (NumNodes + 63) / 64
+
 // Network is the full 128-node, two-layer interconnect.
 type Network struct {
 	routers [NumNodes]*Router
@@ -71,11 +75,50 @@ type Network struct {
 	classLo  [NumClasses]int
 	classHi  [NumClasses]int
 
+	// Sparse active-set ticking (see Step): bit n set means the router/NIC
+	// at node n may make progress and must be ticked this cycle. Idle
+	// components cost zero instead of being polled. exhaustive switches
+	// Step back to the full 0..NumNodes scan — behaviourally identical by
+	// construction, kept as the oracle for the determinism property test.
+	activeRtr  [activeWords]uint64
+	activeNIC  [activeWords]uint64
+	exhaustive bool
+
 	stats    NetStats
 	inflight int
 	lastMove uint64
 	nextID   uint64
 	watchdog uint64
+}
+
+// markRouterActive flags the router at node id for ticking.
+func (n *Network) markRouterActive(id NodeID) {
+	n.activeRtr[uint(id)>>6] |= 1 << (uint(id) & 63)
+}
+
+// markNICActive flags the NIC at node id for ticking.
+func (n *Network) markNICActive(id NodeID) {
+	n.activeNIC[uint(id)>>6] |= 1 << (uint(id) & 63)
+}
+
+// SetExhaustiveTick switches Step between sparse active-set ticking (the
+// default) and the exhaustive full-scan oracle. The two are behaviourally
+// identical — the active-set property test (internal/sim) holds the sparse
+// path to byte-identical traces against this oracle.
+func (n *Network) SetExhaustiveTick(on bool) { n.exhaustive = on }
+
+// Quiescent reports that no router or NIC can make progress: every buffer,
+// injection queue, ejection inbox and gate-blocked list is empty. A
+// quiescent network stays quiescent until the next Inject, so callers
+// draining traffic may fast-forward over the remaining cycle span instead of
+// stepping through it.
+func (n *Network) Quiescent() bool {
+	for w := 0; w < activeWords; w++ {
+		if n.activeRtr[w] != 0 || n.activeNIC[w] != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // NewNetwork wires up routers, links, TSVs, TSBs and NICs per the config.
@@ -165,11 +208,15 @@ func NewNetwork(cfg Config) (*Network, error) {
 		inj := n.newOutLink(PortLocal, r, PortLocal, 1, false)
 		r.in[PortLocal].feeder = inj
 		n.nics[id] = &NIC{
-			id:      id,
-			net:     n,
-			router:  r,
-			inj:     inj,
-			pending: make(map[*Packet]int),
+			id:     id,
+			net:    n,
+			router: r,
+			inj:    inj,
+		}
+		for p := Port(0); p < NumPorts; p++ {
+			if r.in[p] != nil {
+				r.bufCap += n.numVCs * n.bufDepth
+			}
 		}
 	}
 	return n, nil
@@ -179,6 +226,9 @@ func (n *Network) newInputPort() *inputPort {
 	ip := &inputPort{vcs: make([]vcState, n.numVCs)}
 	for v := range ip.vcs {
 		ip.vcs[v].outVC = -1
+		// Pre-size to the credit-bounded maximum so buffering never grows
+		// the slice in the hot loop.
+		ip.vcs[v].buf = make([]Flit, 0, n.bufDepth)
 	}
 	return ip
 }
@@ -269,6 +319,7 @@ func (n *Network) Inject(p *Packet, now uint64) {
 	}
 	p.Class = ClassFor(p.Kind)
 	p.Injected = now
+	p.arrived = 0
 	n.inflight++
 	n.stats.PacketsInjected++
 	if n.obs != nil {
@@ -329,13 +380,51 @@ func (n *Network) priority(at NodeID, p *Packet, now uint64) int {
 // *DeadlockError carrying the stalled-packet dump instead of panicking, so
 // callers can surface a structured failure report.
 func (n *Network) Step(now uint64) error {
-	for id := NodeID(0); id < NumNodes; id++ {
-		n.nics[id].tick(now)
-	}
-	for id := NodeID(0); id < NumNodes; id++ {
-		r := n.routers[id]
-		r.switchAlloc(now)
-		r.vcAlloc(now)
+	if n.exhaustive {
+		for id := NodeID(0); id < NumNodes; id++ {
+			n.nics[id].tick(now)
+		}
+		for id := NodeID(0); id < NumNodes; id++ {
+			r := n.routers[id]
+			r.switchAlloc(now)
+			r.vcAlloc(now)
+		}
+	} else {
+		// Sparse ticking: walk only the active bits, in ascending node order
+		// (the same order as the full scan, so runs stay bit-for-bit
+		// reproducible). Components activated mid-sweep at a *higher* node —
+		// e.g. a flit forwarded eastward — are picked up this cycle exactly
+		// as the full scan would; lower-node activations wait for the next
+		// cycle, again matching the full scan. A component's bit clears only
+		// when its tick leaves it with no work.
+		for w := 0; w < activeWords; w++ {
+			// Re-reading the word after each tick picks up bits a tick set at
+			// a *higher* node this sweep; lower-node activations keep their
+			// bit and are ticked next cycle, matching the full scan.
+			mask := n.activeNIC[w]
+			for mask != 0 {
+				bit := uint(bits.TrailingZeros64(mask))
+				nic := n.nics[NodeID(uint(w)<<6|bit)]
+				nic.tick(now)
+				if nic.idle() {
+					n.activeNIC[w] &^= 1 << bit
+				}
+				mask = n.activeNIC[w] &^ (1<<(bit+1) - 1)
+			}
+		}
+		for w := 0; w < activeWords; w++ {
+			mask := n.activeRtr[w]
+			for mask != 0 {
+				bit := uint(bits.TrailingZeros64(mask))
+				r := n.routers[NodeID(uint(w)<<6|bit)]
+				r.switchAlloc(now)
+				r.vcAlloc(now)
+				if r.bufferedFlits == 0 {
+					n.activeRtr[w] &^= 1 << bit
+				}
+				mask = n.activeRtr[w] &^ (1<<(bit+1) - 1)
+			}
+		}
 	}
 	if n.inflight > 0 && now > n.lastMove && now-n.lastMove > n.watchdog {
 		return &DeadlockError{

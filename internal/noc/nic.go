@@ -44,7 +44,6 @@ type NIC struct {
 	rr      int
 
 	inbox   []arrival
-	pending map[*Packet]int
 	deliver DeliverFunc
 	gate    GateFunc
 	blocked [NumClasses][]*Packet // reassembled but refused by the gate
@@ -76,12 +75,29 @@ func (n *NIC) QueuedPackets() int {
 // enqueue appends a packet for injection.
 func (n *NIC) enqueue(p *Packet) {
 	n.queues[p.Class] = append(n.queues[p.Class], p)
+	n.net.markNICActive(n.id)
 }
 
 // receive buffers an ejected flit; the packet is delivered when all its
 // flits have arrived.
 func (n *NIC) receive(f Flit, at uint64) {
 	n.inbox = append(n.inbox, arrival{f: f, at: at})
+	n.net.markNICActive(n.id)
+}
+
+// idle reports whether tick would be a no-op: nothing queued for injection,
+// no active wormhole streams, no undelivered ejection flits, and no packets
+// blocked at the gate. The network skips idle NICs entirely (sparse ticking).
+func (n *NIC) idle() bool {
+	if len(n.streams) != 0 || len(n.inbox) != 0 {
+		return false
+	}
+	for c := range n.queues {
+		if len(n.queues[c]) != 0 || len(n.blocked[c]) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // tick processes ejections due at cycle now, then injects up to one flit.
@@ -123,9 +139,8 @@ func (n *NIC) eject(now uint64) {
 			continue
 		}
 		p := a.f.Pkt
-		n.pending[p]++
-		if n.pending[p] == p.SizeFlits {
-			delete(n.pending, p)
+		p.arrived++
+		if int(p.arrived) == p.SizeFlits {
 			if n.gate != nil && (len(n.blocked[p.Class]) > 0 || !n.gate(p, now)) {
 				n.blocked[p.Class] = append(n.blocked[p.Class], p)
 				continue

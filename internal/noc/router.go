@@ -54,6 +54,12 @@ func (v *vcState) pop() Flit {
 type inputPort struct {
 	vcs    []vcState
 	feeder *outLink // nil for ports with no incoming link
+
+	// buffered counts flits across this port's VCs so switchAlloc can skip
+	// whole empty ports without touching their VC states; needVC counts VCs
+	// holding an unallocated header so vcAlloc can do the same.
+	buffered int
+	needVC   int
 }
 
 // outLink is one output port and the link it drives, including the
@@ -95,6 +101,11 @@ type Router struct {
 	// Fast-path occupancy counters so idle routers cost almost nothing.
 	bufferedFlits int // flits across all input VCs
 	needVC        int // input VCs holding a header awaiting VC allocation
+	bufCap        int // total flit-buffer capacity (fixed at construction)
+
+	// saCands is switchAlloc's per-output-port candidate scratch, reused
+	// across cycles so the SA stage allocates nothing in steady state.
+	saCands [NumPorts][]saCandidate
 }
 
 // ID returns the router's node ID.
@@ -119,13 +130,16 @@ func (r *Router) acceptFlit(port Port, vc int, f Flit, now uint64) {
 		st.outPort = r.net.routing.NextPort(r.id, f.Pkt)
 		st.outVC = -1
 		r.needVC++
+		ip.needVC++
 		if o := r.net.obs; o != nil {
 			o.HeaderEnqueued(r.id, f.Pkt, now)
 		}
 	}
 	st.buf = append(st.buf, f)
+	ip.buffered++
 	r.bufferedFlits++
 	r.net.stats.BufferWrites++
+	r.net.markRouterActive(r.id)
 }
 
 // vcAlloc runs the VA stage: headers whose packets do not yet own a
@@ -136,44 +150,73 @@ func (r *Router) vcAlloc(now uint64) {
 	if r.needVC == 0 {
 		return
 	}
-	total := int(NumPorts) * r.numVCs()
-	// Two passes: priority 0 candidates first, then the delayed ones.
-	for pass := 0; pass < 2; pass++ {
-		for i := 0; i < total; i++ {
-			idx := (r.va + i) % total
-			port := Port(idx / r.numVCs())
-			vc := idx % r.numVCs()
-			ip := r.in[port]
-			if ip == nil {
-				continue
+	nv := r.net.numVCs
+	total := int(NumPorts) * nv
+	startIdx := r.va % total
+	startPort := Port(startIdx / nv)
+	startVC := startIdx % nv
+	// Two passes: priority 0 candidates first, then the delayed ones. Once
+	// needVC hits zero no VC can pass the candidate filter below, so the
+	// remaining iterations (including a whole second pass) are pure no-ops
+	// and are skipped. While any candidate remains — delayed, held, or merely
+	// out of downstream VCs — both passes run in full, preserving the exact
+	// Priority call sequence (the bank-aware prioritizer counts its delay
+	// decisions, so call counts are observable in the stats).
+	for pass := 0; pass < 2 && r.needVC > 0; pass++ {
+		// The flat circular walk over (port, vc) from r.va decomposes into
+		// the tail of the start port, the other ports in wrap order, then the
+		// head of the start port. vaScan skips any port with no header
+		// awaiting allocation — no VC there can pass the candidate filter,
+		// so no Priority call is elided by the skip.
+		r.vaScan(pass, startPort, startVC, nv, now)
+		for pi := 1; pi < int(NumPorts) && r.needVC > 0; pi++ {
+			port := startPort + Port(pi)
+			if port >= NumPorts {
+				port -= NumPorts
 			}
-			st := &ip.vcs[vc]
-			if st.pkt == nil || st.outVC >= 0 || st.empty() {
-				continue
-			}
-			h := st.head()
-			if !h.IsHead() || now < h.readyAt {
-				continue
-			}
-			prio := r.net.priority(r.id, st.pkt, now)
-			if prio >= PriorityHold {
-				// Held at this router: do not even reserve a downstream VC.
-				continue
-			}
-			if (pass == 0) != (prio == 0) {
-				continue
-			}
-			ol := r.out[st.outPort]
-			if ol == nil {
-				panic(fmt.Sprintf("noc: packet %d routed to missing port %s at router %d", st.pkt.ID, st.outPort, r.id))
-			}
-			if v := ol.allocVC(st.pkt.Class, r.net); v >= 0 {
-				st.outVC = v
-				r.needVC--
-			}
+			r.vaScan(pass, port, 0, nv, now)
+		}
+		if r.needVC > 0 {
+			r.vaScan(pass, startPort, 0, startVC, now)
 		}
 	}
 	r.va++
+}
+
+// vaScan attempts VC allocation for input VCs [lo, hi) of one port during
+// the given pass; vcAlloc defines the walk order and pass semantics.
+func (r *Router) vaScan(pass int, port Port, lo, hi int, now uint64) {
+	ip := r.in[port]
+	if ip == nil || ip.needVC == 0 {
+		return
+	}
+	for vc := lo; vc < hi && r.needVC > 0; vc++ {
+		st := &ip.vcs[vc]
+		if st.pkt == nil || st.outVC >= 0 || st.empty() {
+			continue
+		}
+		h := st.head()
+		if !h.IsHead() || now < h.readyAt {
+			continue
+		}
+		prio := r.net.priority(r.id, st.pkt, now)
+		if prio >= PriorityHold {
+			// Held at this router: do not even reserve a downstream VC.
+			continue
+		}
+		if (pass == 0) != (prio == 0) {
+			continue
+		}
+		ol := r.out[st.outPort]
+		if ol == nil {
+			panic(fmt.Sprintf("noc: packet %d routed to missing port %s at router %d", st.pkt.ID, st.outPort, r.id))
+		}
+		if v := ol.allocVC(st.pkt.Class, r.net); v >= 0 {
+			st.outVC = v
+			r.needVC--
+			ip.needVC--
+		}
+	}
 }
 
 // allocVC claims a free downstream VC in the given class, returning its
@@ -208,10 +251,17 @@ func (r *Router) switchAlloc(now uint64) {
 	if r.bufferedFlits == 0 {
 		return
 	}
-	var cands [NumPorts][]saCandidate
+	// The candidate lists live on the router and are re-sliced to length zero
+	// each cycle: after warmup the backing arrays reach steady-state capacity
+	// and the SA stage allocates nothing (saCandidate holds no pointers, so
+	// the retained arrays pin no packet memory).
+	cands := &r.saCands
+	for p := range cands {
+		cands[p] = cands[p][:0]
+	}
 	for port := Port(0); port < NumPorts; port++ {
 		ip := r.in[port]
-		if ip == nil {
+		if ip == nil || ip.buffered == 0 {
 			continue
 		}
 		for vc := range ip.vcs {
@@ -263,7 +313,6 @@ func (r *Router) switchAlloc(now uint64) {
 				list = append(list[:win], list[win+1:]...)
 			}
 		}
-		cands[port] = nil
 	}
 }
 
@@ -292,6 +341,7 @@ func (r *Router) forward(port Port, vc int, ol *outLink, now uint64) {
 	ip := r.in[port]
 	st := &ip.vcs[vc]
 	f := st.pop()
+	ip.buffered--
 	r.bufferedFlits--
 	outVC := st.outVC
 
@@ -333,19 +383,11 @@ func (r *Router) forward(port Port, vc int, ol *outLink, now uint64) {
 }
 
 // occupancy returns the used and total flit-buffer slots of the router, the
-// raw material for the RCA congestion estimate.
+// raw material for the RCA congestion estimate. Both come from counters — the
+// RCA estimator polls every router every cycle, so this must not walk the VC
+// states.
 func (r *Router) occupancy() (used, capacity int) {
-	for port := Port(0); port < NumPorts; port++ {
-		ip := r.in[port]
-		if ip == nil {
-			continue
-		}
-		for vc := range ip.vcs {
-			used += len(ip.vcs[vc].buf)
-			capacity += r.net.bufDepth
-		}
-	}
-	return used, capacity
+	return r.bufferedFlits, r.bufCap
 }
 
 // ForEachBufferedPacket invokes fn once per packet currently occupying one of

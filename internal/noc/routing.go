@@ -41,6 +41,14 @@ type Routing struct {
 	hasDeadDown bool
 	downDead    [LayerSize]bool
 	descendAt   [LayerSize]NodeID
+
+	// Precomputed next-hop tables: the routing function depends only on
+	// (current node, destination, demand-request?), so NextPort — called for
+	// every header flit at every hop, squarely in the hot loop — is a table
+	// lookup. rebuild() refreshes both tables whenever the function changes
+	// (construction, TSB re-homing, vertical-link failure); 2 x 16 KiB.
+	next       [NumNodes][NumNodes]int8 // unrestricted traffic
+	demandNext [NumNodes][NumNodes]int8 // demand requests (region-TSB rule)
 }
 
 // NewRouting builds a routing function. Under PathRegionTSBs, tsbOf must map
@@ -60,6 +68,7 @@ func NewRouting(mode RequestPathMode, tsbOf map[NodeID]NodeID) (*Routing, error)
 			r.tsbOf[n] = t
 		}
 	}
+	r.rebuild()
 	return r, nil
 }
 
@@ -92,6 +101,7 @@ func (r *Routing) UpdateTSBMap(tsbOf map[NodeID]NodeID) error {
 	for n := NodeID(LayerSize); n < NumNodes; n++ {
 		r.tsbOf[n] = tsbOf[n]
 	}
+	r.rebuild()
 	return nil
 }
 
@@ -116,6 +126,7 @@ func (r *Routing) FailDown(c NodeID) error {
 	r.downDead[c] = true
 	r.hasDeadDown = true
 	r.recomputeDescents()
+	r.rebuild()
 	return nil
 }
 
@@ -217,20 +228,38 @@ func Neighbor(at NodeID, p Port) NodeID {
 
 // NextPort returns the output port packet p takes at node at.
 func (r *Routing) NextPort(at NodeID, p *Packet) Port {
-	if at == p.Dst {
+	if isDemandRequest(p) {
+		return Port(r.demandNext[at][p.Dst])
+	}
+	return Port(r.next[at][p.Dst])
+}
+
+// rebuild recomputes both next-hop tables from the current routing state.
+func (r *Routing) rebuild() {
+	for at := NodeID(0); at < NumNodes; at++ {
+		for dst := NodeID(0); dst < NumNodes; dst++ {
+			r.next[at][dst] = int8(r.computeNextPort(at, dst, false))
+			r.demandNext[at][dst] = int8(r.computeNextPort(at, dst, true))
+		}
+	}
+}
+
+// computeNextPort is the routing function proper, evaluated only by rebuild.
+func (r *Routing) computeNextPort(at, dst NodeID, demand bool) Port {
+	if at == dst {
 		return PortLocal
 	}
-	if at.Layer() == p.Dst.Layer() {
+	if at.Layer() == dst.Layer() {
 		// Same layer (including a demand request that already descended
 		// through its region TSB): plain X-Y.
-		return XYNext(at, p.Dst)
+		return XYNext(at, dst)
 	}
 	// Cross-layer.
-	if p.Dst.Layer() == 1 {
+	if dst.Layer() == 1 {
 		// Descending. Demand requests under region routing must first reach
 		// the region TSB node in the core layer.
-		if r.mode == PathRegionTSBs && isDemandRequest(p) {
-			tsb := r.tsbOf[p.Dst]
+		if r.mode == PathRegionTSBs && demand {
+			tsb := r.tsbOf[dst]
 			if at == tsb {
 				return PortDown
 			}

@@ -246,6 +246,16 @@ type Packet struct {
 	// originating demand request, so an event trace can stitch a request and
 	// its response into one lifecycle (internal/obs).
 	ReqID uint64
+
+	// arrived counts the flits ejected at the destination NIC during
+	// reassembly. Keeping the counter on the packet (reset at injection)
+	// replaces the NIC's former pointer-keyed pending map — no map churn, no
+	// GC pressure, and no pointer-identity dependence that packet pooling
+	// would otherwise have to worry about.
+	arrived int32
+
+	// pooled marks packets owned by a PacketPool (see pool.go).
+	pooled bool
 }
 
 // NetworkLatency returns the cycles the packet spent from injection to

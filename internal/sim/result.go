@@ -192,8 +192,8 @@ func (s *Simulator) result() *Result {
 		r.BankStats = append(r.BankStats, bc.Bank().Stats())
 		r.Cache = append(r.Cache, bc.Stats())
 	}
-	for _, node := range cache.MCNodes {
-		r.MCStats = append(r.MCStats, s.mcs[node].mc.Stats())
+	for _, mcw := range s.mcs {
+		r.MCStats = append(r.MCStats, mcw.mc.Stats())
 	}
 	if s.arbiter != nil {
 		st := s.arbiter.Stats()

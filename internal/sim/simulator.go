@@ -50,7 +50,9 @@ type Simulator struct {
 	routing *noc.Routing
 	cores   []*cpu.Core
 	banks   []*cache.BankController
-	mcs     map[noc.NodeID]*mcWrapper
+	mcs     []*mcWrapper             // the four controllers, in cache.MCNodes order
+	mcAt    [noc.NumNodes]*mcWrapper // dense node index (nil for non-MC nodes)
+	pool    *noc.PacketPool          // every steady-state packet recirculates here
 	layout  *core.RegionLayout
 	parents *core.ParentMap
 	arbiter *core.BankAwareArbiter
@@ -77,7 +79,9 @@ type Simulator struct {
 }
 
 // mcWrapper adapts mem.MemController to the network: it retries quota-
-// rejected requests and turns read completions into MemResp packets.
+// rejected requests and turns read completions into MemResp packets. It is
+// the terminal consumer of MemReq packets — they are retained in inbox and
+// pending past delivery, so their pool release happens here, not in the sink.
 type mcWrapper struct {
 	node    noc.NodeID
 	mc      *mem.MemController
@@ -85,6 +89,8 @@ type mcWrapper struct {
 	pending map[uint64]*noc.Packet
 	nextID  uint64
 	outbox  []*noc.Packet
+	pool    *noc.PacketPool
+	reqFree []*mem.Request
 }
 
 // New builds a simulator for the given configuration.
@@ -92,7 +98,7 @@ func New(cfg Config) (*Simulator, error) {
 	cfg = cfg.withDefaults()
 	s := &Simulator{
 		cfg:     cfg,
-		mcs:     make(map[noc.NodeID]*mcWrapper),
+		pool:    noc.NewPacketPool(),
 		gapHist: stats.NewGapHistogram(),
 	}
 
@@ -236,6 +242,7 @@ func New(cfg Config) (*Simulator, error) {
 			gen = cfg.GeneratorFactory(i, prof, miss)
 		}
 		s.cores[i] = cpu.NewCore(i, gen)
+		s.cores[i].UsePool(s.pool)
 	}
 
 	// Banks (optionally write-buffered, optionally hybrid) and memory
@@ -258,6 +265,7 @@ func New(cfg Config) (*Simulator, error) {
 			bank.EnableEarlyTermination(cfg.Seed ^ uint64(i)*0x9E3779B97F4A7C15)
 		}
 		s.banks[i] = cache.NewBankController(node, bank)
+		s.banks[i].UsePool(s.pool)
 		s.banks[i].SetGapHistogram(s.gapHist)
 		if s.tracer != nil {
 			s.banks[i].SetTracer(s.tracer)
@@ -274,20 +282,39 @@ func New(cfg Config) (*Simulator, error) {
 		}
 	}
 	for i, node := range cache.MCNodes {
-		s.mcs[node] = &mcWrapper{
+		mcw := &mcWrapper{
 			node:    node,
 			mc:      mem.NewMemController(i),
 			pending: make(map[uint64]*noc.Packet),
+			pool:    s.pool,
 		}
+		s.mcs = append(s.mcs, mcw)
+		s.mcAt[node] = mcw
 	}
 
 	// Prewarm the L2 tags with every generator's hot footprint so hit rates
-	// match the Table 3 characterization from the first measured cycle.
-	for _, g := range gens {
-		for _, lineAddr := range g.HotFootprint() {
-			addr := cache.AddrOfLine(lineAddr)
-			s.banks[cache.HomeBank(addr)].Preload(lineAddr)
+	// match the Table 3 characterization from the first measured cycle. The
+	// shared segment is identical across generators, so it is installed once;
+	// lines are gathered per home bank and installed via PreloadBatch, which
+	// visits each bank's tag slab in set order instead of hash-scattered
+	// (the way layout is unchanged — see PreloadBatch).
+	batches := make([][]uint64, cache.NumBanks)
+	gather := func(lines []uint64) {
+		for _, lineAddr := range lines {
+			b := cache.HomeBank(cache.AddrOfLine(lineAddr))
+			batches[b] = append(batches[b], lineAddr)
 		}
+	}
+	sharedDone := false
+	for _, g := range gens {
+		gather(g.PrivateFootprint())
+		if sh := g.SharedFootprint(); len(sh) > 0 && !sharedDone {
+			gather(sh)
+			sharedDone = true
+		}
+	}
+	for b, lines := range batches {
+		s.banks[b].PreloadBatch(lines)
 	}
 
 	s.wireDelivery()
@@ -318,14 +345,18 @@ func (s *Simulator) wireDelivery() {
 		c := s.cores[i]
 		node := noc.NodeID(i)
 		s.net.SetDeliver(node, func(p *noc.Packet, now uint64) {
+			// The core sink terminally consumes everything it is handed;
+			// packets return to the pool once their fields have been read.
 			if p.Kind == noc.KindTSAck {
 				s.onTSAck(p, now)
+				s.pool.Put(p)
 				return
 			}
 			if p.Kind == noc.KindReadResp || p.Kind == noc.KindWriteAck {
 				s.recordLatency(p, now)
 			}
 			c.OnPacket(p, now)
+			s.pool.Put(p)
 		})
 	}
 	for i := 0; i < noc.LayerSize; i++ {
@@ -347,26 +378,35 @@ func (s *Simulator) wireDelivery() {
 			switch p.Kind {
 			case noc.KindTSAck:
 				s.onTSAck(p, now)
+				s.pool.Put(p)
 			case noc.KindMemReq:
-				mcw, ok := s.mcs[node]
-				if !ok {
+				mcw := s.mcAt[node]
+				if mcw == nil {
 					panic(fmt.Sprintf("sim: MemReq delivered to non-MC node %d", node))
 				}
+				// Retained past delivery; mcw.tick releases it.
 				mcw.inbox = append(mcw.inbox, p)
 			default:
 				if p.Tagged {
 					// Window-based estimator: echo the timestamp to the
 					// parent that tagged this request (Section 3.5).
-					s.tsacks = append(s.tsacks, &noc.Packet{
+					s.tsacks = append(s.tsacks, s.pool.NewFrom(noc.Packet{
 						Kind: noc.KindTSAck, Src: node, Dst: p.TagParent,
 						Timestamp: p.Timestamp, TagChild: p.TagChild,
-					})
+					}))
 				}
 				bc.HandlePacket(p, now)
+				s.pool.Put(p)
 			}
 		})
 	}
 }
+
+// SetExhaustiveTick switches the network between sparse active-set ticking
+// (the default) and the exhaustive full-scan oracle. The two are behaviourally
+// identical; the property test in sparse_test.go holds them to byte-identical
+// traces and results.
+func (s *Simulator) SetExhaustiveTick(on bool) { s.net.SetExhaustiveTick(on) }
 
 // onTSAck feeds a timestamp ack into the WB estimator.
 func (s *Simulator) onTSAck(p *noc.Packet, now uint64) {
@@ -437,14 +477,17 @@ func (s *Simulator) Step() error {
 		}
 	}
 
-	// Memory controllers.
-	for _, node := range cache.MCNodes {
-		mcw := s.mcs[node]
+	// Memory controllers. A controller with nothing queued and nothing in
+	// flight cannot act or produce output, so it is skipped outright.
+	for _, mcw := range s.mcs {
+		if len(mcw.inbox) == 0 && mcw.mc.Inflight() == 0 {
+			continue
+		}
 		mcw.tick(now)
 		for _, p := range mcw.outbox {
 			s.net.Inject(p, now)
 		}
-		mcw.outbox = nil
+		mcw.outbox = mcw.outbox[:0]
 	}
 
 	// Estimators that observe every cycle.
@@ -539,9 +582,11 @@ func (m *mcWrapper) tick(now uint64) {
 			proc = int(p.Src)
 		}
 		m.nextID++
-		req := &mem.Request{Op: op, Addr: p.Addr, ID: m.nextID, Proc: proc}
+		req := m.newRequest()
+		*req = mem.Request{Op: op, Addr: p.Addr, ID: m.nextID, Proc: proc}
 		if !m.mc.Enqueue(req, now) {
 			m.nextID--
+			m.reqFree = append(m.reqFree, req)
 			kept = append(kept, p)
 			continue
 		}
@@ -551,13 +596,25 @@ func (m *mcWrapper) tick(now uint64) {
 	for _, c := range m.mc.Tick(now) {
 		orig := m.pending[c.Req.ID]
 		delete(m.pending, c.Req.ID)
+		m.reqFree = append(m.reqFree, c.Req)
 		if c.Req.Op == mem.OpRead {
-			m.outbox = append(m.outbox, &noc.Packet{
+			m.outbox = append(m.outbox, m.pool.NewFrom(noc.Packet{
 				Kind: noc.KindMemResp, Src: m.node, Dst: orig.Src,
 				Addr: orig.Addr, Proc: orig.Proc, IsBankWrite: true,
-			})
+			}))
 		}
+		m.pool.Put(orig)
 	}
+}
+
+// newRequest draws a mem.Request from the wrapper's free list.
+func (m *mcWrapper) newRequest() *mem.Request {
+	if n := len(m.reqFree); n > 0 {
+		r := m.reqFree[n-1]
+		m.reqFree = m.reqFree[:n-1]
+		return r
+	}
+	return new(mem.Request)
 }
 
 // sampleRouters records, for every cache-layer router, how many buffered
@@ -606,8 +663,8 @@ func (s *Simulator) resetStats() {
 		bc.ResetStats()
 		bc.Bank().ResetStats()
 	}
-	for _, node := range cache.MCNodes {
-		s.mcs[node].mc.ResetStats()
+	for _, mcw := range s.mcs {
+		mcw.mc.ResetStats()
 	}
 	s.latency.Reset()
 	s.gapHist.Reset()

@@ -128,14 +128,28 @@ func (g *Generator) Profile() Profile { return g.prof }
 // cache prewarming (the paper simulates 50M instructions per core; we warm
 // the tags directly instead).
 func (g *Generator) HotFootprint() []uint64 {
-	lines := make([]uint64, 0, HotLinesPerCore+SharedHotLines)
+	return append(g.PrivateFootprint(), g.SharedFootprint()...)
+}
+
+// PrivateFootprint is the per-core segment of HotFootprint.
+func (g *Generator) PrivateFootprint() []uint64 {
+	lines := make([]uint64, 0, HotLinesPerCore)
 	for i := uint64(0); i < HotLinesPerCore; i++ {
 		lines = append(lines, g.hotBase+i)
 	}
-	if g.mode == ModeShared {
-		for i := uint64(0); i < SharedHotLines; i++ {
-			lines = append(lines, g.sharedBase+i)
-		}
+	return lines
+}
+
+// SharedFootprint is the globally shared segment of HotFootprint — identical
+// for every ModeShared generator (and empty in ModePrivate), so cache
+// prewarming needs to install it only once, not once per core.
+func (g *Generator) SharedFootprint() []uint64 {
+	if g.mode != ModeShared {
+		return nil
+	}
+	lines := make([]uint64, 0, SharedHotLines)
+	for i := uint64(0); i < SharedHotLines; i++ {
+		lines = append(lines, g.sharedBase+i)
 	}
 	return lines
 }
