@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-guard golden verify profile smoke serve-smoke
+.PHONY: all build vet test race bench-guard golden verify profile smoke serve-smoke dist-chaos
 
 all: verify
 
@@ -59,6 +59,16 @@ smoke:
 
 # Daemon round trip: start sttsimd, submit two identical jobs, require a
 # cache hit and byte-identical results, stream the SSE feed, restart against
-# the journal (warm cache, no re-execution), drain on SIGTERM.
+# the journal (warm cache, no re-execution), drain on SIGTERM. A second phase
+# brings up a coordinator with two workers and requires byte-identical
+# distributed results.
 serve-smoke:
 	./scripts/sttsimd_smoke.sh
+
+# Distributed-serving chaos gate: the dist package under -race including the
+# process-level kill test — a real coordinator with three workers, the lease
+# holder SIGKILLed mid-job, the job re-leased to a survivor, and the client's
+# result bytes identical to a standalone reference. (The `race` target skips
+# the chaos test via -short; this runs it.)
+dist-chaos:
+	$(GO) test -race -v ./internal/dist

@@ -12,6 +12,19 @@
 // completed configurations without re-executing them. SIGINT/SIGTERM drain
 // gracefully: no new jobs, in-flight runs finish (and journal) within
 // -drain-timeout, then the listener closes.
+//
+// -mode splits the daemon for horizontal scaling:
+//
+//	sttsimd -mode coordinator -addr :8734 -checkpoint runs.jsonl -resume
+//	sttsimd -mode worker -coordinator http://host:8734 -worker-id w1
+//
+// A coordinator serves the same client API but executes nothing locally:
+// jobs enter a lease table and stateless workers pull them over
+// /v1/worker/*, heartbeat while running, and stream results back. Leases
+// that miss heartbeats are re-delivered; stale workers are fenced by lease
+// epoch; leased-but-unfinished jobs are re-queued from the checkpoint
+// journal on restart. The default -mode standalone behaves exactly as
+// before.
 package main
 
 import (
@@ -27,13 +40,15 @@ import (
 	"time"
 
 	"sttsim/internal/campaign"
+	"sttsim/internal/dist"
 	"sttsim/internal/service"
 	"sttsim/internal/version"
 )
 
 func main() {
-	addr := flag.String("addr", ":8734", "listen address")
-	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	mode := flag.String("mode", "standalone", "standalone | coordinator | worker")
+	addr := flag.String("addr", ":8734", "listen address (standalone and coordinator)")
+	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS; coordinator: queue size)")
 	queue := flag.Int("queue", 64, "max queued+running jobs before 429 backpressure")
 	cacheSize := flag.Int("cache-size", 256, "result cache entries (LRU beyond this)")
 	cacheTTL := flag.Duration("cache-ttl", time.Hour, "result cache entry lifetime (0 = no expiry)")
@@ -43,6 +58,11 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-client request rate limit in req/s (0 = unlimited)")
 	burst := flag.Int("burst", 10, "per-client rate limit burst")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	leaseTimeout := flag.Duration("lease-timeout", 15*time.Second, "coordinator: re-deliver a job after this long without a worker heartbeat")
+	coordinator := flag.String("coordinator", "", "worker: coordinator base URL (e.g. http://host:8734)")
+	workerID := flag.String("worker-id", "", "worker: stable identity in leases and logs (default host-pid)")
+	heartbeat := flag.Duration("heartbeat-interval", 2*time.Second, "worker: lease heartbeat period")
+	leaseWait := flag.Duration("lease-wait", 5*time.Second, "worker: lease long-poll horizon")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -53,7 +73,28 @@ func main() {
 	}
 	logger := log.New(os.Stderr, "sttsimd: ", log.LstdFlags)
 
-	eng := campaign.New(campaign.Policy{Jobs: *jobs, RunTimeout: *runTimeout})
+	switch *mode {
+	case "worker":
+		runWorker(logger, *coordinator, *workerID, *heartbeat, *leaseWait, *drainTimeout)
+		return
+	case "standalone", "coordinator":
+	default:
+		logger.Fatalf("unknown -mode %q (want standalone, coordinator, or worker)", *mode)
+	}
+
+	var table *dist.Table
+	engineJobs := *jobs
+	if *mode == "coordinator" {
+		table = dist.NewTable(dist.TableOptions{LeaseTimeout: *leaseTimeout, Logf: logger.Printf})
+		defer table.Close()
+		// Coordinator "runs" only block on the lease table; the engine's
+		// local-execution semaphore must not serialize remote workers.
+		if engineJobs <= 0 {
+			engineJobs = *queue
+		}
+	}
+
+	eng := campaign.New(campaign.Policy{Jobs: engineJobs, RunTimeout: *runTimeout})
 	srv, err := service.NewServer(service.Options{
 		Engine:     eng,
 		MaxQueue:   *queue,
@@ -62,12 +103,14 @@ func main() {
 		RatePerSec: *rate,
 		RateBurst:  *burst,
 		Version:    ver,
+		Dist:       table,
 		Logf:       logger.Printf,
 	})
 	if err != nil {
 		logger.Fatal(err)
 	}
 
+	var pending []campaign.Record
 	if *checkpoint != "" {
 		if *resume {
 			recs, dropped, err := campaign.LoadJournalEx(*checkpoint)
@@ -80,6 +123,7 @@ func main() {
 			if n := srv.WarmFromJournal(recs); n > 0 || len(recs) > 0 {
 				logger.Printf("resumed %d journal record(s), %d warmed the result cache", len(recs), n)
 			}
+			pending = recs
 		}
 		jrn, err := campaign.OpenJournal(*checkpoint, *resume)
 		if err != nil {
@@ -88,12 +132,19 @@ func main() {
 		defer jrn.Close()
 		eng.AttachJournal(jrn)
 	}
+	// After the journal is attached, so re-queued jobs write fresh lease
+	// records and eventually terminal ones.
+	if table != nil && len(pending) > 0 {
+		if n := srv.RequeuePending(pending); n > 0 {
+			logger.Printf("re-queued %d leased-but-unfinished job(s) from the journal", n)
+		}
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.ListenAndServe() }()
-	logger.Printf("version %s listening on %s (jobs=%d queue=%d cache=%d/%s)",
-		ver, *addr, *jobs, *queue, *cacheSize, cacheTTL)
+	logger.Printf("version %s %s listening on %s (jobs=%d queue=%d cache=%d/%s)",
+		ver, *mode, *addr, engineJobs, *queue, *cacheSize, cacheTTL)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -111,6 +162,37 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Printf("shutdown: %v", err)
+	}
+	logger.Printf("stopped")
+}
+
+// runWorker is -mode worker: no listener, no engine — just the lease/run/
+// complete loop against a coordinator. SIGINT/SIGTERM stop leasing and give
+// the job in hand the drain grace to finish.
+func runWorker(logger *log.Logger, coordinator, id string, heartbeat, leaseWait, drainGrace time.Duration) {
+	if coordinator == "" {
+		logger.Fatal("-mode worker requires -coordinator")
+	}
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := &dist.Worker{
+		Coordinator:       coordinator,
+		ID:                id,
+		HeartbeatInterval: heartbeat,
+		LeaseWait:         leaseWait,
+		DrainGrace:        drainGrace,
+		Logf:              logger.Printf,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	logger.Printf("version %s worker %s serving %s (heartbeat=%s)", version.String(), id, coordinator, heartbeat)
+	if err := w.Loop(ctx); err != nil {
+		logger.Fatalf("worker: %v", err)
 	}
 	logger.Printf("stopped")
 }

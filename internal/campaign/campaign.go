@@ -98,6 +98,22 @@ const (
 	VerdictCancelled
 )
 
+// RetryableError lets error types outside this package (e.g. the
+// distribution layer's worker-reported failures) carry their own retry
+// verdict across a process boundary, where errors.As against the concrete
+// simulator types no longer works.
+type RetryableError interface {
+	error
+	RetryableVerdict() bool
+}
+
+// CauseTokenError lets external error types carry their original short
+// failure token (see Cause) across a process boundary.
+type CauseTokenError interface {
+	error
+	CauseToken() string
+}
+
 // Classify maps a run error onto the retry policy.
 func Classify(err error) Verdict {
 	switch {
@@ -115,6 +131,13 @@ func Classify(err error) Verdict {
 	var dl *noc.DeadlockError
 	if errors.As(err, &dl) {
 		return VerdictRetryable
+	}
+	var rv RetryableError
+	if errors.As(err, &rv) {
+		if rv.RetryableVerdict() {
+			return VerdictRetryable
+		}
+		return VerdictFatal
 	}
 	return VerdictFatal
 }
@@ -136,6 +159,10 @@ func Cause(err error) string {
 	var dl *noc.DeadlockError
 	if errors.As(err, &dl) {
 		return "deadlock"
+	}
+	var ct CauseTokenError
+	if errors.As(err, &ct) {
+		return ct.CauseToken()
 	}
 	var re *sim.RunError
 	if errors.As(err, &re) {
@@ -221,6 +248,19 @@ func (e *Engine) AttachJournal(j *Journal) {
 	e.mu.Lock()
 	e.journal = j
 	e.mu.Unlock()
+}
+
+// JournalRecord appends an arbitrary record to the attached journal — the
+// distribution coordinator uses it for StatusLeased write-ahead entries. A
+// no-op (and nil error) when no journal is attached.
+func (e *Engine) JournalRecord(rec Record) error {
+	e.mu.Lock()
+	j := e.journal
+	e.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	return j.Append(rec)
 }
 
 // Preload seeds the memo from journal records (see LoadJournal): completed

@@ -12,16 +12,22 @@ import (
 	"sttsim/internal/sim"
 )
 
-// Record statuses. Only terminal verdicts are journaled; cancelled runs are
-// omitted so a resumed campaign re-executes them.
+// Record statuses. Terminal verdicts (ok, failed) are journaled for replay;
+// cancelled runs are omitted so a resumed campaign re-executes them. Leased
+// records are the distribution layer's write-ahead entries: they mark a job
+// as handed to a worker and are superseded by the eventual terminal record,
+// so a coordinator restart can re-queue leased-but-unfinished work (see
+// PendingLeases). Preload ignores them — they carry no verdict.
 const (
 	StatusOK     = "ok"
 	StatusFailed = "failed"
+	StatusLeased = "leased"
 )
 
 // Record is one line of the JSONL checkpoint journal: the terminal outcome of
 // one simulation, keyed by the collision-proof fingerprint of its full
-// resolved configuration.
+// resolved configuration — or, for StatusLeased, the write-ahead note that a
+// distribution worker holds the job.
 type Record struct {
 	Key    string      `json:"key"`
 	Scheme string      `json:"scheme,omitempty"`
@@ -30,6 +36,45 @@ type Record struct {
 	Cause  string      `json:"cause,omitempty"`
 	Error  string      `json:"error,omitempty"`
 	Result *sim.Result `json:"result,omitempty"`
+
+	// Lease bookkeeping (StatusLeased records only). Config is the full
+	// resolved configuration, embedded so a restarted coordinator can
+	// re-queue the job without the submitting client still being connected.
+	Worker string      `json:"worker,omitempty"`
+	Epoch  uint64      `json:"epoch,omitempty"`
+	Config *sim.Config `json:"config,omitempty"`
+}
+
+// PendingLeases returns, in first-lease order, the latest leased record of
+// every key whose lease was never followed by a terminal verdict — the jobs
+// a crashed coordinator still owes results for. A later terminal record
+// clears the pending lease even if an older lease record follows it in the
+// file (append order is authoritative).
+func PendingLeases(recs []Record) []Record {
+	latest := make(map[string]Record)
+	var order []string
+	for _, rec := range recs {
+		if rec.Key == "" {
+			continue
+		}
+		switch rec.Status {
+		case StatusLeased:
+			if _, seen := latest[rec.Key]; !seen {
+				order = append(order, rec.Key)
+			}
+			latest[rec.Key] = rec
+		case StatusOK, StatusFailed:
+			delete(latest, rec.Key)
+		}
+	}
+	out := make([]Record, 0, len(latest))
+	for _, key := range order {
+		if rec, ok := latest[key]; ok {
+			out = append(out, rec)
+			delete(latest, key) // order may repeat a re-leased key
+		}
+	}
+	return out
 }
 
 // Journal is an append-only JSONL checkpoint file. Append is safe for

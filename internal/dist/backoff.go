@@ -1,0 +1,84 @@
+package dist
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff produces jittered exponential retry delays for worker→coordinator
+// calls. Jitter matters here: after a coordinator restart every worker
+// retries at once, and unjittered exponential backoff keeps them
+// synchronized into thundering herds forever. Each delay is drawn uniformly
+// from [cap/2, cap] where cap doubles per consecutive failure up to Max
+// (equal-jitter), and Observe folds in a server-supplied Retry-After floor.
+type Backoff struct {
+	// Base is the first-retry cap (default 100ms); Max bounds the cap
+	// (default 5s).
+	Base time.Duration
+	Max  time.Duration
+
+	mu       sync.Mutex
+	attempts int
+	rng      *rand.Rand
+}
+
+// NewBackoff builds a backoff with a seeded jitter source (seed 0 derives
+// one from the clock).
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Backoff{Base: base, Max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (b *Backoff) bounds() (base, max time.Duration) {
+	base, max = b.Base, b.Max
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if max < base {
+		max = base
+	}
+	return base, max
+}
+
+// Next returns the delay before the next retry and advances the attempt
+// counter.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	base, max := b.bounds()
+	cap := base << b.attempts
+	if cap > max || cap <= 0 { // <= 0: shift overflow
+		cap = max
+	}
+	if b.attempts < 62 {
+		b.attempts++
+	}
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	half := cap / 2
+	return half + time.Duration(b.rng.Int63n(int64(half)+1))
+}
+
+// Observe is Next with a server-supplied Retry-After floor: the jittered
+// delay is used unless the server asked for longer.
+func (b *Backoff) Observe(retryAfter time.Duration) time.Duration {
+	d := b.Next()
+	if retryAfter > d {
+		return retryAfter
+	}
+	return d
+}
+
+// Reset clears the attempt counter after a successful call.
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.attempts = 0
+	b.mu.Unlock()
+}

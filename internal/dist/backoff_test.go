@@ -1,0 +1,69 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, time.Second, 42)
+	// Equal-jitter: attempt n draws from [cap/2, cap] with cap =
+	// min(base<<n, max).
+	caps := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second, time.Second,
+	}
+	for i, cap := range caps {
+		d := b.Next()
+		if d < cap/2 || d > cap {
+			t.Fatalf("attempt %d: delay %s outside [%s, %s]", i, d, cap/2, cap)
+		}
+	}
+}
+
+func TestBackoffReset(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, time.Second, 1)
+	for i := 0; i < 5; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if d := b.Next(); d > 100*time.Millisecond {
+		t.Fatalf("after Reset, delay %s exceeds base cap", d)
+	}
+}
+
+func TestObserveHonorsRetryAfterFloor(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, time.Second, 7)
+	if d := b.Observe(30 * time.Second); d != 30*time.Second {
+		t.Fatalf("Observe with Retry-After 30s = %s, want 30s", d)
+	}
+	// A Retry-After below the jittered delay does not shorten it.
+	for i := 0; i < 10; i++ {
+		b.Next()
+	}
+	if d := b.Observe(time.Millisecond); d < 500*time.Millisecond {
+		t.Fatalf("Observe with tiny Retry-After = %s, want >= cap/2 of max", d)
+	}
+}
+
+func TestBackoffJitterIsNotConstant(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, 100*time.Second, 99)
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 8; i++ {
+		b.Reset()
+		seen[b.Next()] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("8 first-attempt draws produced %d distinct delays; jitter looks broken", len(seen))
+	}
+}
+
+func TestBackoffDefaultsAndOverflow(t *testing.T) {
+	b := NewBackoff(0, 0, 3)
+	for i := 0; i < 70; i++ { // past the shift-overflow guard
+		d := b.Next()
+		if d <= 0 || d > 5*time.Second {
+			t.Fatalf("attempt %d: delay %s outside (0, default max]", i, d)
+		}
+	}
+}

@@ -1,0 +1,467 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sttsim/internal/sim"
+	"sttsim/internal/workload"
+)
+
+// fakeClock is a manually-advanced clock for deterministic lease expiry.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testConfig(t *testing.T) sim.Config {
+	t.Helper()
+	prof, err := workload.ByName("milc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{
+		Scheme:        sim.SchemeSTT4TSB,
+		Assignment:    workload.Homogeneous(prof),
+		Seed:          7,
+		WarmupCycles:  100,
+		MeasureCycles: 200,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// newTestTable builds a table on a fake clock with the janitor effectively
+// disabled (tests drive Sweep directly).
+func newTestTable(t *testing.T, clock *fakeClock) *Table {
+	t.Helper()
+	tb := NewTable(TableOptions{
+		LeaseTimeout:  10 * time.Second,
+		SweepInterval: time.Hour,
+		Now:           clock.Now,
+	})
+	t.Cleanup(tb.Close)
+	return tb
+}
+
+// execute runs Table.Execute in a goroutine and returns channels with its
+// outcome.
+func execute(tb *Table, ctx context.Context, key string, cfg sim.Config) (<-chan *sim.Result, <-chan error) {
+	resCh := make(chan *sim.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := tb.Execute(ctx, key, cfg, false)
+		resCh <- res
+		errCh <- err
+	}()
+	return resCh, errCh
+}
+
+func mustLease(t *testing.T, tb *Table, worker string) *Task {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if task, ok := tb.Lease(context.Background(), worker, 0); ok {
+			return task
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("worker %s never received a lease", worker)
+	return nil
+}
+
+func okResult(t *testing.T, cfg sim.Config) json.RawMessage {
+	t.Helper()
+	data, err := json.Marshal(&sim.Result{Config: cfg, Cycles: 300, InstructionThroughput: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestLeaseCompleteRoundTrip(t *testing.T) {
+	clock := newFakeClock()
+	tb := newTestTable(t, clock)
+	cfg := testConfig(t)
+	key := cfg.Fingerprint()
+
+	resCh, errCh := execute(tb, context.Background(), key, cfg)
+	task := mustLease(t, tb, "w1")
+	if task.Key != key || task.Epoch != 1 {
+		t.Fatalf("lease = (%s, %d), want (%s, 1)", task.Key, task.Epoch, key)
+	}
+	var leased sim.Config
+	if err := json.Unmarshal(task.Config, &leased); err != nil {
+		t.Fatal(err)
+	}
+	if leased.Fingerprint() != key {
+		t.Fatalf("leased config fingerprint %s != key %s", leased.Fingerprint(), key)
+	}
+
+	if revoked, err := tb.Heartbeat("w1", key, 1, nil); err != nil || revoked {
+		t.Fatalf("heartbeat = (%v, %v), want live lease", revoked, err)
+	}
+	err := tb.Complete(CompleteRequest{
+		WorkerID: "w1", Key: key, Epoch: 1, Status: CompleteOK, Result: okResult(t, cfg),
+	})
+	if err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	res := <-resCh
+	if err := <-errCh; err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if res == nil || res.Cycles != 300 {
+		t.Fatalf("result = %+v, want Cycles=300", res)
+	}
+	st := tb.Snapshot()
+	if st.Completed != 1 || st.Delivered != 1 || st.Leased != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMissedHeartbeatsRedeliverToAnotherWorker(t *testing.T) {
+	clock := newFakeClock()
+	tb := newTestTable(t, clock)
+	cfg := testConfig(t)
+	key := cfg.Fingerprint()
+
+	resCh, errCh := execute(tb, context.Background(), key, cfg)
+	first := mustLease(t, tb, "w1")
+
+	// w1 goes silent past the lease timeout; the sweep re-queues the job.
+	clock.Advance(11 * time.Second)
+	tb.Sweep()
+
+	second := mustLease(t, tb, "w2")
+	if second.Key != key || second.Epoch != first.Epoch+1 {
+		t.Fatalf("re-delivery = (%s, %d), want (%s, %d)", second.Key, second.Epoch, key, first.Epoch+1)
+	}
+
+	// The zombie w1 is now fenced on every path.
+	if _, err := tb.Heartbeat("w1", key, first.Epoch, nil); !errors.Is(err, ErrStaleLease) {
+		t.Fatalf("zombie heartbeat error = %v, want ErrStaleLease", err)
+	}
+	err := tb.Complete(CompleteRequest{
+		WorkerID: "w1", Key: key, Epoch: first.Epoch, Status: CompleteOK, Result: okResult(t, cfg),
+	})
+	if !errors.Is(err, ErrStaleLease) {
+		t.Fatalf("zombie completion error = %v, want ErrStaleLease", err)
+	}
+
+	// w2's completion is the one that lands.
+	if err := tb.Complete(CompleteRequest{
+		WorkerID: "w2", Key: key, Epoch: second.Epoch, Status: CompleteOK, Result: okResult(t, cfg),
+	}); err != nil {
+		t.Fatalf("live completion: %v", err)
+	}
+	if res := <-resCh; res == nil {
+		t.Fatal("no result after re-delivery")
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	st := tb.Snapshot()
+	if st.Expired != 1 || st.Redelivered != 1 || st.Fenced != 1 || st.StaleHeartbeats != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestZombieCompletionAfterDoneIsFenced(t *testing.T) {
+	clock := newFakeClock()
+	tb := newTestTable(t, clock)
+	cfg := testConfig(t)
+	key := cfg.Fingerprint()
+
+	_, errCh := execute(tb, context.Background(), key, cfg)
+	task := mustLease(t, tb, "w1")
+	if err := tb.Complete(CompleteRequest{
+		WorkerID: "w1", Key: key, Epoch: task.Epoch, Status: CompleteOK, Result: okResult(t, cfg),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-errCh
+	// A duplicate completion — even from the same worker and epoch — must
+	// fence: the entry is gone, so it cannot double-complete.
+	err := tb.Complete(CompleteRequest{
+		WorkerID: "w1", Key: key, Epoch: task.Epoch, Status: CompleteOK, Result: okResult(t, cfg),
+	})
+	if !errors.Is(err, ErrStaleLease) {
+		t.Fatalf("duplicate completion error = %v, want ErrStaleLease", err)
+	}
+}
+
+func TestWorkerFailureReportIsRemoteError(t *testing.T) {
+	clock := newFakeClock()
+	tb := newTestTable(t, clock)
+	cfg := testConfig(t)
+	key := cfg.Fingerprint()
+
+	_, errCh := execute(tb, context.Background(), key, cfg)
+	task := mustLease(t, tb, "w1")
+	if err := tb.Complete(CompleteRequest{
+		WorkerID: "w1", Key: key, Epoch: task.Epoch, Status: CompleteFailed,
+		Error: "deadlock at cycle 42", Cause: "deadlock", Retryable: false,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := <-errCh
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("execute error = %v, want *RemoteError", err)
+	}
+	if re.Token != "deadlock" || re.Retryable {
+		t.Fatalf("remote error = %+v", re)
+	}
+}
+
+func TestCancelRevokesLeaseViaHeartbeat(t *testing.T) {
+	clock := newFakeClock()
+	tb := newTestTable(t, clock)
+	cfg := testConfig(t)
+	key := cfg.Fingerprint()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	_, errCh := execute(tb, ctx, key, cfg)
+	task := mustLease(t, tb, "w1")
+
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("execute error = %v, want context.Canceled", err)
+	}
+	// The worker learns on its next heartbeat and acks with
+	// CompleteCancelled; the entry is then reaped, not re-queued.
+	revoked, err := tb.Heartbeat("w1", key, task.Epoch, nil)
+	if err != nil || !revoked {
+		t.Fatalf("heartbeat = (%v, %v), want revoked", revoked, err)
+	}
+	if err := tb.Complete(CompleteRequest{
+		WorkerID: "w1", Key: key, Epoch: task.Epoch, Status: CompleteCancelled,
+	}); err != nil {
+		t.Fatalf("revocation ack: %v", err)
+	}
+	if st := tb.Snapshot(); st.Queued != 0 || st.Leased != 0 || st.Redelivered != 0 {
+		t.Fatalf("revoked job must not be re-queued: %+v", st)
+	}
+}
+
+func TestCancelledQueuedJobIsWithdrawn(t *testing.T) {
+	clock := newFakeClock()
+	tb := newTestTable(t, clock)
+	cfg := testConfig(t)
+	key := cfg.Fingerprint()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	_, errCh := execute(tb, ctx, key, cfg)
+	// Wait until enqueued, then cancel before any worker leases it.
+	deadline := time.Now().Add(5 * time.Second)
+	for tb.Snapshot().Queued == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("execute error = %v, want context.Canceled", err)
+	}
+	if task, ok := tb.Lease(context.Background(), "w1", 0); ok {
+		t.Fatalf("withdrawn job was leased: %+v", task)
+	}
+}
+
+func TestWorkerDrainRequeuesJob(t *testing.T) {
+	clock := newFakeClock()
+	tb := newTestTable(t, clock)
+	cfg := testConfig(t)
+	key := cfg.Fingerprint()
+
+	resCh, errCh := execute(tb, context.Background(), key, cfg)
+	task := mustLease(t, tb, "w1")
+	// w1 drains mid-job: CompleteCancelled on a live lease re-queues.
+	if err := tb.Complete(CompleteRequest{
+		WorkerID: "w1", Key: key, Epoch: task.Epoch, Status: CompleteCancelled,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	second := mustLease(t, tb, "w2")
+	if second.Epoch != task.Epoch+1 {
+		t.Fatalf("re-delivery epoch = %d, want %d", second.Epoch, task.Epoch+1)
+	}
+	if err := tb.Complete(CompleteRequest{
+		WorkerID: "w2", Key: key, Epoch: second.Epoch, Status: CompleteOK, Result: okResult(t, cfg),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if res := <-resCh; res == nil {
+		t.Fatal("no result after drain handoff")
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResubmitAfterRevocationSupersedesZombie(t *testing.T) {
+	clock := newFakeClock()
+	tb := newTestTable(t, clock)
+	cfg := testConfig(t)
+	key := cfg.Fingerprint()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	_, errCh := execute(tb, ctx, key, cfg)
+	old := mustLease(t, tb, "w1")
+	cancel()
+	<-errCh // revoked; w1 has not heard yet
+
+	// A fresh submission of the same key supersedes the revoked entry under
+	// a bumped epoch...
+	resCh2, errCh2 := execute(tb, context.Background(), key, cfg)
+	fresh := mustLease(t, tb, "w2")
+	if fresh.Epoch <= old.Epoch {
+		t.Fatalf("fresh epoch %d must exceed revoked epoch %d", fresh.Epoch, old.Epoch)
+	}
+	// ...so the zombie's late completion is fenced, not accepted.
+	err := tb.Complete(CompleteRequest{
+		WorkerID: "w1", Key: key, Epoch: old.Epoch, Status: CompleteOK, Result: okResult(t, cfg),
+	})
+	if !errors.Is(err, ErrStaleLease) {
+		t.Fatalf("zombie completion error = %v, want ErrStaleLease", err)
+	}
+	if err := tb.Complete(CompleteRequest{
+		WorkerID: "w2", Key: key, Epoch: fresh.Epoch, Status: CompleteOK, Result: okResult(t, cfg),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if res := <-resCh2; res == nil {
+		t.Fatal("no result for fresh submission")
+	}
+	if err := <-errCh2; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseLongPollWakesOnSubmit(t *testing.T) {
+	clock := newFakeClock()
+	tb := newTestTable(t, clock)
+	cfg := testConfig(t)
+	key := cfg.Fingerprint()
+
+	got := make(chan *Task, 1)
+	go func() {
+		// Real-time long poll: the fake clock makes the deadline infinite in
+		// practice; the notify channel must wake it.
+		task, ok := tb.Lease(context.Background(), "w1", time.Hour)
+		if ok {
+			got <- task
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the poller park
+	_, errCh := execute(tb, context.Background(), key, cfg)
+	select {
+	case task := <-got:
+		if task.Key != key {
+			t.Fatalf("leased %s, want %s", task.Key, key)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-polling lease never woke on submit")
+	}
+	if err := tb.Complete(CompleteRequest{
+		WorkerID: "w1", Key: key, Epoch: 1, Status: CompleteOK, Result: okResult(t, cfg),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-errCh
+}
+
+func TestOnLeaseHookFiresPerDelivery(t *testing.T) {
+	clock := newFakeClock()
+	tb := newTestTable(t, clock)
+	cfg := testConfig(t)
+	key := cfg.Fingerprint()
+
+	var mu sync.Mutex
+	var epochs []uint64
+	tb.SetHooks(func(k, worker string, epoch uint64, c sim.Config) {
+		mu.Lock()
+		epochs = append(epochs, epoch)
+		mu.Unlock()
+		if k != key || c.Fingerprint() != key {
+			t.Errorf("hook got key %s config %s", k, c.Fingerprint())
+		}
+	}, nil)
+
+	_, errCh := execute(tb, context.Background(), key, cfg)
+	mustLease(t, tb, "w1")
+	clock.Advance(11 * time.Second)
+	tb.Sweep()
+	task := mustLease(t, tb, "w2")
+	if err := tb.Complete(CompleteRequest{
+		WorkerID: "w2", Key: key, Epoch: task.Epoch, Status: CompleteOK, Result: okResult(t, cfg),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-errCh
+	mu.Lock()
+	defer mu.Unlock()
+	if len(epochs) != 2 || epochs[0] != 1 || epochs[1] != 2 {
+		t.Fatalf("onLease epochs = %v, want [1 2]", epochs)
+	}
+}
+
+func TestWorkersAliveTracksHeartbeatRecency(t *testing.T) {
+	clock := newFakeClock()
+	tb := newTestTable(t, clock)
+	if n := tb.WorkersAlive(); n != 0 {
+		t.Fatalf("fresh table WorkersAlive = %d", n)
+	}
+	tb.Lease(context.Background(), "w1", 0)
+	tb.Lease(context.Background(), "w2", 0)
+	if n := tb.WorkersAlive(); n != 2 {
+		t.Fatalf("WorkersAlive = %d, want 2", n)
+	}
+	clock.Advance(11 * time.Second)
+	tb.Lease(context.Background(), "w2", 0)
+	if n := tb.WorkersAlive(); n != 1 {
+		t.Fatalf("WorkersAlive after w1 went silent = %d, want 1", n)
+	}
+}
+
+func TestUndecodableResultFailsWithoutRetry(t *testing.T) {
+	clock := newFakeClock()
+	tb := newTestTable(t, clock)
+	cfg := testConfig(t)
+	key := cfg.Fingerprint()
+
+	_, errCh := execute(tb, context.Background(), key, cfg)
+	task := mustLease(t, tb, "w1")
+	if err := tb.Complete(CompleteRequest{
+		WorkerID: "w1", Key: key, Epoch: task.Epoch, Status: CompleteOK,
+		Result: json.RawMessage(`{"cycles": "not a number"`),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := <-errCh
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Token != "bad-result" || re.Retryable {
+		t.Fatalf("error = %v, want non-retryable bad-result RemoteError", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"sttsim/internal/dist"
 	"sttsim/internal/sim"
 	"sttsim/internal/workload"
 )
@@ -196,14 +197,20 @@ type JobStatus struct {
 	Summary string `json:"summary,omitempty"`
 }
 
-// Health is the GET /v1/healthz payload.
+// Health is the GET /v1/healthz (liveness) payload. Readiness is the
+// separate GET /v1/healthz/ready: it answers 503 while draining and, in
+// coordinator mode, while no worker is alive to execute anything.
 type Health struct {
 	Status     string  `json:"status"` // ok | draining
 	Version    string  `json:"version"`
+	Mode       string  `json:"mode,omitempty"` // standalone | coordinator
 	UptimeS    float64 `json:"uptime_s"`
 	QueueDepth int     `json:"queue_depth"`
 	QueueMax   int     `json:"queue_max"`
 	Jobs       int     `json:"jobs"`
+	// WorkersAlive is coordinator-mode only: workers seen within one lease
+	// timeout.
+	WorkersAlive int `json:"workers_alive,omitempty"`
 }
 
 // LatencySummary is the per-scheme wall-clock execution latency digest in
@@ -218,15 +225,19 @@ type LatencySummary struct {
 
 // Stats is the GET /v1/stats payload.
 type Stats struct {
-	UptimeS     float64                   `json:"uptime_s"`
-	QueueDepth  int                       `json:"queue_depth"`
-	QueueMax    int                       `json:"queue_max"`
-	JobsByState map[string]int            `json:"jobs_by_state"`
-	Cache       CacheStats                `json:"cache"`
-	Engine      EngineStats               `json:"engine"`
-	RateLimited uint64                    `json:"rate_limited"`
-	SSEDropped  uint64                    `json:"sse_dropped"`
-	Schemes     map[string]LatencySummary `json:"schemes,omitempty"`
+	UptimeS     float64        `json:"uptime_s"`
+	QueueDepth  int            `json:"queue_depth"`
+	QueueMax    int            `json:"queue_max"`
+	JobsByState map[string]int `json:"jobs_by_state"`
+	Cache       CacheStats     `json:"cache"`
+	Engine      EngineStats    `json:"engine"`
+	RateLimited uint64         `json:"rate_limited"`
+	// DroppedEvents counts SSE events discarded from full slow-subscriber
+	// buffers (oldest-first).
+	DroppedEvents uint64                    `json:"dropped_events"`
+	Schemes       map[string]LatencySummary `json:"schemes,omitempty"`
+	// Dist is coordinator-mode only: the lease table's counters.
+	Dist *dist.Stats `json:"dist,omitempty"`
 }
 
 // EngineStats mirrors campaign.Stats with wire-stable names.

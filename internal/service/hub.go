@@ -69,8 +69,12 @@ func (s *Subscription) Close() {
 	h.mu.Unlock()
 }
 
-// Publish marshals payload once and fans it out to key's subscribers,
-// dropping (and counting) events for subscribers whose buffers are full.
+// Publish marshals payload once and fans it out to key's subscribers. A
+// subscriber whose buffer is full loses its OLDEST buffered event (counted
+// in dropped_events), not the new one: for progress feeds the newest
+// snapshot supersedes the stale backlog, and a stalled subscriber that
+// resumes reading catches up to the present instead of replaying history
+// and missing the terminal event.
 func (h *Hub) Publish(key, typ string, payload any) {
 	h.mu.Lock()
 	t := h.topics[key]
@@ -85,10 +89,21 @@ func (h *Hub) Publish(key, typ string, payload any) {
 	}
 	ev := hubEvent{Type: typ, Data: data}
 	for sub := range t {
-		select {
-		case sub.ch <- ev:
-		default:
-			h.dropped.Add(1)
+		for {
+			select {
+			case sub.ch <- ev:
+			default:
+				// Full: evict the oldest and retry. The receive can miss if
+				// the subscriber drained concurrently — then the send wins on
+				// the next spin.
+				select {
+				case <-sub.ch:
+					h.dropped.Add(1)
+				default:
+				}
+				continue
+			}
+			break
 		}
 	}
 	h.mu.Unlock()

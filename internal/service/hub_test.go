@@ -1,0 +1,96 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSlowSubscriberDropsOldestKeepsNewest(t *testing.T) {
+	h := NewHub()
+	stalled := h.Subscribe("k")
+	defer stalled.Close()
+
+	// Publish past the buffer without draining: the overflow must evict
+	// from the front, so what remains is the newest window.
+	total := subscriberBuffer + 40
+	for i := 0; i < total; i++ {
+		h.Publish("k", "progress", map[string]int{"seq": i})
+	}
+	if got := h.Dropped(); got != 40 {
+		t.Fatalf("dropped = %d, want 40", got)
+	}
+
+	// The buffer holds exactly the last subscriberBuffer events, in order.
+	for want := 40; want < total; want++ {
+		select {
+		case ev := <-stalled.C:
+			if string(ev.Data) != fmt.Sprintf(`{"seq":%d}`, want) {
+				t.Fatalf("event = %s, want seq %d (oldest must be dropped first)", ev.Data, want)
+			}
+		default:
+			t.Fatalf("buffer exhausted at seq %d, want %d buffered events", want, subscriberBuffer)
+		}
+	}
+	select {
+	case ev := <-stalled.C:
+		t.Fatalf("unexpected extra event %s", ev.Data)
+	default:
+	}
+}
+
+func TestStalledSubscriberDoesNotStarvePeers(t *testing.T) {
+	h := NewHub()
+	stalled := h.Subscribe("k")
+	defer stalled.Close()
+	healthy := h.Subscribe("k")
+	defer healthy.Close()
+
+	// Neither subscriber reads while publishing: the publisher must never
+	// block, finishing promptly no matter how far behind subscribers are.
+	total := subscriberBuffer * 3
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			h.Publish("k", "progress", map[string]int{"seq": i})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publisher blocked on unread subscribers")
+	}
+	// Both subscribers hold the newest window — the event a resumed reader
+	// cares about most (the latest) is always the last one buffered.
+	for name, sub := range map[string]*Subscription{"stalled": stalled, "healthy": healthy} {
+		var last []byte
+		for {
+			select {
+			case ev := <-sub.C:
+				last = ev.Data
+				continue
+			default:
+			}
+			break
+		}
+		if want := fmt.Sprintf(`{"seq":%d}`, total-1); string(last) != want {
+			t.Fatalf("%s subscriber's newest event = %s, want %s", name, last, want)
+		}
+	}
+	if h.Dropped() == 0 {
+		t.Fatal("overflow was not counted")
+	}
+}
+
+func TestDroppedEventsSurfacesInStats(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	sub := srv.hub.Subscribe("k")
+	defer sub.Close()
+	for i := 0; i < subscriberBuffer+7; i++ {
+		srv.hub.Publish("k", "progress", i)
+	}
+	if got := srv.Stats().DroppedEvents; got != 7 {
+		t.Fatalf("stats dropped_events = %d, want 7", got)
+	}
+}

@@ -38,8 +38,16 @@ func NewRateLimiter(rate float64, burst int) *RateLimiter {
 
 // Allow reports whether key may proceed, consuming one token if so.
 func (l *RateLimiter) Allow(key string) bool {
+	ok, _ := l.AllowWithRetry(key)
+	return ok
+}
+
+// AllowWithRetry is Allow plus, on denial, how long until the bucket will
+// hold a whole token again — the value behind the Retry-After header, so
+// clients back off exactly as long as the bucket needs rather than guessing.
+func (l *RateLimiter) AllowWithRetry(key string) (bool, time.Duration) {
 	if l == nil || l.rate <= 0 {
-		return true
+		return true, 0
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -59,10 +67,11 @@ func (l *RateLimiter) Allow(key string) bool {
 	b.last = now
 	if b.tokens < 1 {
 		l.denied++
-		return false
+		wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+		return false, wait
 	}
 	b.tokens--
-	return true
+	return true, 0
 }
 
 // pruneLocked discards buckets that have fully refilled.

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// limiterOnFakeClock builds a limiter whose clock the test advances by hand.
+func limiterOnFakeClock(rate float64, burst int) (*RateLimiter, func(time.Duration)) {
+	l := NewRateLimiter(rate, burst)
+	var mu sync.Mutex
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	l.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	return l, advance
+}
+
+func TestAllowWithRetryComputesExactWait(t *testing.T) {
+	// 2 tokens/s, burst 1: after the single token is spent the bucket holds
+	// 0, so a whole token is half a second away.
+	l, advance := limiterOnFakeClock(2, 1)
+	if ok, _ := l.AllowWithRetry("c"); !ok {
+		t.Fatal("first request must pass on a full bucket")
+	}
+	ok, wait := l.AllowWithRetry("c")
+	if ok {
+		t.Fatal("second request must be denied")
+	}
+	if wait != 500*time.Millisecond {
+		t.Fatalf("wait = %s, want exactly 500ms", wait)
+	}
+	// Halfway there, half the wait remains.
+	advance(250 * time.Millisecond)
+	if _, wait = l.AllowWithRetry("c"); wait != 250*time.Millisecond {
+		t.Fatalf("wait after partial refill = %s, want 250ms", wait)
+	}
+	// Once the computed wait elapses, the request passes — the header value
+	// is honest, not a guess.
+	advance(250 * time.Millisecond)
+	if ok, _ := l.AllowWithRetry("c"); !ok {
+		t.Fatal("request must pass after waiting exactly the advertised time")
+	}
+}
+
+func TestRefillAfterLongIdleCapsAtBurst(t *testing.T) {
+	l, advance := limiterOnFakeClock(1, 3)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.AllowWithRetry("c"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	if ok, _ := l.AllowWithRetry("c"); ok {
+		t.Fatal("request beyond burst must be denied")
+	}
+	// An hour idle refills to burst — and no further: exactly 3 pass.
+	advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.AllowWithRetry("c"); !ok {
+			t.Fatalf("post-idle request %d denied; refill lost tokens", i)
+		}
+	}
+	if ok, _ := l.AllowWithRetry("c"); ok {
+		t.Fatal("idle refill exceeded burst")
+	}
+}
+
+func TestRateLimiterConcurrentClients(t *testing.T) {
+	// Real clock, generous rate: correctness here is "no race, no lost
+	// accounting", exercised under -race. Each client's first `burst`
+	// requests must pass regardless of interleaving with other clients.
+	l := NewRateLimiter(1, 5)
+	const clients, perClient = 16, 20
+	var wg sync.WaitGroup
+	denied := make([]int, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			key := fmt.Sprintf("client-%d", c)
+			for i := 0; i < perClient; i++ {
+				if ok, wait := l.AllowWithRetry(key); !ok {
+					if wait <= 0 {
+						t.Errorf("denied with non-positive wait %s", wait)
+					}
+					denied[c]++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	total := uint64(0)
+	for c, d := range denied {
+		// Burst 5 at ~instant issue: at least burst requests pass per client.
+		if d > perClient-5 {
+			t.Fatalf("client %d: %d of %d denied; burst not honored", c, d, perClient)
+		}
+		total += uint64(d)
+	}
+	if got := l.Denied(); got != total {
+		t.Fatalf("Denied() = %d, clients observed %d", got, total)
+	}
+}
+
+func TestSubmitDeniedCarriesRetryAfterHeader(t *testing.T) {
+	_, ts := newTestServer(t, func(o *Options) {
+		o.RatePerSec = 0.5 // a denied client is a whole 2s from a token
+		o.RateBurst = 1
+	})
+	resp1, _ := postJob(t, ts, baseJob)
+	if resp1.StatusCode != http.StatusAccepted && resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first submit status = %d", resp1.StatusCode)
+	}
+	resp2, _ := postJob(t, ts, baseJob)
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit status = %d, want 429", resp2.StatusCode)
+	}
+	ra := resp2.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer", ra)
+	}
+	// ~2s to a whole token, ceiled; allow scheduling slack downward only.
+	if secs < 1 || secs > 3 {
+		t.Fatalf("Retry-After = %d, want within [1, 3] for a 0.5/s limiter", secs)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"sttsim/internal/campaign"
+	"sttsim/internal/dist"
 	"sttsim/internal/sim"
 )
 
@@ -50,6 +51,10 @@ type Options struct {
 	Version string
 	// Run executes one simulation (default sim.RunContext) — test hook.
 	Run campaign.RunFunc
+	// Dist switches the server into coordinator mode: jobs execute on the
+	// lease table's remote workers instead of in-process, and the worker
+	// protocol routes are mounted. nil = standalone.
+	Dist *dist.Table
 	// Logf receives operational diagnostics (default: discarded).
 	Logf func(format string, args ...any)
 }
@@ -121,6 +126,7 @@ type Server struct {
 	cache   *ResultCache
 	hub     *Hub
 	limiter *RateLimiter
+	dist    *dist.Table // nil in standalone mode
 	start   time.Time
 	now     func() time.Time // test hook
 
@@ -141,17 +147,22 @@ func NewServer(opts Options) (*Server, error) {
 		return nil, errors.New("service: Options.Engine is required")
 	}
 	opts = opts.withDefaults()
-	return &Server{
+	s := &Server{
 		opts:      opts,
 		eng:       opts.Engine,
 		cache:     NewResultCache(opts.CacheSize, opts.CacheTTL),
 		hub:       NewHub(),
 		limiter:   NewRateLimiter(opts.RatePerSec, opts.RateBurst),
+		dist:      opts.Dist,
 		start:     time.Now(),
 		now:       time.Now,
 		jobs:      make(map[string]*job),
 		latencies: make(map[string][]float64),
-	}, nil
+	}
+	if s.dist != nil {
+		s.wireDist()
+	}
+	return s, nil
 }
 
 // Cache exposes the result cache (cmd warm-start and tests).
@@ -187,12 +198,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/healthz/live", s.handleLive)
+	mux.HandleFunc("GET /v1/healthz/ready", s.handleReady)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if s.dist != nil {
+		// Worker protocol. Lease long-polls manage their own lifetime (like
+		// SSE) and completions carry whole results, so both bypass the
+		// request timeout and the default body cap.
+		mux.HandleFunc("POST "+dist.PathHeartbeat, s.handleWorkerHeartbeat)
+	}
 
 	sse := http.HandlerFunc(s.handleEvents)
 	timed := http.Handler(timeoutMiddleware(mux, s.opts.RequestTimeout))
 	root := http.NewServeMux()
 	root.Handle("GET /v1/jobs/{id}/events", s.recoverMiddleware(sse))
+	if s.dist != nil {
+		root.Handle("POST "+dist.PathLease, s.recoverMiddleware(http.HandlerFunc(s.handleWorkerLease)))
+		root.Handle("POST "+dist.PathComplete, s.recoverMiddleware(http.HandlerFunc(s.handleWorkerComplete)))
+	}
 	root.Handle("/", s.recoverMiddleware(timed))
 	return root
 }
@@ -224,8 +247,10 @@ func timeoutMiddleware(next http.Handler, d time.Duration) http.Handler {
 
 // handleSubmit is POST /v1/jobs.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if !s.limiter.Allow(clientKey(r)) {
-		writeError(w, http.StatusTooManyRequests, "rate limit exceeded", 1)
+	if ok, wait := s.limiter.AllowWithRetry(clientKey(r)); !ok {
+		retry := int(wait/time.Second) + 1 // ceil to whole header seconds
+		w.Header().Set("Retry-After", fmt.Sprint(retry))
+		writeError(w, http.StatusTooManyRequests, "rate limit exceeded", retry)
 		return
 	}
 	s.mu.Lock()
@@ -287,17 +312,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	// Streamed jobs attach the observability side channel; the memo key stays
-	// the clean fingerprint because observation never perturbs results.
+	// the clean fingerprint because observation never perturbs results. In
+	// coordinator mode the stream flag travels inside the lease instead — the
+	// worker collects progress and ships it back in heartbeats.
 	runCfg := cfg
-	if spec.Stream {
-		feed := newProgressFeed(s.hub, key, cfg, s.opts.ProgressInterval)
-		runCfg.Obs = &sim.ObsConfig{
-			Sink:            feed.Sink(),
-			MetricsInterval: s.opts.MetricsInterval,
-			OnSample:        feed.OnSample,
+	var run campaign.RunFunc
+	if s.dist != nil {
+		run = s.distRun(key, spec.Stream)
+	} else {
+		if spec.Stream {
+			feed := newProgressFeed(s.hub, key, cfg, s.opts.ProgressInterval)
+			runCfg.Obs = &sim.ObsConfig{
+				Sink:            feed.Sink(),
+				MetricsInterval: s.opts.MetricsInterval,
+				OnSample:        feed.OnSample,
+			}
 		}
+		run = s.runFunc(key)
 	}
-	j.handle = s.eng.SubmitKeyed(key, runCfg, s.runFunc(key))
+	j.handle = s.eng.SubmitKeyed(key, runCfg, run)
 	j.deduped = j.handle.Joined
 	s.addJob(j)
 	go s.watch(j)
@@ -556,12 +589,45 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealthz is GET /v1/healthz.
+// handleHealthz is GET /v1/healthz — the legacy combined endpoint, always
+// 200 while the process serves (liveness semantics, with drain state in the
+// body).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// handleLive is GET /v1/healthz/live: is the process serving at all? Always
+// 200 — a live-but-draining daemon should not be restarted by its
+// supervisor, which is exactly the distinction readiness exists to carry.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// handleReady is GET /v1/healthz/ready: can this daemon make progress on a
+// new job right now? 503 while draining (SIGTERM received, finishing the
+// queue) and, in coordinator mode, while no worker has checked in within a
+// lease timeout — queued work would sit forever, so load balancers should
+// route elsewhere.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	code := http.StatusOK
+	switch {
+	case h.Status == "draining":
+		code = http.StatusServiceUnavailable
+	case s.dist != nil && h.WorkersAlive == 0:
+		code = http.StatusServiceUnavailable
+		h.Status = "no workers"
+	}
+	writeJSON(w, code, h)
+}
+
+// health assembles the shared health payload.
+func (s *Server) health() Health {
 	s.mu.Lock()
 	h := Health{
 		Status:     "ok",
 		Version:    s.opts.Version,
+		Mode:       "standalone",
 		UptimeS:    time.Since(s.start).Seconds(),
 		QueueDepth: s.pending,
 		QueueMax:   s.opts.MaxQueue,
@@ -571,7 +637,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		h.Status = "draining"
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, h)
+	if s.dist != nil {
+		h.Mode = "coordinator"
+		h.WorkersAlive = s.dist.WorkersAlive()
+	}
+	return h
 }
 
 // handleStats is GET /v1/stats.
@@ -588,8 +658,8 @@ func (s *Server) Stats() Stats {
 		QueueDepth:  s.pending,
 		QueueMax:    s.opts.MaxQueue,
 		JobsByState: make(map[string]int),
-		RateLimited: s.limiter.Denied(),
-		SSEDropped:  s.hub.Dropped(),
+		RateLimited:   s.limiter.Denied(),
+		DroppedEvents: s.hub.Dropped(),
 		Engine: EngineStats{
 			Executed: es.Executed, Retries: es.Retries, MemoHits: es.Hits,
 			Replayed: es.Replayed, Completed: es.Completed,
@@ -605,6 +675,10 @@ func (s *Server) Stats() Stats {
 	}
 	s.mu.Unlock()
 	st.Cache = s.cache.Stats()
+	if s.dist != nil {
+		ds := s.dist.Snapshot()
+		st.Dist = &ds
+	}
 	return st
 }
 

@@ -4,7 +4,9 @@
 # feed, restart the daemon against the same checkpoint journal and require a
 # warm-cache hit, and finish with a graceful SIGTERM drain. Exercises the
 # whole serving stack: HTTP surface, queue, singleflight/cache tiers, SSE
-# fan-out, journal warm start, shutdown.
+# fan-out, journal warm start, shutdown. A second phase brings up a
+# coordinator with two workers and requires the distributed topology to serve
+# bytes identical to the standalone run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,8 +14,10 @@ tmp=$(mktemp -d)
 addr="127.0.0.1:${STTSIMD_SMOKE_PORT:-18734}"
 base="http://$addr"
 pid=""
+worker_pids=""
 cleanup() {
     [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    for wp in $worker_pids; do kill "$wp" 2>/dev/null || true; done
     rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -113,6 +117,86 @@ curl -sf "$base/v1/stats" | grep -q '"executed":0' || {
     echo "smoke: restarted daemon re-executed a journaled config" >&2
     exit 1
 }
+stop_daemon
+
+# --- Distributed phase: coordinator + 2 workers -----------------------------
+
+echo "smoke: start coordinator (fresh journal)" >&2
+"$tmp/sttsimd" -mode coordinator -addr "$addr" \
+    -checkpoint "$tmp/journal-dist.jsonl" -lease-timeout 5s \
+    >"$tmp/coordinator.log" 2>&1 &
+pid=$!
+wait_healthy
+
+echo "smoke: readiness is 503 with no workers" >&2
+ready_code=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/healthz/ready")
+[ "$ready_code" = 503 ] || {
+    echo "smoke: workerless coordinator readiness = $ready_code, want 503" >&2
+    exit 1
+}
+
+echo "smoke: start 2 workers" >&2
+for wid in w1 w2; do
+    "$tmp/sttsimd" -mode worker -coordinator "$base" -worker-id "$wid" \
+        -heartbeat-interval 500ms >"$tmp/$wid.log" 2>&1 &
+    worker_pids="$worker_pids $!"
+done
+for _ in $(seq 1 100); do
+    ready_code=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/healthz/ready")
+    [ "$ready_code" = 200 ] && break
+    sleep 0.1
+done
+[ "$ready_code" = 200 ] || {
+    echo "smoke: coordinator never became ready after workers joined" >&2
+    cat "$tmp/coordinator.log" >&2
+    exit 1
+}
+
+echo "smoke: submit job to coordinator" >&2
+id4=$(curl -sf -X POST -d "$spec" "$base/v1/jobs" | json_field id)
+[ -n "$id4" ] || { echo "smoke: no job id from coordinator" >&2; exit 1; }
+for _ in $(seq 1 200); do
+    state=$(curl -sf "$base/v1/jobs/$id4" | json_field state)
+    [ "$state" = done ] && break
+    if [ "$state" = failed ] || [ "$state" = cancelled ]; then
+        echo "smoke: distributed job ended $state" >&2
+        curl -sf "$base/v1/jobs/$id4" >&2
+        cat "$tmp/coordinator.log" "$tmp"/w*.log >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ "$state" = done ] || { echo "smoke: distributed job never finished" >&2; exit 1; }
+
+echo "smoke: distributed result is byte-identical to standalone" >&2
+curl -sf "$base/v1/jobs/$id4/result" >"$tmp/r4.json"
+cmp -s "$tmp/r1.json" "$tmp/r4.json" || {
+    echo "smoke: distributed result differs from standalone" >&2
+    exit 1
+}
+
+echo "smoke: identical resubmission is a cache hit" >&2
+resp5=$(curl -sf -X POST -d "$spec" "$base/v1/jobs")
+echo "$resp5" | grep -q '"cache_hit":true' || {
+    echo "smoke: coordinator resubmission was not a cache hit: $resp5" >&2
+    exit 1
+}
+
+grep -q '"status":"leased"' "$tmp/journal-dist.jsonl" || {
+    echo "smoke: coordinator journal has no write-ahead lease record" >&2
+    exit 1
+}
+
+echo "smoke: graceful distributed shutdown" >&2
+for wp in $worker_pids; do kill -TERM "$wp"; done
+for wp in $worker_pids; do
+    if ! wait "$wp"; then
+        echo "smoke: worker exited non-zero on SIGTERM" >&2
+        cat "$tmp"/w*.log >&2
+        exit 1
+    fi
+done
+worker_pids=""
 stop_daemon
 
 echo "smoke: OK" >&2
