@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-guard golden verify profile smoke serve-smoke dist-chaos
+.PHONY: all build vet test race bench-guard golden verify profile smoke serve-smoke dist-chaos chaos-sched
 
 all: verify
 
@@ -72,3 +72,12 @@ serve-smoke:
 # the chaos test via -short; this runs it.)
 dist-chaos:
 	$(GO) test -race -v ./internal/dist
+
+# Seeded chaos schedules: CHAOS_SCHED randomized fault plans (disk faults on
+# the coordinator's journal, network faults between it and two workers, full
+# connection severs), each asserting exactly-one terminal record per config,
+# byte-identical results, no leaked leases, and monotonic lease epochs. Any
+# failure names its seed; replay exactly one schedule with
+# CHAOS_SEED=<seed> go test -race -run TestChaosSchedules ./internal/failpoint
+chaos-sched:
+	CHAOS_SCHED=$(or $(CHAOS_SCHED),200) $(GO) test -race -run TestChaosSchedules -v ./internal/failpoint

@@ -54,6 +54,9 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", time.Hour, "result cache entry lifetime (0 = no expiry)")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint journal for finished runs (empty = none)")
 	resume := flag.Bool("resume", false, "warm the memo and result cache from the checkpoint journal")
+	journalSync := flag.String("journal-sync", "interval", "journal fsync policy: always | interval | never")
+	journalSyncInterval := flag.Duration("journal-sync-interval", time.Second, "max time between journal fsyncs under -journal-sync=interval")
+	journalMaxBytes := flag.Int64("journal-max-bytes", 64<<20, "compact the journal in place once it exceeds this size (0 = never)")
 	runTimeout := flag.Duration("run-timeout", 10*time.Minute, "wall-clock budget per simulation attempt (0 = none)")
 	rate := flag.Float64("rate", 0, "per-client request rate limit in req/s (0 = unlimited)")
 	burst := flag.Int("burst", 10, "per-client rate limit burst")
@@ -95,21 +98,11 @@ func main() {
 	}
 
 	eng := campaign.New(campaign.Policy{Jobs: engineJobs, RunTimeout: *runTimeout})
-	srv, err := service.NewServer(service.Options{
-		Engine:     eng,
-		MaxQueue:   *queue,
-		CacheSize:  *cacheSize,
-		CacheTTL:   *cacheTTL,
-		RatePerSec: *rate,
-		RateBurst:  *burst,
-		Version:    ver,
-		Dist:       table,
-		Logf:       logger.Printf,
-	})
-	if err != nil {
-		logger.Fatal(err)
-	}
 
+	// The journal opens before the server so its health feeds /ready and
+	// /v1/stats from the first request. Replay (load) precedes open: open
+	// with resume repairs any torn tail in place.
+	var jrn *campaign.Journal
 	var pending []campaign.Record
 	if *checkpoint != "" {
 		if *resume {
@@ -120,17 +113,44 @@ func main() {
 			if dropped > 0 {
 				logger.Printf("dropped %d torn/corrupt journal line(s) from %s", dropped, *checkpoint)
 			}
-			if n := srv.WarmFromJournal(recs); n > 0 || len(recs) > 0 {
-				logger.Printf("resumed %d journal record(s), %d warmed the result cache", len(recs), n)
-			}
 			pending = recs
 		}
-		jrn, err := campaign.OpenJournal(*checkpoint, *resume)
+		sync, err := campaign.ParseSyncPolicy(*journalSync)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		jrn, err = campaign.OpenJournalWith(*checkpoint, *resume, campaign.JournalOptions{
+			Sync:      sync,
+			SyncEvery: *journalSyncInterval,
+			MaxBytes:  *journalMaxBytes,
+			Logf:      logger.Printf,
+		})
 		if err != nil {
 			logger.Fatalf("open checkpoint: %v", err)
 		}
 		defer jrn.Close()
 		eng.AttachJournal(jrn)
+	}
+
+	srv, err := service.NewServer(service.Options{
+		Engine:     eng,
+		MaxQueue:   *queue,
+		CacheSize:  *cacheSize,
+		CacheTTL:   *cacheTTL,
+		RatePerSec: *rate,
+		RateBurst:  *burst,
+		Version:    ver,
+		Dist:       table,
+		Journal:    jrn,
+		Logf:       logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if len(pending) > 0 {
+		if n := srv.WarmFromJournal(pending); n > 0 {
+			logger.Printf("resumed %d journal record(s), %d warmed the result cache", len(pending), n)
+		}
 	}
 	// After the journal is attached, so re-queued jobs write fresh lease
 	// records and eventually terminal ones.

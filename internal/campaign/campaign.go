@@ -77,6 +77,8 @@ type Stats struct {
 	Completed uint64 // configs that finished with a result this process
 	Failed    uint64 // configs that ended in a terminal error (incl. replayed failures)
 	Cancelled uint64 // configs abandoned by campaign shutdown
+
+	JournalErrors uint64 // terminal outcomes the journal failed to persist
 }
 
 // Verdict classifies a run failure for the retry policy.
@@ -457,9 +459,12 @@ func (e *Engine) execute(ctx context.Context, run RunFunc, cfg sim.Config, key s
 		}
 		e.mu.Unlock()
 	}
+	// Journal before publishing: a client that observes a terminal state is
+	// guaranteed the verdict is already durably appended (or counted in
+	// JournalErrors), never in flight.
+	e.journalOutcome(cfg, key, res, err)
 	close(c.done)
 	e.account(err)
-	e.journalOutcome(cfg, key, res, err)
 	return res, err
 }
 
@@ -557,7 +562,14 @@ func (e *Engine) journalOutcome(cfg sim.Config, key string, res *sim.Result, err
 		rec.Status = StatusOK
 		rec.Result = res
 	}
-	j.Append(rec)
+	if aerr := j.Append(rec); aerr != nil {
+		// The verdict still serves from memory; durability is gone for this
+		// record. Count it — the service layer surfaces a degraded journal
+		// through /ready and /v1/stats.
+		e.mu.Lock()
+		e.stats.JournalErrors++
+		e.mu.Unlock()
+	}
 }
 
 // Interrupt starts a graceful drain: in-flight runs are cancelled at their

@@ -7,13 +7,14 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	"sttsim/internal/campaign"
 )
 
 // TestChaosKillWorkerMidJob is the robustness acceptance test, run against
@@ -106,25 +107,18 @@ func TestChaosKillWorkerMidJob(t *testing.T) {
 	stopProc(t, coord)
 	var leaseEpochs []uint64
 	terminal := 0
-	f, err := os.Open(journal)
+	recs, dropped, err := campaign.LoadJournalEx(journal)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 64<<20)
-	for sc.Scan() {
-		var rec struct {
-			Status string `json:"status"`
-			Epoch  uint64 `json:"epoch"`
-		}
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			continue
-		}
+	if dropped != 0 {
+		t.Fatalf("journal dropped %d corrupt line(s), want 0 after a graceful stop", dropped)
+	}
+	for _, rec := range recs {
 		switch rec.Status {
-		case "leased":
+		case campaign.StatusLeased:
 			leaseEpochs = append(leaseEpochs, rec.Epoch)
-		case "ok", "failed":
+		case campaign.StatusOK, campaign.StatusFailed:
 			terminal++
 		}
 	}

@@ -107,6 +107,13 @@ type Table struct {
 	notifyCh chan struct{} // closed+replaced to wake long-polling leases
 	stats    Stats
 
+	// epochFloor is the highest lease epoch ever observed per key (seeded
+	// from journal records on restart, advanced on every delivery). New
+	// tasks start above the floor, so epochs are monotonic per key across
+	// the journal's whole history — even across coordinator restarts — and
+	// a zombie worker from a previous incarnation always fences.
+	epochFloor map[string]uint64
+
 	// onLease fires on every delivery (initial and re-delivery) — the
 	// coordinator journals a write-ahead record and flips jobs to running.
 	// onProgress relays heartbeat progress payloads to the SSE hub.
@@ -120,11 +127,12 @@ type Table struct {
 // NewTable builds a lease table and starts its expiry janitor.
 func NewTable(opts TableOptions) *Table {
 	tb := &Table{
-		opts:     opts.withDefaults(),
-		tasks:    make(map[string]*task),
-		workers:  make(map[string]*workerState),
-		notifyCh: make(chan struct{}),
-		stopped:  make(chan struct{}),
+		opts:       opts.withDefaults(),
+		tasks:      make(map[string]*task),
+		workers:    make(map[string]*workerState),
+		notifyCh:   make(chan struct{}),
+		epochFloor: make(map[string]uint64),
+		stopped:    make(chan struct{}),
 	}
 	go tb.janitor()
 	return tb
@@ -137,6 +145,19 @@ func (tb *Table) SetHooks(onLease func(key, worker string, epoch uint64, cfg sim
 	tb.onLease = onLease
 	tb.onProgress = onProgress
 	tb.mu.Unlock()
+}
+
+// SeedEpochs raises the per-key epoch floors (typically from the journal's
+// lease records at restart). Floors only ever rise; keys already above their
+// floor are untouched. Call before serving worker traffic.
+func (tb *Table) SeedEpochs(floors map[string]uint64) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	for key, epoch := range floors {
+		if epoch > tb.epochFloor[key] {
+			tb.epochFloor[key] = epoch
+		}
+	}
 }
 
 // Close stops the expiry janitor. Outstanding Execute calls are not
@@ -182,9 +203,13 @@ func (tb *Table) Execute(ctx context.Context, key string, cfg sim.Config, stream
 		// submission supersedes it under a bumped epoch, which fences the
 		// old worker just as well.
 		tb.clearWorkerLeaseLocked(t.worker, key)
+		epoch := t.epoch + 1
+		if floor := tb.epochFloor[key]; epoch <= floor {
+			epoch = floor + 1
+		}
 		fresh := &task{
 			key: key, cfg: cfg, raw: raw, stream: stream,
-			state: taskQueued, epoch: t.epoch + 1,
+			state: taskQueued, epoch: epoch,
 			done: make(chan struct{}),
 		}
 		tb.tasks[key] = fresh
@@ -194,7 +219,7 @@ func (tb *Table) Execute(ctx context.Context, key string, cfg sim.Config, stream
 	} else if !ok {
 		t = &task{
 			key: key, cfg: cfg, raw: raw, stream: stream,
-			state: taskQueued, epoch: 1,
+			state: taskQueued, epoch: tb.epochFloor[key] + 1,
 			done: make(chan struct{}),
 		}
 		tb.tasks[key] = t
@@ -252,6 +277,9 @@ func (tb *Table) Lease(ctx context.Context, workerID string, wait time.Duration)
 			t.worker = workerID
 			t.deadline = tb.opts.Now().Add(tb.opts.LeaseTimeout)
 			tb.workers[workerID].lease = t.key
+			if t.epoch > tb.epochFloor[t.key] {
+				tb.epochFloor[t.key] = t.epoch
+			}
 			tb.stats.Delivered++
 			onLease := tb.onLease
 			key, epoch, cfg := t.key, t.epoch, t.cfg

@@ -103,7 +103,13 @@ func (w *Worker) Loop(ctx context.Context) error {
 		}
 		w.Backoff.Reset()
 		if task == nil {
-			continue // long poll expired with no work
+			// Long poll expired with no work. A draining coordinator answers
+			// 204 + Retry-After immediately; honor the hint instead of
+			// hammering it while it finishes its queue.
+			if retryAfter > 0 && !sleep(ctx, retryAfter) {
+				return nil
+			}
+			continue
 		}
 		w.execute(ctx, task)
 	}
@@ -230,7 +236,8 @@ func (w *Worker) heartbeatLoop(task *Task, tracker *progressTracker, cancelRun c
 }
 
 // lease asks the coordinator for work. A 204 long-poll expiry returns
-// (nil, 0, nil).
+// (nil, retryAfter, nil) — retryAfter non-zero when the coordinator asked
+// for a pause (drain).
 func (w *Worker) lease(ctx context.Context) (*Task, time.Duration, error) {
 	req := LeaseRequest{WorkerID: w.ID, WaitS: w.LeaseWait.Seconds()}
 	status, body, retryAfter, err := w.post(ctx, PathLease, req)
@@ -239,7 +246,7 @@ func (w *Worker) lease(ctx context.Context) (*Task, time.Duration, error) {
 	}
 	switch status {
 	case http.StatusNoContent:
-		return nil, 0, nil
+		return nil, retryAfter, nil
 	case http.StatusOK:
 		var task Task
 		if err := json.Unmarshal(body, &task); err != nil {

@@ -1,0 +1,159 @@
+// Package failpoint is a deterministic, seeded fault-injection substrate for
+// the *infrastructure* boundaries of the serving stack — the filesystem under
+// the checkpoint journal and the HTTP transport between workers and the
+// coordinator. It complements internal/fault, which injects faults into the
+// simulated hardware: fault breaks the system under test, failpoint breaks
+// the machine the test runs on.
+//
+// Everything here is driven by scripts seeded from a single int64, so any
+// failure a chaos schedule provokes replays exactly from its printed seed:
+//
+//   - FS / File is the filesystem seam campaign.Journal writes through.
+//     OSFS passes straight to the os package; FaultFS consults a DiskScript
+//     and can return short writes (torn final records), ENOSPC windows, and
+//     fsync errors on a deterministic schedule.
+//   - Transport wraps an http.RoundTripper and consults a NetScript: added
+//     latency, dropped requests, duplicated requests (delivered twice — the
+//     idempotency probe), responses severed mid-body, and partition windows
+//     during which every call fails.
+//   - Listener wraps a net.Listener and can sever every accepted connection
+//     at once (SeverAll) — the "coordinator falls off the network" event for
+//     clients and workers alike.
+//   - Plan bundles one seeded schedule of all of the above for a
+//     coordinator-plus-workers topology; RandomPlan derives hundreds of
+//     distinct hostile schedules from consecutive seeds.
+//
+// The package has no dependencies outside the standard library, so any layer
+// (campaign, dist, service, tests) can take an injection seam on it without
+// import cycles. Injected errors wrap the real errno (syscall.ENOSPC,
+// syscall.EIO, syscall.ECONNRESET) so production error handling — errors.Is
+// checks, degradation policies — exercises the same paths a real disk or
+// network would trigger.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected tags every failure this package manufactures, so tests can
+// tell an injected fault from a real one with errors.Is.
+var ErrInjected = errors.New("failpoint: injected fault")
+
+// injectedf builds an injected error wrapping both ErrInjected and the
+// underlying errno, so errors.Is works against either.
+func injectedf(errno error, format string, args ...any) error {
+	return fmt.Errorf("%w: %s: %w", ErrInjected, fmt.Sprintf(format, args...), errno)
+}
+
+// Window is one half-open time interval, relative to a script's start.
+type Window struct {
+	From time.Duration
+	To   time.Duration
+}
+
+// contains reports whether the offset t falls inside the window.
+func (w Window) contains(t time.Duration) bool { return t >= w.From && t < w.To }
+
+// rng is a mutex-guarded seeded source shared by the scripts: decisions must
+// be deterministic in draw order, and several goroutines (journal appends,
+// heartbeats, completions) consult one script concurrently.
+type rng struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newRNG(seed int64) *rng { return &rng{r: rand.New(rand.NewSource(seed))} }
+
+// hit draws one Bernoulli trial with probability p.
+func (g *rng) hit(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Float64() < p
+}
+
+// intn draws from [0, n).
+func (g *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Intn(n)
+}
+
+// Plan is one complete seeded fault schedule for a coordinator-plus-workers
+// topology: a disk script for the coordinator's journal, a network script
+// per worker, and the offsets at which to sever every open coordinator
+// connection. The same seed always produces the same plan.
+type Plan struct {
+	Seed  int64
+	Disk  *DiskScript
+	Net   []*NetScript
+	Sever []time.Duration
+}
+
+// RandomPlan derives a hostile-but-survivable schedule from seed for a
+// topology with the given worker count. Parameters are drawn so that most
+// schedules keep the journal healthy (exercising the exactly-once
+// invariants) while a minority hit it hard enough to degrade (exercising
+// the 503 path); every draw comes from the seeded source, so a failing
+// schedule replays from its seed alone.
+func RandomPlan(seed int64, workers int) *Plan {
+	r := rand.New(rand.NewSource(seed))
+	p := &Plan{Seed: seed}
+
+	// Disk: short writes are common (they must be survivable via the
+	// truncate-and-retry repair); sync errors and ENOSPC are rare and
+	// persistent — they degrade the journal, which the invariants allow.
+	disk := &DiskScript{rng: newRNG(r.Int63())}
+	disk.ShortWriteProb = []float64{0, 0, 0.05, 0.15}[r.Intn(4)]
+	if r.Intn(10) == 0 {
+		disk.SyncErrorProb = 0.2
+	}
+	if r.Intn(10) == 0 {
+		disk.ENOSPCAfterWrites = 3 + r.Intn(12)
+	} else {
+		disk.ENOSPCAfterWrites = -1
+	}
+	p.Disk = disk
+
+	// Network: each worker gets its own seeded script. Latency is bounded
+	// well under heartbeat/lease timescales; partitions are long enough to
+	// expire a lease sometimes but never long enough to stall a schedule.
+	for i := 0; i < workers; i++ {
+		n := &NetScript{rng: newRNG(r.Int63())}
+		n.MaxLatency = time.Duration(r.Intn(20)) * time.Millisecond
+		n.DropProb = []float64{0, 0.02, 0.05, 0.10}[r.Intn(4)]
+		n.DupProb = []float64{0, 0, 0.03, 0.08}[r.Intn(4)]
+		n.SeverBodyProb = []float64{0, 0.02, 0.06}[r.Intn(3)]
+		if r.Intn(3) == 0 {
+			from := time.Duration(r.Intn(600)) * time.Millisecond
+			n.Partitions = append(n.Partitions, Window{
+				From: from,
+				To:   from + time.Duration(100+r.Intn(400))*time.Millisecond,
+			})
+		}
+		p.Net = append(p.Net, n)
+	}
+
+	// Coordinator-side severs: up to two "everything resets at once" events
+	// early in the schedule.
+	for i, n := 0, r.Intn(3); i < n; i++ {
+		p.Sever = append(p.Sever, time.Duration(50+r.Intn(700))*time.Millisecond)
+	}
+	return p
+}
+
+// String summarizes a plan for failure logs.
+func (p *Plan) String() string {
+	return fmt.Sprintf("plan(seed=%d disk{short=%.2f sync=%.2f enospc=%d} workers=%d severs=%d)",
+		p.Seed, p.Disk.ShortWriteProb, p.Disk.SyncErrorProb, p.Disk.ENOSPCAfterWrites,
+		len(p.Net), len(p.Sever))
+}

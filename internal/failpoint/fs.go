@@ -1,0 +1,173 @@
+package failpoint
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// FS is the filesystem seam the checkpoint journal writes through. It is the
+// handful of operations the journal actually performs; *os.File satisfies
+// File, so OSFS is a zero-cost passthrough and FaultFS can interpose a
+// DiskScript on exactly the calls whose failure modes matter: Write (short
+// writes, ENOSPC), Sync (fsync errors), Rename (the atomic-rotation commit).
+type FS interface {
+	// OpenFile opens for writing/appending (journal active segment, tmp
+	// compaction output).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Open opens for reading (replay, compaction input).
+	Open(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath — the compaction
+	// commit point.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (abandoned compaction output).
+	Remove(name string) error
+}
+
+// File is the journal's view of one open file.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	Stat() (fs.FileInfo, error)
+	Sync() error
+	Truncate(size int64) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// OpenFile opens name via os.OpenFile.
+func (OSFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Open opens name for reading via os.Open.
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+// Rename renames via os.Rename.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove deletes via os.Remove.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// DiskScript decides, deterministically from its seed, which filesystem
+// operations fail and how. All fields are read-only after construction; the
+// decision counters are internal and mutex-guarded.
+type DiskScript struct {
+	// ShortWriteProb is the per-write probability of a torn write: a random
+	// strict prefix of the buffer reaches the file and the call returns an
+	// injected EIO. Transient — the next attempt succeeds (unless it draws
+	// its own fault), which is exactly the torn-final-record disk model.
+	ShortWriteProb float64
+	// SyncErrorProb is the per-fsync probability of an injected EIO. Sync
+	// failures are not retried by a correct journal (the kernel may already
+	// have dropped the dirty pages), so even one degrades it.
+	SyncErrorProb float64
+	// ENOSPCAfterWrites, when >= 0, makes every write from the Nth onward
+	// fail with injected ENOSPC and write nothing — the disk-full cliff.
+	// Negative means never.
+	ENOSPCAfterWrites int
+
+	rng *rng
+
+	mu     sync.Mutex
+	writes int
+}
+
+// NewDiskScript builds a script with a seeded decision source. The zero
+// probabilities make it a passthrough until fields are set.
+func NewDiskScript(seed int64) *DiskScript {
+	return &DiskScript{rng: newRNG(seed), ENOSPCAfterWrites: -1}
+}
+
+// writeDecision returns how many of n bytes to let through and the error to
+// return, advancing the write counter.
+func (s *DiskScript) writeDecision(n int) (allow int, err error) {
+	s.mu.Lock()
+	w := s.writes
+	s.writes++
+	s.mu.Unlock()
+	if s.ENOSPCAfterWrites >= 0 && w >= s.ENOSPCAfterWrites {
+		return 0, injectedf(syscall.ENOSPC, "write %d", w)
+	}
+	if n > 1 && s.rng != nil && s.rng.hit(s.ShortWriteProb) {
+		return 1 + s.rng.intn(n-1), injectedf(syscall.EIO, "short write %d", w)
+	}
+	return n, nil
+}
+
+// syncDecision returns the error (if any) for one fsync.
+func (s *DiskScript) syncDecision() error {
+	if s.rng != nil && s.rng.hit(s.SyncErrorProb) {
+		return injectedf(syscall.EIO, "fsync")
+	}
+	return nil
+}
+
+// FaultFS interposes a DiskScript between a journal and an inner FS.
+type FaultFS struct {
+	Inner  FS
+	Script *DiskScript
+}
+
+// NewFaultFS wraps the real filesystem with script.
+func NewFaultFS(script *DiskScript) *FaultFS {
+	return &FaultFS{Inner: OSFS{}, Script: script}
+}
+
+// OpenFile opens through the inner FS and wraps the handle for write/sync
+// injection.
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	inner, err := f.Inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, script: f.Script}, nil
+}
+
+// Open opens read-only; reads are never faulted (replay robustness is
+// exercised by what the write faults leave on disk).
+func (f *FaultFS) Open(name string) (File, error) { return f.Inner.Open(name) }
+
+// Rename passes through — rename is atomic or absent in this fault model;
+// its crash behavior is covered by the kill-based tests.
+func (f *FaultFS) Rename(oldpath, newpath string) error { return f.Inner.Rename(oldpath, newpath) }
+
+// Remove passes through.
+func (f *FaultFS) Remove(name string) error { return f.Inner.Remove(name) }
+
+// faultFile applies the script to one open handle.
+type faultFile struct {
+	File
+	script *DiskScript
+}
+
+// Write consults the script: it may write a strict prefix (torn record) or
+// nothing (ENOSPC) before returning the injected error.
+func (f *faultFile) Write(p []byte) (int, error) {
+	allow, ferr := f.script.writeDecision(len(p))
+	if ferr == nil {
+		return f.File.Write(p)
+	}
+	n := 0
+	if allow > 0 {
+		var werr error
+		n, werr = f.File.Write(p[:allow])
+		if werr != nil {
+			return n, werr
+		}
+	}
+	return n, ferr
+}
+
+// Sync consults the script before syncing.
+func (f *faultFile) Sync() error {
+	if err := f.script.syncDecision(); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}

@@ -1,0 +1,135 @@
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestDiskScriptDeterministic: two scripts built from the same seed make the
+// same decisions in the same order — the property that makes any chaos
+// failure replayable from its seed alone.
+func TestDiskScriptDeterministic(t *testing.T) {
+	mkTrace := func(seed int64) []string {
+		s := NewDiskScript(seed)
+		s.ShortWriteProb = 0.3
+		s.SyncErrorProb = 0.2
+		var trace []string
+		for i := 0; i < 200; i++ {
+			allow, err := s.writeDecision(100)
+			trace = append(trace, fmt.Sprintf("w%d:%d:%v", i, allow, err))
+			trace = append(trace, fmt.Sprintf("s%d:%v", i, s.syncDecision()))
+		}
+		return trace
+	}
+	a, b := mkTrace(42), mkTrace(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged across same-seed scripts:\n %s\n %s", i, a[i], b[i])
+		}
+	}
+	c := mkTrace(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 400-decision traces")
+	}
+}
+
+// TestFaultFileShortWrite: a torn write leaves a strict prefix on disk and
+// reports an injected EIO with the true byte count.
+func TestFaultFileShortWrite(t *testing.T) {
+	script := NewDiskScript(7)
+	script.ShortWriteProb = 1
+	ffs := NewFaultFS(script)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	buf := []byte("0123456789abcdef")
+	n, err := f.Write(buf)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("torn write error = %v, want injected EIO", err)
+	}
+	if n <= 0 || n >= len(buf) {
+		t.Fatalf("torn write reported %d of %d bytes, want a strict non-empty prefix", n, len(buf))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != n || string(data) != string(buf[:n]) {
+		t.Fatalf("on-disk bytes %q disagree with the reported prefix %q", data, buf[:n])
+	}
+}
+
+// TestFaultFileENOSPC: from the configured write onward every write fails
+// whole — zero bytes land — with an injected ENOSPC.
+func TestFaultFileENOSPC(t *testing.T) {
+	script := NewDiskScript(7)
+	script.ENOSPCAfterWrites = 2
+	ffs := NewFaultFS(script)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for i := 0; i < 2; i++ {
+		if n, err := f.Write([]byte("ok\n")); n != 3 || err != nil {
+			t.Fatalf("write %d before the cliff = (%d, %v)", i, n, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		n, err := f.Write([]byte("no\n"))
+		if n != 0 || !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("write past the cliff = (%d, %v), want (0, ENOSPC)", n, err)
+		}
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "ok\nok\n" {
+		t.Fatalf("file holds %q, want only the pre-cliff writes", data)
+	}
+}
+
+// TestFaultFileSyncError: a scripted fsync failure surfaces as injected EIO.
+func TestFaultFileSyncError(t *testing.T) {
+	script := NewDiskScript(7)
+	script.SyncErrorProb = 1
+	ffs := NewFaultFS(script)
+	f, err := ffs.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync = %v, want injected EIO", err)
+	}
+}
+
+// TestRandomPlanDeterministic: the full plan — disk script, per-worker net
+// scripts, sever offsets — reproduces from its seed.
+func TestRandomPlanDeterministic(t *testing.T) {
+	a, b := RandomPlan(99, 3), RandomPlan(99, 3)
+	if a.String() != b.String() {
+		t.Fatalf("same-seed plans differ:\n %s\n %s", a, b)
+	}
+	if len(a.Net) != 3 {
+		t.Fatalf("plan has %d net scripts, want one per worker", len(a.Net))
+	}
+	if c := RandomPlan(100, 3); a.String() == c.String() {
+		t.Fatal("seeds 99 and 100 produced identical plans")
+	}
+}

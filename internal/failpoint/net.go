@@ -1,0 +1,205 @@
+package failpoint
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// NetScript decides, deterministically from its seed, how one peer's HTTP
+// calls misbehave. Fields are read-only after construction.
+type NetScript struct {
+	// MaxLatency adds a uniform [0, MaxLatency) delay before each call.
+	MaxLatency time.Duration
+	// DropProb is the per-call probability the request never reaches the
+	// server: an injected connection-reset error after the latency.
+	DropProb float64
+	// DupProb is the per-call probability the request is delivered twice —
+	// the idempotency probe. The first response is discarded; the caller
+	// sees the second. (The server observes two deliveries.)
+	DupProb float64
+	// SeverBodyProb is the per-call probability the response body is severed
+	// mid-read: the caller gets the status and headers, then an injected
+	// reset partway through the payload — the "coordinator answered, then
+	// the connection died" case.
+	SeverBodyProb float64
+	// Partitions are windows (relative to the transport's first call) during
+	// which every call fails — this peer is off the network for N seconds.
+	Partitions []Window
+
+	rng *rng
+}
+
+// NewNetScript builds a script with a seeded decision source.
+func NewNetScript(seed int64) *NetScript { return &NetScript{rng: newRNG(seed)} }
+
+// Transport applies a NetScript to an http.RoundTripper. Plug it into the
+// http.Client a dist.Worker (or any other peer) uses and every protocol
+// call runs the scripted gauntlet.
+type Transport struct {
+	// Base issues the real calls (default http.DefaultTransport).
+	Base http.RoundTripper
+	// Script decides the faults; nil is a passthrough.
+	Script *NetScript
+
+	once  sync.Once
+	start time.Time
+}
+
+// NewTransport wraps the default transport with script.
+func NewTransport(script *NetScript) *Transport { return &Transport{Script: script} }
+
+// RoundTrip applies latency, partitions, drops, duplication, and body
+// severing per the script.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	s := t.Script
+	if s == nil {
+		return base.RoundTrip(req)
+	}
+	t.once.Do(func() { t.start = time.Now() })
+
+	if s.MaxLatency > 0 {
+		d := time.Duration(s.rng.intn(int(s.MaxLatency)))
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	off := time.Since(t.start)
+	for _, w := range s.Partitions {
+		if w.contains(off) {
+			return nil, injectedf(syscall.ECONNRESET, "partitioned at +%s", off.Round(time.Millisecond))
+		}
+	}
+	if s.rng.hit(s.DropProb) {
+		return nil, injectedf(syscall.ECONNRESET, "dropped request")
+	}
+	if s.rng.hit(s.DupProb) && req.GetBody != nil {
+		// Deliver twice: replay the body, discard the first response, and
+		// hand the caller the second — the server must tolerate the repeat.
+		body, err := req.GetBody()
+		if err == nil {
+			dup := req.Clone(req.Context())
+			dup.Body = body
+			if resp, derr := base.RoundTrip(dup); derr == nil {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+				resp.Body.Close()
+			}
+		}
+		if body, err := req.GetBody(); err == nil {
+			req = req.Clone(req.Context())
+			req.Body = body
+		}
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if s.rng.hit(s.SeverBodyProb) {
+		resp.Body = &severedBody{inner: resp.Body, remaining: 1 + int64(s.rng.intn(64))}
+	}
+	return resp, nil
+}
+
+// severedBody yields a short prefix of the real body, then an injected
+// connection reset.
+type severedBody struct {
+	inner     io.ReadCloser
+	remaining int64
+}
+
+func (b *severedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, injectedf(syscall.ECONNRESET, "response body severed")
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF {
+		return n, err // body ended before the sever point
+	}
+	if b.remaining <= 0 && err == nil {
+		err = injectedf(syscall.ECONNRESET, "response body severed")
+	}
+	return n, err
+}
+
+func (b *severedBody) Close() error { return b.inner.Close() }
+
+// Listener wraps a net.Listener and tracks every accepted connection so a
+// chaos schedule can sever them all at once — the "server host fell off the
+// network" event as seen by every connected client and worker.
+type Listener struct {
+	net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// WrapListener wraps ln.
+func WrapListener(ln net.Listener) *Listener {
+	return &Listener{Listener: ln, conns: make(map[net.Conn]struct{})}
+}
+
+// Accept tracks the accepted connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	tc := &trackedConn{Conn: c, l: l}
+	l.mu.Lock()
+	l.conns[tc] = struct{}{}
+	l.mu.Unlock()
+	return tc, nil
+}
+
+// SeverAll abruptly closes every live accepted connection (in-flight
+// requests included) and returns how many were severed. New connections are
+// still accepted — the host "rebooted", it didn't vanish.
+func (l *Listener) SeverAll() int {
+	l.mu.Lock()
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return len(conns)
+}
+
+// Live reports the number of currently tracked connections.
+func (l *Listener) Live() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.conns)
+}
+
+type trackedConn struct {
+	net.Conn
+	l    *Listener
+	once sync.Once
+}
+
+func (c *trackedConn) Close() error {
+	c.once.Do(func() {
+		c.l.mu.Lock()
+		delete(c.l.conns, c)
+		c.l.mu.Unlock()
+	})
+	return c.Conn.Close()
+}

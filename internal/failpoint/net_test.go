@@ -1,0 +1,186 @@
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestTransportDrop: a dropped call never reaches the server and surfaces an
+// injected connection reset.
+func TestTransportDrop(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer ts.Close()
+
+	script := NewNetScript(5)
+	script.DropProb = 1
+	client := &http.Client{Transport: NewTransport(script)}
+	_, err := client.Get(ts.URL)
+	if err == nil || !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("dropped call error = %v, want ECONNRESET", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("server saw %d requests for a dropped call, want 0", hits.Load())
+	}
+}
+
+// TestTransportDuplicate: a duplicated POST is delivered twice with the same
+// body; the caller sees one ordinary response — the idempotency probe.
+func TestTransportDuplicate(t *testing.T) {
+	var hits atomic.Int64
+	bodies := make(chan string, 4)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		bodies <- string(b)
+		fmt.Fprintf(w, "reply %d", hits.Add(1))
+	}))
+	defer ts.Close()
+
+	script := NewNetScript(5)
+	script.DupProb = 1
+	client := &http.Client{Transport: NewTransport(script)}
+	resp, err := client.Post(ts.URL, "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d deliveries, want 2", hits.Load())
+	}
+	if string(got) != "reply 2" {
+		t.Fatalf("caller got %q, want the second delivery's response", got)
+	}
+	for i := 0; i < 2; i++ {
+		if b := <-bodies; b != "payload" {
+			t.Fatalf("delivery %d carried body %q, want %q", i, b, "payload")
+		}
+	}
+}
+
+// TestTransportSeverBody: the caller receives status and headers, then the
+// body dies partway with an injected reset.
+func TestTransportSeverBody(t *testing.T) {
+	payload := strings.Repeat("x", 4096)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+
+	script := NewNetScript(5)
+	script.SeverBodyProb = 1
+	client := &http.Client{Transport: NewTransport(script)}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("severed-body call must still return a response, got %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 before the sever", resp.StatusCode)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("body read error = %v, want ECONNRESET", err)
+	}
+	if len(got) >= len(payload) {
+		t.Fatalf("read %d of %d bytes before the sever, want a strict prefix", len(got), len(payload))
+	}
+}
+
+// TestTransportPartition: calls inside a partition window fail without
+// touching the network; calls after it go through.
+func TestTransportPartition(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer ts.Close()
+
+	script := NewNetScript(5)
+	script.Partitions = []Window{{From: 0, To: 50 * time.Millisecond}}
+	client := &http.Client{Transport: NewTransport(script)}
+	if _, err := client.Get(ts.URL); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("call inside the partition = %v, want ECONNRESET", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("partitioned call reached the server")
+	}
+	time.Sleep(60 * time.Millisecond)
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("call after the partition healed: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests after the heal, want 1", hits.Load())
+	}
+}
+
+// TestListenerSeverAll: severing kills every live accepted connection but the
+// listener keeps accepting new ones — a host reboot, not a disappearance.
+func TestListenerSeverAll(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(inner)
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c) // hold the conn open
+		}
+	}()
+
+	dial := func() net.Conn {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c1, c2 := dial(), dial()
+	defer c1.Close()
+	defer c2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for ln.Live() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("listener tracked %d conns, want 2", ln.Live())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if n := ln.SeverAll(); n != 2 {
+		t.Fatalf("SeverAll severed %d conns, want 2", n)
+	}
+	for _, c := range []net.Conn{c1, c2} {
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatal("read on a severed conn succeeded")
+		}
+	}
+
+	// The host is back: new connections still accept and are tracked.
+	c3 := dial()
+	defer c3.Close()
+	for ln.Live() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("listener stopped accepting after SeverAll")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -238,6 +238,37 @@ type Stats struct {
 	Schemes       map[string]LatencySummary `json:"schemes,omitempty"`
 	// Dist is coordinator-mode only: the lease table's counters.
 	Dist *dist.Stats `json:"dist,omitempty"`
+	// Journal is the checkpoint journal's health, present when one is
+	// attached — the observability half of the durability story: degradation
+	// must be visible here before it is visible as data loss.
+	Journal *JournalHealth `json:"journal,omitempty"`
+}
+
+// JournalHealth is the wire rendering of campaign.JournalStats.
+type JournalHealth struct {
+	// RecordsWritten counts records appended this process.
+	RecordsWritten uint64 `json:"records_written"`
+	// AppendErrors counts appends that failed after repair-and-retry.
+	AppendErrors uint64 `json:"append_errors,omitempty"`
+	// SyncErrors counts failed fsyncs.
+	SyncErrors uint64 `json:"sync_errors,omitempty"`
+	// Compactions counts fold-and-rotate segment rotations.
+	Compactions uint64 `json:"compactions"`
+	// SizeBytes is the active segment's size.
+	SizeBytes int64 `json:"size_bytes"`
+	// LastFsyncAgeS is seconds since the last successful fsync (-1 before
+	// the first).
+	LastFsyncAgeS float64 `json:"last_fsync_age_s"`
+	// ReplayDropped counts corrupt lines dropped by the startup replay.
+	ReplayDropped int `json:"replay_dropped"`
+	// TruncatedBytes is the torn tail removed by the open-time repair.
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+	// SyncPolicy is always|interval|never.
+	SyncPolicy string `json:"sync_policy"`
+	// Degraded carries the terminal disk error once the journal gave up
+	// (omitted while healthy). While set, /ready answers 503 and new jobs
+	// are rejected; cached results still serve.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // EngineStats mirrors campaign.Stats with wire-stable names.
@@ -249,6 +280,8 @@ type EngineStats struct {
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
 	Cancelled uint64 `json:"cancelled"`
+	// JournalErrors counts terminal outcomes the journal failed to persist.
+	JournalErrors uint64 `json:"journal_errors,omitempty"`
 }
 
 // apiError is the uniform error envelope.

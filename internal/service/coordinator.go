@@ -79,6 +79,18 @@ func (s *Server) RequeuePending(recs []campaign.Record) int {
 	if s.dist == nil {
 		return 0
 	}
+	// Seed the lease table's per-key epoch floors from every lease record in
+	// the journal — pending or superseded — so epochs stay monotonic across
+	// the restart and any zombie completion from the previous incarnation
+	// fences instead of landing.
+	floors := make(map[string]uint64)
+	for _, rec := range recs {
+		if rec.Status == campaign.StatusLeased && rec.Epoch > floors[rec.Key] {
+			floors[rec.Key] = rec.Epoch
+		}
+	}
+	s.dist.SeedEpochs(floors)
+
 	n := 0
 	for _, rec := range campaign.PendingLeases(recs) {
 		if rec.Config == nil {
@@ -136,8 +148,27 @@ func (s *Server) handleWorkerLease(w http.ResponseWriter, r *http.Request) {
 	if wait > maxLeaseWait {
 		wait = maxLeaseWait
 	}
-	task, ok := s.dist.Lease(r.Context(), req.WorkerID, wait)
+	// During drain, queued work is still handed out (finishing it is what
+	// drain waits for), but nothing long-polls: an empty queue answers a
+	// clean 204 + Retry-After immediately, and the drain's onset releases
+	// polls already in flight — workers never see the listener die mid-poll.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() {
+		select {
+		case <-s.drainCh:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	s.mu.Lock()
+	if s.draining {
+		wait = 0
+	}
+	s.mu.Unlock()
+	task, ok := s.dist.Lease(ctx, req.WorkerID, wait)
 	if !ok {
+		w.Header().Set("Retry-After", "1")
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}

@@ -7,9 +7,11 @@ import (
 )
 
 // hubEvent is one SSE payload: a named event with pre-marshaled JSON data,
-// serialized once no matter how many subscribers receive it.
+// serialized once no matter how many subscribers receive it, plus the
+// topic-scoped sequence number the SSE layer emits as the event id.
 type hubEvent struct {
 	Type string // SSE event name: progress | sample | status | done
+	ID   uint64 // per-topic sequence number (1-based)
 	Data []byte
 }
 
@@ -18,9 +20,15 @@ type hubEvent struct {
 // single executing simulation feeds every subscriber, whichever job they
 // arrived through. Slow subscribers never block the simulation — a full
 // subscriber buffer drops the event and counts it.
+//
+// Every published event gets the topic's next sequence number, whether or not
+// anyone is subscribed, so a client that reconnects with Last-Event-ID can
+// compare against the topic's current sequence and learn exactly how many
+// events it missed (to drops, overflow, or plain disconnection).
 type Hub struct {
 	mu      sync.Mutex
 	topics  map[string]map[*Subscription]struct{}
+	seqs    map[string]uint64
 	dropped atomic.Uint64
 }
 
@@ -37,7 +45,10 @@ const subscriberBuffer = 128
 
 // NewHub builds an empty hub.
 func NewHub() *Hub {
-	return &Hub{topics: make(map[string]map[*Subscription]struct{})}
+	return &Hub{
+		topics: make(map[string]map[*Subscription]struct{}),
+		seqs:   make(map[string]uint64),
+	}
 }
 
 // Subscribe attaches a new subscriber to key's feed.
@@ -69,14 +80,23 @@ func (s *Subscription) Close() {
 	h.mu.Unlock()
 }
 
-// Publish marshals payload once and fans it out to key's subscribers. A
-// subscriber whose buffer is full loses its OLDEST buffered event (counted
-// in dropped_events), not the new one: for progress feeds the newest
-// snapshot supersedes the stale backlog, and a stalled subscriber that
-// resumes reading catches up to the present instead of replaying history
-// and missing the terminal event.
+// Seq reports key's current (last assigned) sequence number.
+func (h *Hub) Seq(key string) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seqs[key]
+}
+
+// Publish marshals payload once, stamps it with key's next sequence number,
+// and fans it out to key's subscribers. A subscriber whose buffer is full
+// loses its OLDEST buffered event (counted in dropped_events), not the new
+// one: for progress feeds the newest snapshot supersedes the stale backlog,
+// and a stalled subscriber that resumes reading catches up to the present
+// instead of replaying history and missing the terminal event.
 func (h *Hub) Publish(key, typ string, payload any) {
 	h.mu.Lock()
+	h.seqs[key]++
+	seq := h.seqs[key]
 	t := h.topics[key]
 	if len(t) == 0 {
 		h.mu.Unlock()
@@ -87,7 +107,7 @@ func (h *Hub) Publish(key, typ string, payload any) {
 		h.mu.Unlock()
 		return
 	}
-	ev := hubEvent{Type: typ, Data: data}
+	ev := hubEvent{Type: typ, ID: seq, Data: data}
 	for sub := range t {
 		for {
 			select {

@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -55,6 +56,12 @@ type Options struct {
 	// lease table's remote workers instead of in-process, and the worker
 	// protocol routes are mounted. nil = standalone.
 	Dist *dist.Table
+	// Journal, when set, lets the server observe the checkpoint journal's
+	// health: /v1/stats reports its counters, and a degraded journal (disk
+	// full, failed fsync) flips /ready to 503 and rejects new jobs while
+	// cached results keep serving. The engine still owns the journal's
+	// lifecycle; this is a read-only view.
+	Journal *campaign.Journal
 	// Logf receives operational diagnostics (default: discarded).
 	Logf func(format string, args ...any)
 }
@@ -127,8 +134,12 @@ type Server struct {
 	hub     *Hub
 	limiter *RateLimiter
 	dist    *dist.Table // nil in standalone mode
+	journal *campaign.Journal
 	start   time.Time
 	now     func() time.Time // test hook
+
+	drainCh   chan struct{} // closed when Drain starts: releases worker long-polls
+	drainOnce sync.Once
 
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -154,8 +165,10 @@ func NewServer(opts Options) (*Server, error) {
 		hub:       NewHub(),
 		limiter:   NewRateLimiter(opts.RatePerSec, opts.RateBurst),
 		dist:      opts.Dist,
+		journal:   opts.Journal,
 		start:     time.Now(),
 		now:       time.Now,
+		drainCh:   make(chan struct{}),
 		jobs:      make(map[string]*job),
 		latencies: make(map[string][]float64),
 	}
@@ -295,6 +308,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		close(j.done)
 		s.addJob(j)
 		writeJSON(w, http.StatusOK, s.status(j))
+		return
+	}
+
+	// A degraded journal cannot persist new verdicts: keep serving the cache
+	// (above) but refuse work whose outcome would silently evaporate on the
+	// next restart.
+	if err := s.journalDegraded(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "journal degraded, serving cached results only: "+err.Error(), 0)
 		return
 	}
 
@@ -546,12 +567,31 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 
+	// Every event carries id: — the topic's sequence number — so a client
+	// that reconnects can send Last-Event-ID and learn exactly how many
+	// events it missed (dropped on overflow or published while it was gone).
+	// Synthetic events (the snapshots below) carry the current sequence; hub
+	// events carry the sequence assigned at publish.
 	emit := func(typ string, payload any) {
 		data, err := json.Marshal(payload)
 		if err != nil {
 			return
 		}
-		writeSSE(w, fl, typ, data)
+		writeSSE(w, fl, s.hub.Seq(j.key), typ, data)
+	}
+	if lastSeen := r.Header.Get("Last-Event-ID"); lastSeen != "" {
+		if lastID, perr := strconv.ParseUint(lastSeen, 10, 64); perr == nil {
+			cur := s.hub.Seq(j.key)
+			missed := uint64(0)
+			if cur > lastID {
+				missed = cur - lastID
+			}
+			emit("reconnect", map[string]uint64{
+				"last_event_id":   lastID,
+				"latest_event_id": cur,
+				"missed_events":   missed,
+			})
+		}
 	}
 	st := s.status(j)
 	emit("status", st)
@@ -565,14 +605,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case ev := <-sub.C:
-			writeSSE(w, fl, ev.Type, ev.Data)
+			writeSSE(w, fl, ev.ID, ev.Type, ev.Data)
 		case <-j.done:
 			// Drain anything already buffered, then report this job's own
 			// terminal state.
 			for {
 				select {
 				case ev := <-sub.C:
-					writeSSE(w, fl, ev.Type, ev.Data)
+					writeSSE(w, fl, ev.ID, ev.Type, ev.Data)
 					continue
 				default:
 				}
@@ -614,11 +654,23 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case h.Status == "draining":
 		code = http.StatusServiceUnavailable
+	case s.journalDegraded() != nil:
+		code = http.StatusServiceUnavailable
+		h.Status = "journal degraded"
 	case s.dist != nil && h.WorkersAlive == 0:
 		code = http.StatusServiceUnavailable
 		h.Status = "no workers"
 	}
 	writeJSON(w, code, h)
+}
+
+// journalDegraded reports the journal's terminal disk error, nil while
+// healthy or when no journal is attached.
+func (s *Server) journalDegraded() error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Degraded()
 }
 
 // health assembles the shared health payload.
@@ -664,6 +716,7 @@ func (s *Server) Stats() Stats {
 			Executed: es.Executed, Retries: es.Retries, MemoHits: es.Hits,
 			Replayed: es.Replayed, Completed: es.Completed,
 			Failed: es.Failed, Cancelled: es.Cancelled,
+			JournalErrors: es.JournalErrors,
 		},
 		Schemes: make(map[string]LatencySummary),
 	}
@@ -678,6 +731,24 @@ func (s *Server) Stats() Stats {
 	if s.dist != nil {
 		ds := s.dist.Snapshot()
 		st.Dist = &ds
+	}
+	if s.journal != nil {
+		js := s.journal.Stats()
+		st.Journal = &JournalHealth{
+			RecordsWritten: js.Appended,
+			AppendErrors:   js.AppendErrors,
+			SyncErrors:     js.SyncErrors,
+			Compactions:    js.Compactions,
+			SizeBytes:      js.SizeBytes,
+			LastFsyncAgeS:  js.LastSyncAge.Seconds(),
+			ReplayDropped:  js.ReplayDropped,
+			TruncatedBytes: js.TruncatedBytes,
+			SyncPolicy:     js.SyncPolicy,
+			Degraded:       js.Degraded,
+		}
+		if js.LastSyncAge < 0 {
+			st.Journal.LastFsyncAgeS = -1
+		}
 	}
 	return st
 }
@@ -711,6 +782,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	// Release worker lease long-polls immediately: they answer a clean 204 +
+	// Retry-After instead of dying with the listener, and their next poll
+	// (wait=0 during drain) still hands out any queued work the drain is
+	// waiting on.
+	s.drainOnce.Do(func() { close(s.drainCh) })
 	tick := time.NewTicker(20 * time.Millisecond)
 	defer tick.Stop()
 	for {
@@ -767,9 +843,9 @@ func terminal(state string) bool {
 	return state == StateDone || state == StateFailed || state == StateCancelled
 }
 
-// writeSSE emits one server-sent event and flushes it.
-func writeSSE(w io.Writer, fl http.Flusher, typ string, data []byte) {
-	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", typ, data)
+// writeSSE emits one server-sent event (with its id) and flushes it.
+func writeSSE(w io.Writer, fl http.Flusher, id uint64, typ string, data []byte) {
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, typ, data)
 	fl.Flush()
 }
 
