@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-guard golden verify profile smoke serve-smoke dist-chaos chaos-sched
+.PHONY: all build vet test race bench-guard golden verify profile smoke serve-smoke functional loadtest dist-chaos chaos-sched
 
 all: verify
 
@@ -57,13 +57,27 @@ profile:
 smoke:
 	./scripts/checkpoint_smoke.sh
 
-# Daemon round trip: start sttsimd, submit two identical jobs, require a
-# cache hit and byte-identical results, stream the SSE feed, restart against
-# the journal (warm cache, no re-execution), drain on SIGTERM. A second phase
-# brings up a coordinator with two workers and requires byte-identical
-# distributed results.
+# Daemon crash recovery: kill -9 a coordinator mid-lease and require the
+# write-ahead lease record plus -resume to carry the job across the crash.
+# (The standalone/distributed happy paths this script used to cover are now
+# the functional suite below.)
 serve-smoke:
 	./scripts/sttsimd_smoke.sh
+
+# Black-box functional suite: boots real sttsimd processes (standalone and
+# coordinator+workers) on ephemeral ports and drives them end-to-end through
+# the pkg/sttsim client SDK — lifecycle, cache identity, cancel, journal
+# warm restart, SSE resume accounting, and the typed error surface.
+functional:
+	$(GO) test -race ./tests/functional
+
+# Serving SLO gate: cmd/loadgen fires a mixed unique/duplicate/invalid
+# workload at a self-hosted daemon and asserts submit/e2e p99, cache hit
+# ratio, error budget, and the dedup invariant; throughput is compared to
+# BENCH_serving.json on the matching host. LOADGEN_N overrides the
+# submission count; re-baseline with scripts/serving_guard.sh -update.
+loadtest:
+	./scripts/serving_guard.sh
 
 # Distributed-serving chaos gate: the dist package under -race including the
 # process-level kill test — a real coordinator with three workers, the lease

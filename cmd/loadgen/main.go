@@ -1,0 +1,388 @@
+// Command loadgen drives a sustained mixed workload — unique configurations,
+// duplicate resubmissions, and deliberately invalid specs — against an
+// sttsimd daemon through the pkg/sttsim client, measures client-observed
+// latency percentiles and throughput, cross-checks the daemon's own
+// /v1/stats accounting, and asserts serving SLOs: submit p99, end-to-end
+// p99, duplicate hit rate, dedup (the engine must never execute one
+// fingerprint twice), and the unexpected-error budget.
+//
+// With -addr it targets a running daemon; without it, it self-hosts an
+// in-process standalone server on an ephemeral port, so one command is a
+// hermetic serving benchmark. The report lands in -out as JSON
+// (BENCH_serving.json by convention; scripts/serving_guard.sh gates it in
+// CI). Exit codes: 0 all SLOs met, 1 an SLO failed, 2 the run itself broke.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sttsim/internal/campaign"
+	"sttsim/internal/service"
+	"sttsim/pkg/sttsim"
+)
+
+type sloConfig struct {
+	SubmitP99MaxS float64 `json:"submit_p99_max_s"`
+	E2EP99MaxS    float64 `json:"e2e_p99_max_s"`
+	MinHitRate    float64 `json:"min_hit_rate"`
+	MaxErrorFrac  float64 `json:"max_error_frac"`
+}
+
+type report struct {
+	Host   string `json:"host"`
+	Target string `json:"target"` // self-hosted | external
+	Config struct {
+		N             int     `json:"n"`
+		Concurrency   int     `json:"concurrency"`
+		DupFrac       float64 `json:"dup_frac"`
+		InvalidFrac   float64 `json:"invalid_frac"`
+		WarmupCycles  uint64  `json:"warmup_cycles"`
+		MeasureCycles uint64  `json:"measure_cycles"`
+	} `json:"config"`
+	Totals struct {
+		Submitted        int `json:"submitted"`
+		Unique           int `json:"unique"`
+		Duplicate        int `json:"duplicate"`
+		Invalid          int `json:"invalid"`
+		CacheHits        int `json:"cache_hits"`
+		Deduped          int `json:"deduped"`
+		ExpectedErrors   int `json:"expected_errors"`
+		UnexpectedErrors int `json:"unexpected_errors"`
+	} `json:"totals"`
+	Latency struct {
+		SubmitP50S float64 `json:"submit_p50_s"`
+		SubmitP90S float64 `json:"submit_p90_s"`
+		SubmitP99S float64 `json:"submit_p99_s"`
+		E2EP50S    float64 `json:"e2e_p50_s"`
+		E2EP99S    float64 `json:"e2e_p99_s"`
+	} `json:"latency"`
+	Throughput struct {
+		WallS         float64 `json:"wall_s"`
+		SubmitsPerSec float64 `json:"submits_per_sec"`
+	} `json:"throughput"`
+	Server struct {
+		CacheHitRatio  float64 `json:"cache_hit_ratio"`
+		EngineExecuted uint64  `json:"engine_executed"`
+		MemoHits       uint64  `json:"memo_hits"`
+		RateLimited    uint64  `json:"rate_limited"`
+		DroppedEvents  uint64  `json:"dropped_events"`
+	} `json:"server"`
+	SLO      sloConfig `json:"slo"`
+	Failures []string  `json:"failures,omitempty"`
+	Pass     bool      `json:"pass"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "target daemon base URL (empty = self-host an in-process standalone server)")
+	n := flag.Int("n", 1000, "total submissions")
+	concurrency := flag.Int("concurrency", 16, "concurrent submitters")
+	dupFrac := flag.Float64("dup-frac", 0.5, "fraction of submissions repeating an earlier configuration")
+	invalidFrac := flag.Float64("invalid-frac", 0.05, "fraction of submissions that are deliberately invalid")
+	warmup := flag.Uint64("warmup", 500, "warmup cycles per simulation")
+	measure := flag.Uint64("measure", 1500, "measure cycles per simulation")
+	seed := flag.Int64("seed", 1, "workload shuffle seed")
+	out := flag.String("out", "BENCH_serving.json", "report path (empty = stdout only)")
+	slo := sloConfig{}
+	flag.Float64Var(&slo.SubmitP99MaxS, "slo-submit-p99", 2.0, "SLO: max submit round-trip p99 (seconds)")
+	flag.Float64Var(&slo.E2EP99MaxS, "slo-e2e-p99", 60.0, "SLO: max submit-to-done p99 for executed jobs (seconds)")
+	flag.Float64Var(&slo.MinHitRate, "slo-hit-rate", 0.2, "SLO: min server-side cache hit ratio after the run")
+	flag.Float64Var(&slo.MaxErrorFrac, "slo-error-budget", 0.01, "SLO: max fraction of unexpected errors")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "loadgen: ", log.LstdFlags)
+	if *n < 1 || *concurrency < 1 || *dupFrac < 0 || *invalidFrac < 0 || *dupFrac+*invalidFrac >= 1 {
+		logger.Fatal("need n >= 1, concurrency >= 1, and dup-frac + invalid-frac < 1")
+	}
+
+	base := *addr
+	target := "external"
+	if base == "" {
+		target = "self-hosted"
+		stop, url, err := selfHost(logger)
+		if err != nil {
+			logger.Fatalf("self-host: %v", err)
+		}
+		defer stop()
+		base = url
+	}
+
+	rep, err := run(logger, base, *n, *concurrency, *dupFrac, *invalidFrac, *warmup, *measure, *seed, slo)
+	if err != nil {
+		logger.Printf("run failed: %v", err)
+		os.Exit(2)
+	}
+	rep.Target = target
+
+	data, _ := json.MarshalIndent(rep, "", "  ")
+	data = append(data, '\n')
+	fmt.Printf("%s", data)
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			logger.Printf("write %s: %v", *out, err)
+			os.Exit(2)
+		}
+	}
+	if !rep.Pass {
+		for _, f := range rep.Failures {
+			logger.Printf("SLO FAIL: %s", f)
+		}
+		os.Exit(1)
+	}
+	logger.Printf("all SLOs met: %d submissions at %.0f/s, submit p99 %.0fms, hit ratio %.2f",
+		rep.Totals.Submitted, rep.Throughput.SubmitsPerSec,
+		rep.Latency.SubmitP99S*1000, rep.Server.CacheHitRatio)
+}
+
+// selfHost boots an in-process standalone server on an ephemeral port.
+func selfHost(logger *log.Logger) (stop func(), url string, err error) {
+	eng := campaign.New(campaign.Policy{Jobs: runtime.GOMAXPROCS(0)})
+	srv, err := service.NewServer(service.Options{
+		Engine:  eng,
+		Version: "loadgen",
+		MaxJobs: 1 << 16, // retain every record; the load is the point
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	logger.Printf("self-hosted standalone server on %s (jobs=%d)", ln.Addr(), runtime.GOMAXPROCS(0))
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+		hs.Shutdown(ctx)
+		eng.Drain()
+	}
+	return stop, "http://" + ln.Addr().String(), nil
+}
+
+// submission is one planned request.
+type submission struct {
+	spec    sttsim.JobSpec
+	kind    string // unique | duplicate | invalid
+	uniqueI int    // index into the unique seed space
+}
+
+func run(logger *log.Logger, base string, n, concurrency int, dupFrac, invalidFrac float64,
+	warmup, measure uint64, seed int64, slo sloConfig) (*report, error) {
+
+	client, err := sttsim.New(base,
+		sttsim.WithRetry(5, 100*time.Millisecond, 2*time.Second),
+		sttsim.WithPollInterval(10*time.Millisecond))
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Minute)
+	defer cancel()
+	if _, err := client.Health(ctx); err != nil {
+		return nil, fmt.Errorf("daemon not reachable: %w", err)
+	}
+
+	// Plan the mixed workload up front: a deterministic shuffle of unique,
+	// duplicate, and invalid submissions. Duplicates prefer configurations
+	// already completed (true cache hits); when none are done yet they join
+	// the in-flight run instead (dedup) — both count toward the hit SLO's
+	// numerator on the server side only when the cache answers, which is why
+	// MinHitRate is set below the duplicate fraction.
+	rng := rand.New(rand.NewSource(seed))
+	nInvalid := int(float64(n) * invalidFrac)
+	nDup := int(float64(n) * dupFrac)
+	nUnique := n - nInvalid - nDup
+	if nUnique < 1 {
+		return nil, errors.New("workload has no unique submissions")
+	}
+	spec := func(i int) sttsim.JobSpec {
+		return sttsim.JobSpec{
+			Scheme: "stt4", Bench: "milc", Seed: uint64(1000 + i),
+			WarmupCycles: warmup, MeasureCycles: measure,
+		}
+	}
+	plan := make([]submission, 0, n)
+	for i := 0; i < nUnique; i++ {
+		plan = append(plan, submission{spec: spec(i), kind: "unique", uniqueI: i})
+	}
+	for i := 0; i < nDup; i++ {
+		plan = append(plan, submission{kind: "duplicate"}) // spec chosen at submit time
+	}
+	for i := 0; i < nInvalid; i++ {
+		// Passes client-side validation; the server rejects the unknown
+		// benchmark with 400. That 400 is EXPECTED load, not an error.
+		plan = append(plan, submission{kind: "invalid",
+			spec: sttsim.JobSpec{Scheme: "stt4", Bench: fmt.Sprintf("no-such-bench-%d", i)}})
+	}
+	rng.Shuffle(len(plan), func(i, j int) { plan[i], plan[j] = plan[j], plan[i] })
+
+	var (
+		mu        sync.Mutex
+		completed []int // unique indices whose runs finished (dup targets)
+		submitLat []float64
+		e2eLat    []float64
+		totals    struct{ cacheHits, deduped, expected, unexpected int }
+	)
+	recordErr := func(kind string, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		var apiErr *sttsim.APIError
+		if kind == "invalid" && errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusBadRequest {
+			totals.expected++
+			return
+		}
+		totals.unexpected++
+		if totals.unexpected <= 5 {
+			logger.Printf("unexpected error on %s submission: %v", kind, err)
+		}
+	}
+
+	work := make(chan submission)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sub := range work {
+				if sub.kind == "duplicate" {
+					mu.Lock()
+					if len(completed) > 0 {
+						sub.uniqueI = completed[rng.Intn(len(completed))]
+					} else {
+						sub.uniqueI = rng.Intn(nUnique)
+					}
+					mu.Unlock()
+					sub.spec = spec(sub.uniqueI)
+				}
+				t0 := time.Now()
+				st, err := client.Submit(ctx, sub.spec)
+				rtt := time.Since(t0).Seconds()
+				if err != nil {
+					recordErr(sub.kind, err)
+					continue
+				}
+				mu.Lock()
+				submitLat = append(submitLat, rtt)
+				if st.CacheHit {
+					totals.cacheHits++
+				}
+				if st.Deduped {
+					totals.deduped++
+				}
+				mu.Unlock()
+				if st.Terminal() {
+					continue // cache hit: nothing to wait for
+				}
+				st, err = client.Wait(ctx, st.ID)
+				if err != nil {
+					recordErr(sub.kind, err)
+					continue
+				}
+				if st.State != sttsim.StateDone {
+					recordErr(sub.kind, fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error))
+					continue
+				}
+				mu.Lock()
+				e2eLat = append(e2eLat, time.Since(t0).Seconds())
+				if sub.kind == "unique" || sub.kind == "duplicate" {
+					completed = append(completed, sub.uniqueI)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, sub := range plan {
+		work <- sub
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("final stats: %w", err)
+	}
+
+	rep := &report{Host: hostKey(), SLO: slo}
+	rep.Config.N, rep.Config.Concurrency = n, concurrency
+	rep.Config.DupFrac, rep.Config.InvalidFrac = dupFrac, invalidFrac
+	rep.Config.WarmupCycles, rep.Config.MeasureCycles = warmup, measure
+	rep.Totals.Submitted, rep.Totals.Unique = n, nUnique
+	rep.Totals.Duplicate, rep.Totals.Invalid = nDup, nInvalid
+	rep.Totals.CacheHits, rep.Totals.Deduped = totals.cacheHits, totals.deduped
+	rep.Totals.ExpectedErrors, rep.Totals.UnexpectedErrors = totals.expected, totals.unexpected
+	rep.Latency.SubmitP50S = percentile(submitLat, 0.50)
+	rep.Latency.SubmitP90S = percentile(submitLat, 0.90)
+	rep.Latency.SubmitP99S = percentile(submitLat, 0.99)
+	rep.Latency.E2EP50S = percentile(e2eLat, 0.50)
+	rep.Latency.E2EP99S = percentile(e2eLat, 0.99)
+	rep.Throughput.WallS = wall
+	rep.Throughput.SubmitsPerSec = float64(n) / wall
+	rep.Server.CacheHitRatio = stats.Cache.HitRatio
+	rep.Server.EngineExecuted = stats.Engine.Executed
+	rep.Server.MemoHits = stats.Engine.MemoHits
+	rep.Server.RateLimited = stats.RateLimited
+	rep.Server.DroppedEvents = stats.DroppedEvents
+
+	// SLO verdicts, every one from a different vantage point: client-side
+	// latency, server-side cache accounting, and the dedup invariant.
+	fail := func(format string, args ...any) {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
+	}
+	if rep.Latency.SubmitP99S > slo.SubmitP99MaxS {
+		fail("submit p99 %.3fs exceeds %.3fs", rep.Latency.SubmitP99S, slo.SubmitP99MaxS)
+	}
+	if rep.Latency.E2EP99S > slo.E2EP99MaxS {
+		fail("e2e p99 %.3fs exceeds %.3fs", rep.Latency.E2EP99S, slo.E2EP99MaxS)
+	}
+	if rep.Server.CacheHitRatio < slo.MinHitRate {
+		fail("cache hit ratio %.3f below %.3f", rep.Server.CacheHitRatio, slo.MinHitRate)
+	}
+	if frac := float64(totals.unexpected) / float64(n); frac > slo.MaxErrorFrac {
+		fail("unexpected errors %.4f of submissions exceed budget %.4f", frac, slo.MaxErrorFrac)
+	}
+	if rep.Server.EngineExecuted > uint64(nUnique) {
+		fail("engine executed %d runs for %d unique configurations — dedup broke",
+			rep.Server.EngineExecuted, nUnique)
+	}
+	rep.Pass = len(rep.Failures) == 0
+	return rep, nil
+}
+
+// percentile over a copy (nearest-rank on the sorted sample).
+func percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+// hostKey matches scripts/bench_guard.sh's identity so throughput numbers
+// are only ever compared within one machine class.
+func hostKey() string {
+	uname, err := exec.Command("uname", "-sm").Output()
+	if err != nil {
+		return fmt.Sprintf("unknown-%dc", runtime.NumCPU())
+	}
+	return fmt.Sprintf("%s-%dc",
+		strings.ReplaceAll(strings.TrimSpace(string(uname)), " ", "-"), runtime.NumCPU())
+}

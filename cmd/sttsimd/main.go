@@ -33,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -160,11 +161,17 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Bind before announcing, and announce the resolved address: with
+	// -addr 127.0.0.1:0 (test harnesses) the log line carries the real port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen %s: %v", *addr, err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 	done := make(chan error, 1)
-	go func() { done <- httpSrv.ListenAndServe() }()
+	go func() { done <- httpSrv.Serve(ln) }()
 	logger.Printf("version %s %s listening on %s (jobs=%d queue=%d cache=%d/%s)",
-		ver, *mode, *addr, engineJobs, *queue, *cacheSize, cacheTTL)
+		ver, *mode, ln.Addr(), engineJobs, *queue, *cacheSize, cacheTTL)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

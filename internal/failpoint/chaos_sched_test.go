@@ -118,7 +118,7 @@ func chaosExpected(t *testing.T, spec string) (key string, body []byte) {
 	if err := json.Unmarshal([]byte(spec), &js); err != nil {
 		t.Fatal(err)
 	}
-	cfg, err := js.Config()
+	cfg, err := service.SpecConfig(js)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,9 +5,14 @@
 // result cache, and streams live progress to clients over SSE.
 //
 // The daemon binary is cmd/sttsimd; this package holds everything testable:
-// the wire types (api.go), the LRU result cache (cache.go), the progress hub
-// and SSE fan-out (hub.go, progress.go), per-client rate limiting
-// (ratelimit.go), and the HTTP server itself (server.go).
+// the spec-to-config conversion (api.go), the LRU result cache (cache.go),
+// the progress hub and SSE fan-out (hub.go, progress.go), per-client rate
+// limiting (ratelimit.go), and the HTTP server itself (server.go).
+//
+// The wire types themselves live in pkg/sttsim — the public client SDK —
+// and are aliased here, so the structs the server marshals are the structs
+// clients decode: the wire format cannot drift between the two without a
+// compile error or a failing round-trip test.
 package service
 
 import (
@@ -18,55 +23,37 @@ import (
 	"sttsim/internal/dist"
 	"sttsim/internal/sim"
 	"sttsim/internal/workload"
+	api "sttsim/pkg/sttsim"
 )
 
-// ProfileSpec is one custom workload profile on the wire — the Table 3 row
-// shape, client-supplied. Untrusted: every rate is re-validated by
-// sim.Config.Validate after conversion.
-type ProfileSpec struct {
-	Name   string  `json:"name"`
-	Suite  string  `json:"suite,omitempty"` // server|parsec|spec (default spec)
-	L1MPKI float64 `json:"l1_mpki"`
-	L2MPKI float64 `json:"l2_mpki"`
-	L2WPKI float64 `json:"l2_wpki"`
-	L2RPKI float64 `json:"l2_rpki"`
-	Bursty bool    `json:"bursty,omitempty"`
-}
+// Wire types, shared with the client SDK. Aliases (not definitions) so a
+// value built here is exactly the SDK type.
+type (
+	ProfileSpec    = api.ProfileSpec
+	JobSpec        = api.JobSpec
+	JobStatus      = api.JobStatus
+	Health         = api.Health
+	LatencySummary = api.LatencySummary
+	Stats          = api.Stats
+	CacheStats     = api.CacheStats
+	EngineStats    = api.EngineStats
+	DistStats      = api.DistStats
+	JournalHealth  = api.JournalHealth
+	apiError       = api.APIError
 
-// JobSpec is the body of POST /v1/jobs: one simulation request. Exactly one
-// of Bench (a Table 3 benchmark, case1, or case2) or Profiles (a custom mix,
-// distributed round-robin over the 64 cores) selects the workload.
-type JobSpec struct {
-	Scheme   string        `json:"scheme"`
-	Bench    string        `json:"bench,omitempty"`
-	Profiles []ProfileSpec `json:"profiles,omitempty"`
+	// SSE payloads: built here, decoded by the SDK.
+	progressEvent = api.ProgressEvent
+	sampleEvent   = api.SampleEvent
+)
 
-	Seed          uint64 `json:"seed,omitempty"`
-	WarmupCycles  uint64 `json:"warmup_cycles,omitempty"`
-	MeasureCycles uint64 `json:"measure_cycles,omitempty"`
-
-	Regions int  `json:"regions,omitempty"`
-	Corner  bool `json:"corner,omitempty"` // corner TSB placement instead of staggered
-	Hops    int  `json:"hops,omitempty"`
-
-	WriteBufferEntries    int    `json:"write_buffer_entries,omitempty"`
-	ReadPreemption        bool   `json:"read_preemption,omitempty"`
-	ExtraReqVC            bool   `json:"extra_req_vc,omitempty"`
-	WBWindow              int    `json:"wb_window,omitempty"`
-	HoldCap               int    `json:"hold_cap,omitempty"`
-	BankQueueDepth        int    `json:"bank_queue_depth,omitempty"`
-	HybridSRAMBanks       int    `json:"hybrid_sram_banks,omitempty"`
-	EarlyWriteTermination bool   `json:"early_write_termination,omitempty"`
-	AuditInterval         uint64 `json:"audit_interval,omitempty"`
-	WatchdogCycles        uint64 `json:"watchdog_cycles,omitempty"`
-
-	// Stream asks for live progress snapshots and probe samples on the job's
-	// SSE feed while it runs. Streamed and unstreamed runs of the same
-	// configuration share one memo slot and produce byte-identical results
-	// (the observability layer never perturbs outcomes), so Stream does not
-	// enter the fingerprint.
-	Stream bool `json:"stream,omitempty"`
-}
+// Job states on the wire.
+const (
+	StateQueued    = api.StateQueued
+	StateRunning   = api.StateRunning
+	StateDone      = api.StateDone
+	StateFailed    = api.StateFailed
+	StateCancelled = api.StateCancelled
+)
 
 // schemesByName accepts both the CLI spellings and the paper's names.
 var schemesByName = map[string]sim.Scheme{
@@ -88,10 +75,10 @@ var suitesByName = map[string]workload.Suite{
 	"server": workload.SuiteServer,
 }
 
-// Config converts the wire spec into a validated sim.Config. Every error is
-// a client error (HTTP 400): the spec either named something unknown or
+// SpecConfig converts the wire spec into a validated sim.Config. Every error
+// is a client error (HTTP 400): the spec either named something unknown or
 // failed sim.Config.Validate's bounds.
-func (s JobSpec) Config() (sim.Config, error) {
+func SpecConfig(s JobSpec) (sim.Config, error) {
 	scheme, ok := schemesByName[strings.ToLower(s.Scheme)]
 	if !ok {
 		return sim.Config{}, fmt.Errorf("unknown scheme %q (want sram|stt64|stt4|ss|rca|wb)", s.Scheme)
@@ -167,127 +154,27 @@ func (s JobSpec) Config() (sim.Config, error) {
 	return cfg, nil
 }
 
-// Job states on the wire.
-const (
-	StateQueued    = "queued"
-	StateRunning   = "running"
-	StateDone      = "done"
-	StateFailed    = "failed"
-	StateCancelled = "cancelled"
-)
-
-// JobStatus is the wire rendering of one job (GET /v1/jobs/{id} and the SSE
-// status events).
-type JobStatus struct {
-	ID     string `json:"id"`
-	State  string `json:"state"`
-	Key    string `json:"key"`
-	Scheme string `json:"scheme"`
-	Bench  string `json:"bench"`
-	// CacheHit: served from the result cache without touching the engine.
-	CacheHit bool `json:"cache_hit,omitempty"`
-	// Deduped: joined an identical in-flight or memoized run.
-	Deduped   bool    `json:"deduped,omitempty"`
-	Stream    bool    `json:"stream,omitempty"`
-	Error     string  `json:"error,omitempty"`
-	Cause     string  `json:"cause,omitempty"`
-	CreatedAt string  `json:"created_at"`
-	Elapsed   float64 `json:"elapsed_s"`
-	// Summary is the one-line result digest, present once done.
-	Summary string `json:"summary,omitempty"`
-}
-
-// Health is the GET /v1/healthz (liveness) payload. Readiness is the
-// separate GET /v1/healthz/ready: it answers 503 while draining and, in
-// coordinator mode, while no worker is alive to execute anything.
-type Health struct {
-	Status     string  `json:"status"` // ok | draining
-	Version    string  `json:"version"`
-	Mode       string  `json:"mode,omitempty"` // standalone | coordinator
-	UptimeS    float64 `json:"uptime_s"`
-	QueueDepth int     `json:"queue_depth"`
-	QueueMax   int     `json:"queue_max"`
-	Jobs       int     `json:"jobs"`
-	// WorkersAlive is coordinator-mode only: workers seen within one lease
-	// timeout.
-	WorkersAlive int `json:"workers_alive,omitempty"`
-}
-
-// LatencySummary is the per-scheme wall-clock execution latency digest in
-// GET /v1/stats.
-type LatencySummary struct {
-	Count int     `json:"count"`
-	MeanS float64 `json:"mean_s"`
-	P50S  float64 `json:"p50_s"`
-	P90S  float64 `json:"p90_s"`
-	P99S  float64 `json:"p99_s"`
-}
-
-// Stats is the GET /v1/stats payload.
-type Stats struct {
-	UptimeS     float64        `json:"uptime_s"`
-	QueueDepth  int            `json:"queue_depth"`
-	QueueMax    int            `json:"queue_max"`
-	JobsByState map[string]int `json:"jobs_by_state"`
-	Cache       CacheStats     `json:"cache"`
-	Engine      EngineStats    `json:"engine"`
-	RateLimited uint64         `json:"rate_limited"`
-	// DroppedEvents counts SSE events discarded from full slow-subscriber
-	// buffers (oldest-first).
-	DroppedEvents uint64                    `json:"dropped_events"`
-	Schemes       map[string]LatencySummary `json:"schemes,omitempty"`
-	// Dist is coordinator-mode only: the lease table's counters.
-	Dist *dist.Stats `json:"dist,omitempty"`
-	// Journal is the checkpoint journal's health, present when one is
-	// attached — the observability half of the durability story: degradation
-	// must be visible here before it is visible as data loss.
-	Journal *JournalHealth `json:"journal,omitempty"`
-}
-
-// JournalHealth is the wire rendering of campaign.JournalStats.
-type JournalHealth struct {
-	// RecordsWritten counts records appended this process.
-	RecordsWritten uint64 `json:"records_written"`
-	// AppendErrors counts appends that failed after repair-and-retry.
-	AppendErrors uint64 `json:"append_errors,omitempty"`
-	// SyncErrors counts failed fsyncs.
-	SyncErrors uint64 `json:"sync_errors,omitempty"`
-	// Compactions counts fold-and-rotate segment rotations.
-	Compactions uint64 `json:"compactions"`
-	// SizeBytes is the active segment's size.
-	SizeBytes int64 `json:"size_bytes"`
-	// LastFsyncAgeS is seconds since the last successful fsync (-1 before
-	// the first).
-	LastFsyncAgeS float64 `json:"last_fsync_age_s"`
-	// ReplayDropped counts corrupt lines dropped by the startup replay.
-	ReplayDropped int `json:"replay_dropped"`
-	// TruncatedBytes is the torn tail removed by the open-time repair.
-	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
-	// SyncPolicy is always|interval|never.
-	SyncPolicy string `json:"sync_policy"`
-	// Degraded carries the terminal disk error once the journal gave up
-	// (omitted while healthy). While set, /ready answers 503 and new jobs
-	// are rejected; cached results still serve.
-	Degraded string `json:"degraded,omitempty"`
-}
-
-// EngineStats mirrors campaign.Stats with wire-stable names.
-type EngineStats struct {
-	Executed  uint64 `json:"executed"`
-	Retries   uint64 `json:"retries"`
-	MemoHits  uint64 `json:"memo_hits"`
-	Replayed  uint64 `json:"replayed"`
-	Completed uint64 `json:"completed"`
-	Failed    uint64 `json:"failed"`
-	Cancelled uint64 `json:"cancelled"`
-	// JournalErrors counts terminal outcomes the journal failed to persist.
-	JournalErrors uint64 `json:"journal_errors,omitempty"`
-}
-
-// apiError is the uniform error envelope.
-type apiError struct {
-	Error      string `json:"error"`
-	RetryAfter int    `json:"retry_after_s,omitempty"`
+// distStatsWire converts the lease table's snapshot into its wire mirror.
+// The field-for-field JSON equivalence of the two types is pinned by
+// TestDistStatsWireEquivalence.
+func distStatsWire(ds dist.Stats) *DistStats {
+	out := &DistStats{
+		WorkersAlive:    ds.WorkersAlive,
+		Queued:          ds.Queued,
+		Leased:          ds.Leased,
+		Delivered:       ds.Delivered,
+		Redelivered:     ds.Redelivered,
+		Expired:         ds.Expired,
+		Fenced:          ds.Fenced,
+		StaleHeartbeats: ds.StaleHeartbeats,
+		Completed:       ds.Completed,
+	}
+	for _, w := range ds.Workers {
+		out.Workers = append(out.Workers, api.WorkerStatus{
+			ID: w.ID, Alive: w.Alive, Lease: w.Lease, LastSeenS: w.LastSeenS,
+		})
+	}
+	return out
 }
 
 // fmtTime renders timestamps consistently (RFC 3339, UTC).

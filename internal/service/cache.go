@@ -6,17 +6,6 @@ import (
 	"time"
 )
 
-// CacheStats is the result cache's counter snapshot.
-type CacheStats struct {
-	Entries     int     `json:"entries"`
-	Capacity    int     `json:"capacity"`
-	Hits        uint64  `json:"hits"`
-	Misses      uint64  `json:"misses"`
-	Evictions   uint64  `json:"evictions"`
-	Expirations uint64  `json:"expirations"`
-	HitRatio    float64 `json:"hit_ratio"`
-}
-
 // ResultCache is a size-bounded LRU of marshaled simulation results keyed by
 // config fingerprint, with an optional TTL. It stores the serialized bytes —
 // not the *sim.Result — so every client of a given configuration receives a

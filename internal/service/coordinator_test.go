@@ -391,7 +391,7 @@ func TestCoordinatorRequeuePendingFromJournal(t *testing.T) {
 	if err := json.Unmarshal([]byte(e2eSpec), &spec); err != nil {
 		t.Fatal(err)
 	}
-	cfg, err := spec.Config()
+	cfg, err := SpecConfig(spec)
 	if err != nil {
 		t.Fatal(err)
 	}

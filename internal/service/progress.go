@@ -5,24 +5,6 @@ import (
 	"sttsim/internal/sim"
 )
 
-// progressEvent is the periodic run-progress snapshot streamed to SSE
-// subscribers of a running job.
-type progressEvent struct {
-	Cycle       uint64  `json:"cycle"`
-	TotalCycles uint64  `json:"total_cycles"`
-	Percent     float64 `json:"percent"`
-	Injected    uint64  `json:"injected"`
-	Delivered   uint64  `json:"delivered"`
-	BankDone    uint64  `json:"bank_done"`
-	Faults      uint64  `json:"faults"`
-}
-
-// sampleEvent is one live time-series sampling tick (internal/stats probes).
-type sampleEvent struct {
-	Cycle   uint64             `json:"cycle"`
-	Metrics map[string]float64 `json:"metrics"`
-}
-
 // progressFeed aggregates the firehose of packet-lifecycle events from an
 // obs sink into coarse periodic snapshots on the run's hub topic, and
 // forwards stats probe samples as they are taken. It runs on the simulator's

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -230,7 +231,58 @@ func (s *Server) Handler() http.Handler {
 		root.Handle("POST "+dist.PathComplete, s.recoverMiddleware(http.HandlerFunc(s.handleWorkerComplete)))
 	}
 	root.Handle("/", s.recoverMiddleware(timed))
-	return root
+	return jsonErrorMiddleware(root)
+}
+
+// jsonErrorMiddleware rewrites the mux's plain-text 404/405 answers into the
+// uniform JSON error envelope, so every error a client sees decodes as
+// apiError. Handlers that already wrote JSON (writeError sets Content-Type
+// before the status) pass through untouched.
+func jsonErrorMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&jsonErrorWriter{ResponseWriter: w}, r)
+	})
+}
+
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	wrote   bool
+	rewrote bool // swallowing a plain-text body; JSON already sent
+}
+
+func (jw *jsonErrorWriter) WriteHeader(code int) {
+	if jw.wrote {
+		return
+	}
+	jw.wrote = true
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(jw.Header().Get("Content-Type"), "application/json") {
+		jw.rewrote = true
+		jw.Header().Set("Content-Type", "application/json")
+		jw.ResponseWriter.WriteHeader(code)
+		msg := "not found"
+		if code == http.StatusMethodNotAllowed {
+			msg = "method not allowed"
+		}
+		json.NewEncoder(jw.ResponseWriter).Encode(apiError{Message: msg})
+		return
+	}
+	jw.ResponseWriter.WriteHeader(code)
+}
+
+func (jw *jsonErrorWriter) Write(p []byte) (int, error) {
+	if jw.rewrote {
+		return len(p), nil
+	}
+	jw.wrote = true
+	return jw.ResponseWriter.Write(p)
+}
+
+// Flush keeps the SSE route streaming through the wrapper.
+func (jw *jsonErrorWriter) Flush() {
+	if fl, ok := jw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
 }
 
 // recoverMiddleware turns a handler panic into a 500 instead of killing the
@@ -278,10 +330,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("job body exceeds %d bytes", mbe.Limit), 0)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "invalid job body: "+err.Error(), 0)
 		return
 	}
-	cfg, err := spec.Config()
+	cfg, err := SpecConfig(spec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
 		return
@@ -706,10 +764,10 @@ func (s *Server) Stats() Stats {
 	es := s.eng.Stats()
 	s.mu.Lock()
 	st := Stats{
-		UptimeS:     time.Since(s.start).Seconds(),
-		QueueDepth:  s.pending,
-		QueueMax:    s.opts.MaxQueue,
-		JobsByState: make(map[string]int),
+		UptimeS:       time.Since(s.start).Seconds(),
+		QueueDepth:    s.pending,
+		QueueMax:      s.opts.MaxQueue,
+		JobsByState:   make(map[string]int),
 		RateLimited:   s.limiter.Denied(),
 		DroppedEvents: s.hub.Dropped(),
 		Engine: EngineStats{
@@ -729,8 +787,7 @@ func (s *Server) Stats() Stats {
 	s.mu.Unlock()
 	st.Cache = s.cache.Stats()
 	if s.dist != nil {
-		ds := s.dist.Snapshot()
-		st.Dist = &ds
+		st.Dist = distStatsWire(s.dist.Snapshot())
 	}
 	if s.journal != nil {
 		js := s.journal.Stats()
@@ -858,7 +915,7 @@ func writeJSON(w http.ResponseWriter, code int, payload any) {
 
 // writeError writes the uniform error envelope.
 func writeError(w http.ResponseWriter, code int, msg string, retryAfter int) {
-	writeJSON(w, code, apiError{Error: msg, RetryAfter: retryAfter})
+	writeJSON(w, code, apiError{Message: msg, RetryAfter: retryAfter})
 }
 
 // clientKey extracts the rate-limiting key (client IP) from a request.

@@ -1,0 +1,224 @@
+package sttsim
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Event is one server-sent event from a job's /events feed. ID is the
+// topic's sequence number (the SSE id: field) — pass the last one seen back
+// as Last-Event-ID to learn how many events a reconnect missed.
+type Event struct {
+	ID   uint64
+	Type string // status | progress | sample | done | reconnect
+	Data json.RawMessage
+}
+
+// EventStream is one open SSE connection. Next blocks for the next event;
+// Close releases the connection. A stream does not reconnect — Follow does.
+type EventStream struct {
+	body   io.ReadCloser
+	rd     *bufio.Reader
+	lastID uint64
+	cancel context.CancelFunc
+}
+
+// Events opens a job's SSE feed, resuming after lastEventID when it is
+// non-zero (the server's first event is then a "reconnect" accounting for
+// everything missed).
+func (c *Client) Events(ctx context.Context, id string, lastEventID uint64) (*EventStream, error) {
+	// SSE outlives any client-level timeout: run the request on a derived
+	// context and a transport without the unary deadline.
+	ctx, cancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if lastEventID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastEventID, 10))
+	}
+	hc := &http.Client{Transport: c.hc.Transport} // no Timeout: the feed is long-lived
+	resp, err := hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		cancel()
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		if jerr := json.Unmarshal(data, apiErr); jerr != nil || apiErr.Message == "" {
+			apiErr.Message = strings.TrimSpace(string(data))
+		}
+		return nil, apiErr
+	}
+	return &EventStream{
+		body:   resp.Body,
+		rd:     bufio.NewReader(resp.Body),
+		lastID: lastEventID,
+		cancel: cancel,
+	}, nil
+}
+
+// Next returns the feed's next event, blocking until one arrives, the feed
+// ends (io.EOF), or the stream's context is cancelled. Comment lines (the
+// server's keep-alive pings) are skipped.
+func (s *EventStream) Next() (Event, error) {
+	ev := Event{ID: s.lastID}
+	var data []byte
+	dispatch := false
+	for {
+		line, err := s.rd.ReadString('\n')
+		if err != nil {
+			return Event{}, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if dispatch {
+				ev.Data = data
+				s.lastID = ev.ID
+				return ev, nil
+			}
+		case strings.HasPrefix(line, ":"):
+			// keep-alive comment
+		case strings.HasPrefix(line, "id:"):
+			if v, err := strconv.ParseUint(strings.TrimSpace(line[3:]), 10, 64); err == nil {
+				ev.ID = v
+			}
+		case strings.HasPrefix(line, "event:"):
+			ev.Type = strings.TrimSpace(line[6:])
+			dispatch = true
+		case strings.HasPrefix(line, "data:"):
+			chunk := strings.TrimPrefix(line[5:], " ")
+			if data != nil {
+				data = append(data, '\n')
+			}
+			data = append(data, chunk...)
+			dispatch = true
+		}
+	}
+}
+
+// LastEventID reports the sequence number of the last event returned by
+// Next (or the resume point the stream was opened with).
+func (s *EventStream) LastEventID() uint64 { return s.lastID }
+
+// Close releases the stream's connection.
+func (s *EventStream) Close() error {
+	s.cancel()
+	return s.body.Close()
+}
+
+// FollowOptions tunes Follow.
+type FollowOptions struct {
+	// LastEventID resumes the feed after a previously seen event (0 = from
+	// the present).
+	LastEventID uint64
+	// MaxReconnects bounds dropped-connection recoveries (default 5; the
+	// counter resets whenever a connection delivers an event).
+	MaxReconnects int
+}
+
+// Follow streams a job's SSE feed until its terminal "done" event, invoking
+// fn (when non-nil) for every event, including the "reconnect" accounting
+// event a resumed feed leads with. Dropped connections reconnect
+// automatically with Last-Event-ID set to the last event seen, so fn can
+// detect gaps from the reconnect event's missed_events. fn returning an
+// error stops the follow and surfaces that error.
+//
+// Returns the job's terminal status as carried by the done event.
+func (c *Client) Follow(ctx context.Context, id string, opts FollowOptions, fn func(Event) error) (JobStatus, error) {
+	lastID := opts.LastEventID
+	maxRe := opts.MaxReconnects
+	if maxRe <= 0 {
+		maxRe = 5
+	}
+	reconnects := 0
+	for {
+		stream, err := c.Events(ctx, id, lastID)
+		if err != nil {
+			if ctx.Err() != nil {
+				return JobStatus{}, ctx.Err()
+			}
+			if !retryable(err) {
+				return JobStatus{}, err
+			}
+			reconnects++
+			if reconnects > maxRe {
+				return JobStatus{}, fmt.Errorf("sttsim: follow %s: giving up after %d reconnects: %w", id, reconnects-1, err)
+			}
+			d := c.backoffDelay(reconnects-1, err)
+			c.logf("sttsim: follow %s: %v (reconnecting in %s)", id, err, d.Round(time.Millisecond))
+			select {
+			case <-ctx.Done():
+				return JobStatus{}, ctx.Err()
+			case <-time.After(d):
+			}
+			continue
+		}
+		st, done, ferr := c.followOnce(stream, fn)
+		stream.Close()
+		lastID = stream.LastEventID()
+		if done {
+			return st, ferr
+		}
+		// Not done: ferr says why the stream ended.
+		if ctx.Err() != nil {
+			return st, ctx.Err()
+		}
+		if !isConnLoss(ferr) && !retryable(ferr) {
+			return st, ferr
+		}
+		// Connection lost mid-feed: resume from the last event seen.
+		reconnects++
+		if reconnects > maxRe {
+			return st, fmt.Errorf("sttsim: follow %s: giving up after %d reconnects: %w", id, reconnects-1, ferr)
+		}
+		c.logf("sttsim: follow %s: connection lost after event %d; resuming", id, lastID)
+	}
+}
+
+// followOnce drains one stream until done, an fn error, or connection loss.
+func (c *Client) followOnce(stream *EventStream, fn func(Event) error) (JobStatus, bool, error) {
+	delivered := false
+	for {
+		ev, err := stream.Next()
+		if err != nil {
+			if delivered {
+				// A live connection delivered events before dropping; treat as
+				// resumable regardless of the error's shape.
+				return JobStatus{}, false, fmt.Errorf("connection lost: %w", err)
+			}
+			return JobStatus{}, false, err
+		}
+		delivered = true
+		if fn != nil {
+			if ferr := fn(ev); ferr != nil {
+				return JobStatus{}, true, ferr
+			}
+		}
+		if ev.Type == "done" {
+			var st JobStatus
+			if jerr := json.Unmarshal(ev.Data, &st); jerr != nil {
+				return st, true, fmt.Errorf("sttsim: bad done payload: %w", jerr)
+			}
+			return st, true, nil
+		}
+	}
+}
+
+// isConnLoss classifies followOnce errors: anything io-shaped resumes.
+func isConnLoss(err error) bool {
+	return err != nil && (strings.Contains(err.Error(), "connection lost") || err == io.EOF)
+}

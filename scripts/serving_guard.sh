@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# serving_guard.sh — serving SLO gate over the checked-in baseline
+# (BENCH_serving.json at the repo root), the HTTP-layer sibling of
+# bench_guard.sh.
+#
+# Runs cmd/loadgen against a self-hosted daemon: a mixed unique/duplicate/
+# invalid workload through the pkg/sttsim client. Two kinds of verdict:
+#
+#  1. SLO gate (always enforced, on every host): loadgen's own assertions —
+#     submit p99, end-to-end p99, cache hit ratio, the unexpected-error
+#     budget, and the dedup invariant (the engine must never execute one
+#     fingerprint twice). These are generous absolute bounds, not wall-clock
+#     comparisons, so they hold on any machine CI lands on.
+#  2. Throughput gate (matching host only): submits/sec may not fall more
+#     than TOLERANCE_PCT below the checked-in baseline. Any other host key
+#     skips this (the SLO gate still applies), same policy as bench_guard.
+#
+#   scripts/serving_guard.sh           # gate against BENCH_serving.json
+#   scripts/serving_guard.sh -update   # re-record the baseline on this host
+#
+# `make loadtest` runs this; the client-e2e CI job runs `make loadtest`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_serving.json
+TOLERANCE_PCT=30
+N="${LOADGEN_N:-1000}"
+
+if [[ "${1:-}" == "-update" ]]; then
+    go run ./cmd/loadgen -n "$N" -out "$BASELINE"
+    echo "serving_guard: baseline updated"
+    exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "serving_guard: no baseline at ${BASELINE}; record one with scripts/serving_guard.sh -update" >&2
+    exit 1
+fi
+
+out="$(mktemp /tmp/serving_guard.XXXXXX.json)"
+trap 'rm -f "$out"' EXIT
+
+# The SLO gate: loadgen exits 1 on any violation.
+go run ./cmd/loadgen -n "$N" -out "$out" > /dev/null
+
+field() { # field <file> <json key> — first scalar occurrence
+    sed -n "s/.*\"$2\": *\([0-9.]*\).*/\1/p" "$1" | head -1
+}
+
+host_key="$(uname -sm | tr ' ' '-')-$(nproc)c"
+base_host="$(sed -n 's/.*"host": *"\([^"]*\)".*/\1/p' "$BASELINE" | head -1)"
+rate="$(field "$out" submits_per_sec)"
+base_rate="$(field "$BASELINE" submits_per_sec)"
+p99="$(field "$out" submit_p99_s)"
+hit="$(field "$out" cache_hit_ratio)"
+
+echo "serving_guard: ${N} submissions at ${rate}/s, submit p99 ${p99}s, hit ratio ${hit} — SLO gate clean"
+
+if [[ "$base_host" != "$host_key" ]]; then
+    echo "serving_guard: baseline recorded on ${base_host}, this host is ${host_key}; throughput gate skipped (SLO gate still applies)"
+    exit 0
+fi
+
+ok="$(awk -v r="$rate" -v b="$base_rate" -v tol="$TOLERANCE_PCT" \
+    'BEGIN { print (r >= b * (1 - tol/100)) ? 1 : 0 }')"
+pct="$(awk -v r="$rate" -v b="$base_rate" 'BEGIN { printf "%+.1f", (r/b - 1) * 100 }')"
+if [[ "$ok" == 1 ]]; then
+    echo "serving_guard: throughput ${rate}/s vs baseline ${base_rate}/s (${pct}%) — clean"
+else
+    echo "serving_guard: FAIL — throughput ${rate}/s fell more than ${TOLERANCE_PCT}% below baseline ${base_rate}/s (${pct}%)" >&2
+    echo "serving_guard: fix the regression, or re-baseline deliberately with: scripts/serving_guard.sh -update" >&2
+    exit 1
+fi

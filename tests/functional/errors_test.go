@@ -1,0 +1,92 @@
+package functional
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"sttsim/pkg/sttsim"
+)
+
+// TestErrorSurfaceBlackBox exercises the rejection paths of a real daemon the
+// way an external client meets them: typed SpecError before the wire, typed
+// APIError envelopes after it, and JSON envelopes even on the router's own
+// 404/405/413 answers.
+func TestErrorSurfaceBlackBox(t *testing.T) {
+	skipShort(t)
+	_, c := startStandalone(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Client-side validation: no round trip, typed *SpecError.
+	_, err := c.Submit(ctx, sttsim.JobSpec{Scheme: "dram", Bench: "milc"})
+	var se *sttsim.SpecError
+	if !errors.As(err, &se) || se.Field != "scheme" {
+		t.Errorf("Submit(bad scheme) = %v, want *SpecError on scheme", err)
+	}
+
+	// Server-side 400: the bench name is only known server-side, so this
+	// passes client validation and comes back as a typed envelope.
+	_, err = c.Submit(ctx, sttsim.JobSpec{Scheme: "stt4", Bench: "not-a-benchmark"})
+	var apiErr *sttsim.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Errorf("Submit(unknown bench) = %v, want *APIError 400", err)
+	}
+
+	// 404 for an unknown job, on both the status and result routes.
+	if _, err = c.Job(ctx, "nope"); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Errorf("Job(nope) = %v, want *APIError 404", err)
+	}
+	if _, err = c.Result(ctx, "nope"); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Errorf("Result(nope) = %v, want *APIError 404", err)
+	}
+	if _, err = c.Events(ctx, "nope", 0); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Errorf("Events(nope) = %v, want *APIError 404", err)
+	}
+
+	// The router's own rejections carry the JSON envelope too. The SDK has no
+	// method that sends a wrong verb or an oversized body on purpose, so
+	// these two go over raw HTTP — still black-box.
+	resp, err := http.Get(c.BaseURL() + "/v1/definitely-not-a-route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEnvelope(t, resp, http.StatusNotFound, "not found")
+
+	req, _ := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL()+"/v1/stats", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEnvelope(t, resp, http.StatusMethodNotAllowed, "method not allowed")
+
+	huge := `{"scheme":"stt4","bench":"` + strings.Repeat("a", 2<<20) + `"}`
+	resp, err = http.Post(c.BaseURL()+"/v1/jobs", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEnvelope(t, resp, http.StatusRequestEntityTooLarge, "exceeds")
+}
+
+func assertEnvelope(t *testing.T, resp *http.Response, wantCode int, wantMsg string) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Errorf("status = %d, want %d", resp.StatusCode, wantCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var envelope sttsim.APIError
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Errorf("body is not the JSON envelope: %v", err)
+		return
+	}
+	if !strings.Contains(envelope.Message, wantMsg) {
+		t.Errorf("error = %q, want substring %q", envelope.Message, wantMsg)
+	}
+}

@@ -1,0 +1,242 @@
+// Package functional boots real sttsimd daemons — standalone and
+// coordinator+workers — on ephemeral ports and drives them black-box through
+// the pkg/sttsim client SDK. Nothing here may import internal/service: the
+// suite sees exactly what an external client sees, so it doubles as a
+// compatibility test of the public API surface.
+//
+// The suite is skipped under -short (it builds and execs real binaries);
+// `make functional` and the client-e2e CI job run it in full.
+package functional
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"sttsim/pkg/sttsim"
+)
+
+// sttsimdBin is the daemon binary built once by TestMain.
+var sttsimdBin string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if testing.Short() {
+		// Every test skips; don't pay for the build.
+		os.Exit(m.Run())
+	}
+	dir, err := os.MkdirTemp("", "sttsimd-functional-")
+	if err != nil {
+		log.Fatalf("functional: mktemp: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	sttsimdBin = filepath.Join(dir, "sttsimd")
+	build := exec.Command("go", "build", "-o", sttsimdBin, "./cmd/sttsimd")
+	build.Dir = repoRoot()
+	if out, err := build.CombinedOutput(); err != nil {
+		log.Fatalf("functional: build sttsimd: %v\n%s", err, out)
+	}
+	os.Exit(m.Run())
+}
+
+// repoRoot locates the module root (the directory holding go.mod) so the
+// suite works regardless of the test binary's working directory.
+func repoRoot() string {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		log.Fatalf("functional: go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		log.Fatal("functional: not inside a Go module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// skipShort marks every daemon-booting test.
+func skipShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("functional suite boots real daemons; skipped under -short")
+	}
+}
+
+// Daemon is one running sttsimd process.
+type Daemon struct {
+	t        *testing.T
+	cmd      *exec.Cmd
+	name     string
+	logs     *logBuffer
+	stopOnce sync.Once
+
+	// URL is the daemon's base URL (empty for workers, which don't listen).
+	URL string
+}
+
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (lb *logBuffer) append(line string) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	lb.buf.WriteString(line)
+	lb.buf.WriteByte('\n')
+}
+
+func (lb *logBuffer) String() string {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.buf.String()
+}
+
+// startDaemon execs sttsimd with args, waits for its "listening on" banner,
+// and registers a graceful SIGTERM stop on test cleanup. listens=false
+// (workers) skips the banner wait.
+func startDaemon(t *testing.T, name string, listens bool, args ...string) *Daemon {
+	t.Helper()
+	d := &Daemon{t: t, name: name, logs: &logBuffer{}}
+	d.cmd = exec.Command(sttsimdBin, args...)
+	stderr, err := d.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", name, err)
+	}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			d.logs.append(line)
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.IndexByte(rest, ' '); j > 0 {
+					rest = rest[:j]
+				}
+				select {
+				case addrCh <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	t.Cleanup(d.Stop)
+
+	if listens {
+		select {
+		case addr := <-addrCh:
+			d.URL = "http://" + addr
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s never announced its listen address; logs:\n%s", name, d.logs.String())
+		}
+	}
+	return d
+}
+
+// Stop SIGTERMs the daemon and waits for a clean drain (hard-kills after a
+// grace period so a hung daemon cannot hang the suite). Idempotent: tests
+// may stop a daemon explicitly (e.g. to restart against its journal) and
+// the cleanup hook becomes a no-op.
+func (d *Daemon) Stop() {
+	d.stopOnce.Do(func() {
+		if d.cmd.Process == nil {
+			return
+		}
+		d.cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { d.cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			d.cmd.Process.Kill()
+			<-done
+		}
+		if d.t.Failed() {
+			d.t.Logf("%s logs:\n%s", d.name, d.logs.String())
+		}
+	})
+}
+
+// startStandalone boots a standalone daemon on an ephemeral port and returns
+// a ready client for it.
+func startStandalone(t *testing.T, extraArgs ...string) (*Daemon, *sttsim.Client) {
+	t.Helper()
+	args := append([]string{"-mode", "standalone", "-addr", "127.0.0.1:0"}, extraArgs...)
+	d := startDaemon(t, "standalone", true, args...)
+	c := newClient(t, d.URL)
+	waitReady(t, c)
+	return d, c
+}
+
+// startCluster boots a coordinator plus n workers on ephemeral ports and
+// returns a client for the coordinator, ready only once every worker has
+// checked in.
+func startCluster(t *testing.T, n int) (*Daemon, *sttsim.Client) {
+	t.Helper()
+	coord := startDaemon(t, "coordinator", true,
+		"-mode", "coordinator", "-addr", "127.0.0.1:0", "-lease-timeout", "3s")
+	for i := 0; i < n; i++ {
+		startDaemon(t, fmt.Sprintf("worker-%d", i+1), false,
+			"-mode", "worker", "-coordinator", coord.URL,
+			"-worker-id", fmt.Sprintf("w%d", i+1),
+			"-heartbeat-interval", "200ms", "-lease-wait", "1s")
+	}
+	c := newClient(t, coord.URL)
+	waitReady(t, c)
+	return coord, c
+}
+
+func newClient(t *testing.T, baseURL string) *sttsim.Client {
+	t.Helper()
+	c, err := sttsim.New(baseURL,
+		sttsim.WithRetry(5, 50*time.Millisecond, time.Second),
+		sttsim.WithPollInterval(20*time.Millisecond),
+		sttsim.WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// waitReady polls /v1/healthz/ready until the daemon accepts work.
+func waitReady(t *testing.T, c *sttsim.Client) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for {
+		h, err := c.Ready(ctx)
+		if err == nil {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("daemon at %s never became ready (last: %+v, %v)", c.BaseURL(), h, err)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// smokeSpec is the suite's canonical small-but-real simulation: a few
+// thousand cycles of milc on the 4-TSB STT-RAM scheme.
+func smokeSpec(seed uint64) sttsim.JobSpec {
+	return sttsim.JobSpec{
+		Scheme: "stt4", Bench: "milc", Seed: seed,
+		WarmupCycles: 2000, MeasureCycles: 6000,
+	}
+}

@@ -1,0 +1,118 @@
+package functional
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"sttsim/pkg/sttsim"
+)
+
+// TestSSEResumeAccountsMissedEvents is the reconnect contract end-to-end: a
+// follower drops off a streaming job mid-run, events keep flowing while it is
+// gone, and the reconnect with Last-Event-ID answers a "reconnect" event
+// whose missed_events is exactly the sequence delta.
+func TestSSEResumeAccountsMissedEvents(t *testing.T) {
+	skipShort(t)
+	_, c := startStandalone(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Long enough that progress events are still being published after the
+	// follower leaves (default snapshot period is 1000 cycles).
+	spec := sttsim.JobSpec{
+		Scheme: "stt4", Bench: "milc", Seed: 31,
+		WarmupCycles: 2000, MeasureCycles: 400_000,
+		Stream: true,
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	// Connection 1: read until a couple of hub-sequenced events arrived, then
+	// drop the connection mid-stream.
+	stream, err := c.Events(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for stream.LastEventID() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("no sequenced events within a minute — is streaming broken?")
+		}
+		if _, err := stream.Next(); err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	lastSeen := stream.LastEventID()
+	stream.Close()
+
+	// While we are gone, the job runs to completion, publishing the rest of
+	// its progress events.
+	if st, err = c.Wait(ctx, st.ID); err != nil || st.State != sttsim.StateDone {
+		t.Fatalf("Wait = (%+v, %v), want done", st, err)
+	}
+
+	// Connection 2: resume from lastSeen. The feed must lead with the
+	// reconnect accounting event, and the job finished while we were away, so
+	// events were definitely missed.
+	resumed, err := c.Events(ctx, st.ID, lastSeen)
+	if err != nil {
+		t.Fatalf("resume Events: %v", err)
+	}
+	defer resumed.Close()
+	ev, err := resumed.Next()
+	if err != nil {
+		t.Fatalf("resumed Next: %v", err)
+	}
+	if ev.Type != "reconnect" {
+		t.Fatalf("first resumed event is %q, want reconnect", ev.Type)
+	}
+	var rec sttsim.ReconnectEvent
+	if err := json.Unmarshal(ev.Data, &rec); err != nil {
+		t.Fatalf("reconnect payload: %v", err)
+	}
+	if rec.LastEventID != lastSeen {
+		t.Errorf("reconnect.last_event_id = %d, want %d", rec.LastEventID, lastSeen)
+	}
+	if rec.MissedEvents == 0 {
+		t.Error("missed_events = 0 after the job finished without us")
+	}
+	if got := rec.LatestEventID - rec.LastEventID; rec.MissedEvents != got {
+		t.Errorf("missed_events = %d, want the sequence delta %d", rec.MissedEvents, got)
+	}
+
+	// The resumed feed still ends with the terminal done event.
+	sawDone := false
+	for !sawDone {
+		ev, err := resumed.Next()
+		if err != nil {
+			t.Fatalf("resumed feed ended without done: %v", err)
+		}
+		if ev.Type == "done" {
+			var final sttsim.JobStatus
+			if err := json.Unmarshal(ev.Data, &final); err != nil || final.State != sttsim.StateDone {
+				t.Fatalf("done payload = (%+v, %v)", final, err)
+			}
+			sawDone = true
+		}
+	}
+
+	// Follow() wraps the same contract: following the finished job from the
+	// old cursor delivers reconnect accounting and the terminal status.
+	var followedReconnect bool
+	final, err := c.Follow(ctx, st.ID, sttsim.FollowOptions{LastEventID: lastSeen}, func(ev sttsim.Event) error {
+		if ev.Type == "reconnect" {
+			followedReconnect = true
+		}
+		return nil
+	})
+	if err != nil || final.State != sttsim.StateDone {
+		t.Fatalf("Follow = (%+v, %v), want done", final, err)
+	}
+	if !followedReconnect {
+		t.Error("Follow never surfaced the reconnect accounting event")
+	}
+}
