@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-guard golden verify profile smoke serve-smoke functional loadtest dist-chaos chaos-sched
+.PHONY: all build vet test race bench-guard golden verify profile smoke serve-smoke explore-smoke functional loadtest dist-chaos chaos-sched
 
 all: verify
 
@@ -42,7 +42,14 @@ bench-guard:
 golden:
 	$(GO) test -tags golden -run TestGolden -race ./internal/sim
 
-verify: build vet test race golden bench-guard
+verify: build vet test race golden bench-guard explore-smoke
+
+# Exploration resume round trip: a tiny grid search is interrupted
+# mid-flight, resumed from its campaign journal, and must re-execute zero
+# already-journaled points while producing a Pareto frontier byte-identical
+# to an uninterrupted reference run.
+explore-smoke:
+	./scripts/explore_smoke.sh
 
 # CPU and heap profile of the steady-state cycle loop (writes cpu.out /
 # mem.out at the repo root and prints the hottest functions). Inspect

@@ -40,6 +40,8 @@ import (
 
 	"sttsim/internal/campaign"
 	"sttsim/internal/exp"
+	"sttsim/internal/mem"
+	"sttsim/internal/noc"
 	"sttsim/internal/prof"
 	"sttsim/internal/sim"
 	"sttsim/internal/version"
@@ -52,6 +54,9 @@ func main() {
 	warmup := flag.Uint64("warmup", 0, "warmup cycles per run (0 = default)")
 	measure := flag.Uint64("measure", 0, "measured cycles per run (0 = default)")
 	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
+	tech := flag.String("tech", "", "override the bank technology with a registered profile (registered: "+
+		strings.Join(mem.ProfileNames(), ", ")+"; empty = scheme defaults)")
+	topo := flag.String("topo", "", "override the network shape as XxYxL, e.g. 8x8x3 (empty = paper's 8x8x2)")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	runTimeout := flag.Duration("run-timeout", 0, "wall-clock budget per simulation attempt (0 = none)")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint journal for finished runs (empty = none)")
@@ -74,7 +79,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	code := run(*which, *quick, *warmup, *measure, *seed, *jobs, *runTimeout, *checkpoint, *resume, *obsAddr, *metricsOut, *metricsInterval)
+	code := run(*which, *quick, *warmup, *measure, *seed, *tech, *topo, *jobs, *runTimeout, *checkpoint, *resume, *obsAddr, *metricsOut, *metricsInterval)
 	if perr := stopProf(); perr != nil {
 		fmt.Fprintln(os.Stderr, "experiments: profile:", perr)
 		if code == 0 {
@@ -87,7 +92,23 @@ func main() {
 // run executes the selected experiments and returns the process exit code
 // (0 = every experiment passed, 1 = failures or interruption, 2 = bad
 // usage). Factored out of main so deferred cleanup runs before os.Exit.
-func run(which string, quick bool, warmup, measure, seed uint64, jobs int, runTimeout time.Duration, checkpoint string, resume bool, obsAddr, metricsOut string, metricsInterval uint64) int {
+func run(which string, quick bool, warmup, measure, seed uint64, tech, topo string, jobs int, runTimeout time.Duration, checkpoint string, resume bool, obsAddr, metricsOut string, metricsInterval uint64) int {
+	var shape noc.Topology
+	if topo != "" {
+		t, err := noc.ParseTopology(topo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 2
+		}
+		shape = t
+	}
+	if tech != "" {
+		if _, ok := mem.LookupProfile(tech); !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown tech profile %q (registered: %s)\n",
+				tech, strings.Join(mem.ProfileNames(), ", "))
+			return 2
+		}
+	}
 	// SIGINT/SIGTERM cancels the campaign context: in-flight runs stop at
 	// their next poll, finished verdicts stay journaled, and the drivers
 	// render what they have with the rest marked FAILED(cancelled).
@@ -135,6 +156,10 @@ func run(which string, quick bool, warmup, measure, seed uint64, jobs int, runTi
 		MeasureCycles: measure,
 		Seed:          seed,
 		Quick:         quick,
+		TechProfile:   tech,
+		MeshX:         shape.MeshX,
+		MeshY:         shape.MeshY,
+		Layers:        shape.Layers,
 	}, eng)
 
 	type experiment struct {

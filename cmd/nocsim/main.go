@@ -4,6 +4,7 @@
 // Usage:
 //
 //	nocsim -bench tpcc -scheme wb [-regions 8] [-stagger] [-hops 2]
+//	       [-tech sttram-rr10] [-topo 8x8x3]
 //	       [-warmup 20000] [-measure 60000] [-writebuf 0] [-plus1vc]
 //	       [-trace out.jsonl [-decompose]] [-metrics-interval 1000 -metrics-out m.csv]
 //	       [-cpuprofile cpu.out] [-memprofile mem.out]
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"sttsim/internal/core"
+	"sttsim/internal/mem"
 	"sttsim/internal/noc"
 	"sttsim/internal/obs"
 	"sttsim/internal/prof"
@@ -65,6 +67,9 @@ func main() {
 func run() int {
 	bench := flag.String("bench", "tpcc", "benchmark name from Table 3, or case1/case2")
 	schemeName := flag.String("scheme", "wb", "sram|stt64|stt4|ss|rca|wb")
+	techName := flag.String("tech", "", "bank technology profile (empty = scheme default; registered: "+
+		strings.Join(mem.ProfileNames(), ", ")+")")
+	topoName := flag.String("topo", "", "mesh topology as XxYxL, e.g. 8x8x3 (empty = paper's 8x8x2)")
 	regions := flag.Int("regions", 0, "cache-layer regions (4, 8, or 16; 0 = default 8)")
 	stagger := flag.Bool("stagger", true, "stagger TSB placement (vs corner)")
 	hops := flag.Int("hops", 0, "parent-child re-ordering distance (0 = default 2)")
@@ -127,6 +132,24 @@ func run() int {
 		placement = core.PlacementStagger
 	}
 
+	var topoShape noc.Topology
+	if *topoName != "" {
+		t, terr := noc.ParseTopology(*topoName)
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, terr)
+			return 2
+		}
+		topoShape = t
+	}
+
+	if *techName != "" {
+		if _, ok := mem.LookupProfile(*techName); !ok {
+			fmt.Fprintf(os.Stderr, "unknown tech profile %q (registered: %s)\n",
+				*techName, strings.Join(mem.ProfileNames(), ", "))
+			return 2
+		}
+	}
+
 	if *decompose && *tracePath == "" {
 		fmt.Fprintln(os.Stderr, "-decompose needs -trace to know where the events went")
 		return 2
@@ -157,6 +180,10 @@ func run() int {
 
 	res, rerr := sim.Run(sim.Config{
 		Scheme:             scheme,
+		TechProfile:        *techName,
+		MeshX:              topoShape.MeshX,
+		MeshY:              topoShape.MeshY,
+		Layers:             topoShape.Layers,
 		Assignment:         assignment,
 		Seed:               *seed,
 		WarmupCycles:       *warmup,

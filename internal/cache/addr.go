@@ -1,4 +1,4 @@
-// Package cache implements the shared L2 cache substrate: 64 address-
+// Package cache implements the shared L2 cache substrate: address-
 // interleaved banks (one per cache-layer node) with real set-associative tag
 // arrays, a directory-based MESI-style coherence filter (presence vectors,
 // invalidations, acks), 32-entry MSHRs with request merging, LRU replacement
@@ -18,11 +18,12 @@ const (
 // Associativity is the L2 set associativity (Table 1: 16-way).
 const Associativity = 16
 
-// NumBanks is the number of L2 banks (one per cache-layer node).
+// NumBanks is the number of L2 banks in the paper's default topology (one
+// per cache-layer node).
 const NumBanks = noc.LayerSize
 
-// MCNodes are the cache-layer nodes hosting the four memory controllers
-// (Table 1: one at each corner node in layer 2).
+// MCNodes are the cache-layer nodes hosting the four memory controllers in
+// the default topology (Table 1: one at each corner node in layer 2).
 var MCNodes = [4]noc.NodeID{64, 71, 120, 127}
 
 // LineAddr returns the cache-line address (byte address without the offset
@@ -32,24 +33,26 @@ func LineAddr(addr uint64) uint64 { return addr >> LineShift }
 // AddrOfLine is the inverse of LineAddr.
 func AddrOfLine(line uint64) uint64 { return line << LineShift }
 
-// HomeBank returns the bank index (0..63) owning the address; consecutive
-// lines stripe across banks.
+// HomeBank returns the bank index (0..63) owning the address in the default
+// topology; consecutive lines stripe across banks.
 func HomeBank(addr uint64) int { return int(LineAddr(addr) % NumBanks) }
 
-// HomeNode returns the cache-layer node owning the address.
+// HomeNode returns the cache-layer node owning the address in the default
+// topology.
 func HomeNode(addr uint64) noc.NodeID {
 	return noc.NodeID(HomeBank(addr)) + noc.LayerSize
 }
 
-// MCNode returns the memory controller serving the address (interleaved
-// above the bank bits so each MC sees every bank's traffic).
+// MCNode returns the memory controller serving the address in the default
+// topology (interleaved above the bank bits so each MC sees every bank's
+// traffic).
 func MCNode(addr uint64) noc.NodeID {
 	return MCNodes[(LineAddr(addr)/NumBanks)%4]
 }
 
 // ComposeAddr builds a byte address that maps to the given bank with the
 // given line index within that bank — the workload generator's way of
-// steering traffic at specific banks.
+// steering traffic at specific banks (default topology).
 func ComposeAddr(bank int, lineInBank uint64) uint64 {
 	return AddrOfLine(lineInBank*NumBanks + uint64(bank%NumBanks))
 }
@@ -58,3 +61,76 @@ func ComposeAddr(bank int, lineInBank uint64) uint64 {
 func SetsFor(capacityMB int) int {
 	return capacityMB * 1024 * 1024 / (LineBytes * Associativity)
 }
+
+// AddrMap is the topology-aware address interleaving: which bank owns a
+// line, which node hosts that bank, and which memory controller serves it.
+// The package-level HomeBank/HomeNode/MCNode helpers are the default-shape
+// view; topology-aware code holds an AddrMap. The default map reproduces
+// them bit for bit.
+type AddrMap struct {
+	topo     noc.Topology
+	numBanks uint64
+	mcs      []noc.NodeID
+}
+
+// defaultAddrMap backs the nil-map fallbacks so default-topology callers
+// need no plumbing.
+var defaultAddrMap = NewAddrMap(noc.DefaultTopology())
+
+// DefaultAddrMap returns the shared map for the paper's 8x8x2 shape; do not
+// modify it.
+func DefaultAddrMap() *AddrMap { return defaultAddrMap }
+
+// NewAddrMap derives the address interleaving for a topology. Lines stripe
+// across all banks (every cache layer); the four memory controllers sit at
+// the corners of the first cache layer, which reproduces the paper's
+// {64, 71, 120, 127} placement at the default shape.
+func NewAddrMap(topo noc.Topology) *AddrMap {
+	topo = topo.OrDefault()
+	return &AddrMap{
+		topo:     topo,
+		numBanks: uint64(topo.NumBanks()),
+		mcs: []noc.NodeID{
+			topo.NodeAt(1, 0, 0),
+			topo.NodeAt(1, topo.MeshX-1, 0),
+			topo.NodeAt(1, 0, topo.MeshY-1),
+			topo.NodeAt(1, topo.MeshX-1, topo.MeshY-1),
+		},
+	}
+}
+
+// Topology returns the shape the map interleaves over.
+func (m *AddrMap) Topology() noc.Topology { return m.topo }
+
+// NumBanks returns the total bank count.
+func (m *AddrMap) NumBanks() int { return int(m.numBanks) }
+
+// HomeBank returns the bank index owning the address.
+func (m *AddrMap) HomeBank(addr uint64) int { return int(LineAddr(addr) % m.numBanks) }
+
+// HomeNode returns the cache-layer node owning the address.
+func (m *AddrMap) HomeNode(addr uint64) noc.NodeID {
+	return m.topo.BankNode(m.HomeBank(addr))
+}
+
+// BankInterleave returns the per-bank line index of an address (the line
+// address above the bank-selection bits) — the set-index input.
+func (m *AddrMap) BankInterleave(lineAddr uint64) uint64 { return lineAddr / m.numBanks }
+
+// MCNode returns the memory controller serving the address.
+func (m *AddrMap) MCNode(addr uint64) noc.NodeID {
+	return m.mcs[(LineAddr(addr)/m.numBanks)%uint64(len(m.mcs))]
+}
+
+// MCNodeList returns the controller nodes; the slice is shared, do not
+// modify it.
+func (m *AddrMap) MCNodeList() []noc.NodeID { return m.mcs }
+
+// ComposeAddr builds a byte address that maps to the given bank with the
+// given line index within that bank.
+func (m *AddrMap) ComposeAddr(bank int, lineInBank uint64) uint64 {
+	return AddrOfLine(lineInBank*m.numBanks + uint64(bank)%m.numBanks)
+}
+
+// BankIndex returns the bank number of a cache-layer node.
+func (m *AddrMap) BankIndex(n noc.NodeID) int { return m.topo.BankIndex(n) }

@@ -94,6 +94,7 @@ type Stats struct {
 // into the network each cycle.
 type BankController struct {
 	node noc.NodeID
+	am   *AddrMap
 	bank *mem.Bank
 
 	numSets int
@@ -163,11 +164,21 @@ type pendingMiss struct {
 // NewBankController builds the bank at the given cache-layer node using the
 // supplied timing model (plain or write-buffered, SRAM or STT-RAM).
 func NewBankController(node noc.NodeID, bank *mem.Bank) *BankController {
-	if node.Layer() != 1 {
-		panic(fmt.Sprintf("cache: bank controller node %d is not in the cache layer", node))
+	return NewBankControllerMapped(node, bank, DefaultAddrMap())
+}
+
+// NewBankControllerMapped builds the bank using an explicit topology address
+// map (non-default shapes).
+func NewBankControllerMapped(node noc.NodeID, bank *mem.Bank, am *AddrMap) *BankController {
+	if am == nil {
+		am = DefaultAddrMap()
+	}
+	if am.Topology().Layer(node) == 0 {
+		panic(fmt.Sprintf("cache: bank controller node %d is not in a cache layer", node))
 	}
 	return &BankController{
 		node:        node,
+		am:          am,
 		bank:        bank,
 		numSets:     SetsFor(bank.Tech().CapacityMB),
 		lines:       make([]line, SetsFor(bank.Tech().CapacityMB)*Associativity),
@@ -221,8 +232,8 @@ func (bc *BankController) SetWriteFaults(f WriteFaultInjector, maxRetries int, b
 	bc.retryBackoff = backoff
 }
 
-// bankIndex returns the bank number (0..63) for the fault model.
-func (bc *BankController) bankIndex() int { return int(bc.node) - noc.LayerSize }
+// bankIndex returns the bank number for the fault model.
+func (bc *BankController) bankIndex() int { return bc.am.BankIndex(bc.node) }
 
 // writeFailed consults the fault injector for one completed array write.
 func (bc *BankController) writeFailed() bool {
@@ -263,7 +274,7 @@ func (bc *BankController) set(lineAddr uint64) []line {
 
 // setIndex hashes a line address to its set.
 func (bc *BankController) setIndex(lineAddr uint64) int {
-	v := lineAddr / NumBanks
+	v := bc.am.BankInterleave(lineAddr)
 	v *= 0x9E3779B97F4A7C15
 	v ^= v >> 29
 	return int(v % uint64(bc.numSets))
@@ -415,7 +426,7 @@ func (bc *BankController) startMiss(w waiter, lineAddr uint64, now uint64) {
 	bc.mshrs[lineAddr] = msh
 	addr := AddrOfLine(lineAddr)
 	bc.send(bc.pkt(noc.Packet{
-		Kind: noc.KindMemReq, Src: bc.node, Dst: MCNode(addr),
+		Kind: noc.KindMemReq, Src: bc.node, Dst: bc.am.MCNode(addr),
 		Addr: addr, Proc: w.core, SizeFlits: noc.AddrPacketFlits,
 	}))
 }
@@ -568,7 +579,7 @@ func (bc *BankController) allocate(lineAddr uint64, now uint64) *line {
 			bc.stats.Writebacks++
 			addr := AddrOfLine(v.tag)
 			bc.send(bc.pkt(noc.Packet{
-				Kind: noc.KindMemReq, Src: bc.node, Dst: MCNode(addr),
+				Kind: noc.KindMemReq, Src: bc.node, Dst: bc.am.MCNode(addr),
 				Addr: addr, Proc: -1, SizeFlits: noc.DataPacketFlits, IsBankWrite: true,
 			}))
 		}

@@ -45,8 +45,8 @@ type BankAwareArbiter struct {
 	hopBase     uint64 // router+link latency for H hops (2 cycles per hop)
 	holdCap     int64  // hard-hold window; <0 disables holds
 
-	busyUntil [noc.NumNodes]uint64 // per child bank
-	childWC   [noc.NumNodes]uint64 // per-child write service override (hybrid)
+	busyUntil []uint64 // per child bank
+	childWC   []uint64 // per-child write service override (hybrid)
 	stats     ArbiterStats
 }
 
@@ -63,6 +63,8 @@ func NewBankAwareArbiter(pm *ParentMap, est Estimator, readCycles, writeCycles u
 		writeCycles: writeCycles,
 		hopBase:     uint64(2 * pm.Hops()),
 		holdCap:     HoldCap,
+		busyUntil:   make([]uint64, pm.Topology().NumNodes()),
+		childWC:     make([]uint64, pm.Topology().NumNodes()),
 	}
 }
 
@@ -74,7 +76,7 @@ func (a *BankAwareArbiter) SetHoldCap(cap int) { a.holdCap = int64(cap) }
 // busy estimate — used for hybrid SRAM/STT-RAM cache layers where some
 // banks complete writes at SRAM speed.
 func (a *BankAwareArbiter) SetChildWriteCycles(child noc.NodeID, cycles uint64) {
-	if child.Valid() {
+	if child >= 0 && int(child) < len(a.childWC) {
 		a.childWC[child] = cycles
 	}
 }

@@ -46,13 +46,20 @@ const RCAScale = 16.0
 // propagated over dedicated side wires.
 type RCAEstimator struct {
 	net  *noc.Network
-	agg  [noc.NumNodes]float64
-	next [noc.NumNodes]float64
+	topo noc.Topology
+	agg  []float64
+	next []float64
 }
 
 // NewRCAEstimator builds an RCA estimator reading congestion from net.
 func NewRCAEstimator(net *noc.Network) *RCAEstimator {
-	return &RCAEstimator{net: net}
+	n := net.NumNodes()
+	return &RCAEstimator{
+		net:  net,
+		topo: net.Topology(),
+		agg:  make([]float64, n),
+		next: make([]float64, n),
+	}
 }
 
 // Name returns "RCA".
@@ -65,7 +72,7 @@ func (e *RCAEstimator) Tick(now uint64) {
 	// along which estimates propagate, following Grot et al.), saturating at
 	// 1 when more than a port's buffers are occupied router-wide.
 	portCap := float64(e.net.NumVCs() * e.net.BufDepth())
-	for id := noc.NodeID(0); id < noc.NumNodes; id++ {
+	for id := noc.NodeID(0); id < noc.NodeID(e.net.NumNodes()); id++ {
 		used, _ := e.net.Occupancy(id)
 		local := float64(used) / portCap
 		if local > 1 {
@@ -74,7 +81,7 @@ func (e *RCAEstimator) Tick(now uint64) {
 		var sum float64
 		var cnt int
 		for p := noc.PortNorth; p < noc.PortLocal; p++ {
-			if nb := noc.Neighbor(id, p); nb >= 0 {
+			if nb := e.topo.Neighbor(id, p); nb >= 0 {
 				sum += e.agg[nb]
 				cnt++
 			}
@@ -89,19 +96,19 @@ func (e *RCAEstimator) Tick(now uint64) {
 		q := float64(int(v*255+0.5)) / 255
 		e.next[id] = q
 	}
-	e.agg = e.next
+	copy(e.agg, e.next)
 }
 
 // Congestion reads the aggregate at the first hop toward the child (the
 // intermediate router whose queues the request must cross).
 func (e *RCAEstimator) Congestion(parent, child noc.NodeID, now uint64) uint64 {
 	mid := parent
-	if parent.Layer() == 0 {
-		mid = parent.Below()
+	if e.topo.Layer(parent) < e.topo.Layer(child) {
+		mid = e.topo.Below(parent)
 	} else if parent != child {
-		mid = noc.Neighbor(parent, noc.XYNext(parent, child))
+		mid = e.topo.Neighbor(parent, e.topo.XYNext(parent, child))
 	}
-	if !mid.Valid() {
+	if !e.topo.ValidNode(mid) {
 		mid = child
 	}
 	return uint64(e.agg[mid]*RCAScale + 0.5)
@@ -123,24 +130,35 @@ const (
 // the parent feeds arriving acks into OnTSAck.
 type WBEstimator struct {
 	window  int
-	counter [noc.NumNodes]int    // per child: packets since last tag
-	cong    [noc.NumNodes]uint64 // per child: latest congestion estimate
+	counter []int    // per child: packets since last tag
+	cong    []uint64 // per child: latest congestion estimate
 
 	// Statistics.
 	TagsSent     uint64
 	AcksReceived uint64
 }
 
-// NewWBEstimator builds a WB estimator with the paper's N=100 window.
-func NewWBEstimator() *WBEstimator { return &WBEstimator{window: WBWindow} }
+// NewWBEstimator builds a WB estimator with the paper's N=100 window, sized
+// for the default topology.
+func NewWBEstimator() *WBEstimator { return NewWBEstimatorFor(WBWindow, noc.NumNodes) }
 
 // NewWBEstimatorWindow builds a WB estimator with a custom window, for
-// sensitivity studies.
+// sensitivity studies, sized for the default topology.
 func NewWBEstimatorWindow(n int) *WBEstimator {
-	if n < 1 {
-		n = 1
+	return NewWBEstimatorFor(n, noc.NumNodes)
+}
+
+// NewWBEstimatorFor builds a WB estimator with a custom window over a
+// numNodes-node topology.
+func NewWBEstimatorFor(window, numNodes int) *WBEstimator {
+	if window < 1 {
+		window = 1
 	}
-	return &WBEstimator{window: n}
+	return &WBEstimator{
+		window:  window,
+		counter: make([]int, numNodes),
+		cong:    make([]uint64, numNodes),
+	}
 }
 
 // Name returns "WB".

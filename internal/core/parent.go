@@ -12,12 +12,14 @@ import (
 const DefaultHops = 2
 
 // ParentMap assigns every cache bank a parent router: the node H hops before
-// the bank on the X-Y route from its region TSB. Banks closer than H hops to
-// the TSB entry point are managed by the core-layer TSB node itself (the
-// paper's "innermost corner" rule, Section 3.4).
+// the bank on the route from its region TSB (the column descent followed by
+// the X-Y walk in the bank's layer). Banks closer than H hops to the route's
+// start are managed by the core-layer TSB node itself (the paper's
+// "innermost corner" rule, Section 3.4).
 type ParentMap struct {
+	topo     noc.Topology
 	hops     int
-	parentOf [noc.NumNodes]noc.NodeID // cache node -> parent router
+	parentOf []noc.NodeID // cache node -> parent router (-1 elsewhere)
 	children map[noc.NodeID][]noc.NodeID
 }
 
@@ -27,7 +29,12 @@ func BuildParentMap(layout *RegionLayout, hops int) (*ParentMap, error) {
 	if hops < 1 {
 		return nil, fmt.Errorf("core: parent hop distance must be >= 1, got %d", hops)
 	}
-	pm := &ParentMap{hops: hops, children: make(map[noc.NodeID][]noc.NodeID)}
+	pm := &ParentMap{
+		topo:     layout.Topology(),
+		hops:     hops,
+		parentOf: make([]noc.NodeID, layout.Topology().NumNodes()),
+		children: make(map[noc.NodeID][]noc.NodeID),
+	}
 	pm.Rebuild(layout.TSBMap())
 	return pm, nil
 }
@@ -41,20 +48,28 @@ func (pm *ParentMap) Rebuild(tsbMap map[noc.NodeID]noc.NodeID) {
 		pm.parentOf[i] = -1
 	}
 	pm.children = make(map[noc.NodeID][]noc.NodeID)
-	for off := 0; off < noc.LayerSize; off++ {
-		d := noc.NodeID(off) + noc.LayerSize
+	layerSize := pm.topo.LayerSize()
+	for node := layerSize; node < pm.topo.NumNodes(); node++ {
+		d := noc.NodeID(node)
 		tsbCore := tsbMap[d]
-		entry := tsbCore.Below()
-		path := noc.XYPath(entry, d)
-		dist := len(path) - 1
-		var parent noc.NodeID
-		if dist >= pm.hops {
-			parent = path[dist-pm.hops]
-		} else {
-			// Too close to the TSB entry: the core-layer TSB node re-orders
-			// these requests before they descend.
-			parent = tsbCore
+		// The demand route from the TSB: descend the column to the bank's
+		// layer, then X-Y. parent = the node hops steps before the bank on
+		// that route, clamped at the core-layer TSB node ("too close" banks
+		// are re-ordered before the request descends).
+		dstLayer := pm.topo.Layer(d)
+		route := make([]noc.NodeID, 0, dstLayer+pm.topo.MeshX+pm.topo.MeshY)
+		col := tsbCore
+		route = append(route, col)
+		for l := 0; l < dstLayer; l++ {
+			col = pm.topo.Below(col)
+			route = append(route, col)
 		}
+		route = append(route, pm.topo.XYPath(col, d)[1:]...)
+		idx := len(route) - 1 - pm.hops
+		if idx < 0 {
+			idx = 0
+		}
+		parent := route[idx]
 		pm.parentOf[d] = parent
 		pm.children[parent] = append(pm.children[parent], d)
 	}
@@ -66,7 +81,9 @@ func (pm *ParentMap) Hops() int { return pm.hops }
 // ParentOf returns the parent router of cache node d (-1 for non-cache
 // nodes).
 func (pm *ParentMap) ParentOf(d noc.NodeID) noc.NodeID {
-	if !d.Valid() {
+	// Bounds via the table length, not topo.ValidNode: this is called per
+	// buffered packet per arbitration and must stay inlinable.
+	if d < 0 || int(d) >= len(pm.parentOf) {
 		return -1
 	}
 	return pm.parentOf[d]
@@ -86,3 +103,6 @@ func (pm *ParentMap) Parents() []noc.NodeID {
 	}
 	return out
 }
+
+// Topology returns the shape this map was built for.
+func (pm *ParentMap) Topology() noc.Topology { return pm.topo }

@@ -40,52 +40,107 @@ func (p Placement) String() string {
 	return "corner"
 }
 
-// regionTile describes the rectangular tiling used for a region count.
-var regionTiles = map[int]struct{ w, h int }{
-	4:  {4, 4},
-	8:  {4, 2},
-	16: {2, 2},
+// RegionTile picks the rectangular region tile (w, h) for a region count on
+// a mesh: w must divide MeshX, h must divide MeshY, and the tiles must cover
+// the layer in exactly the requested number of regions. Among the feasible
+// tilings it prefers the squarest (minimal |w-h|, larger w on ties), which
+// reproduces the paper's 8x8 tilings exactly: 4 regions -> 4x4 tiles,
+// 8 -> 4x2, 16 -> 2x2.
+func RegionTile(topo noc.Topology, regions int) (w, h int, err error) {
+	topo = topo.OrDefault()
+	if regions != 4 && regions != 8 && regions != 16 {
+		return 0, 0, fmt.Errorf("core: unsupported region count %d (want 4, 8, or 16)", regions)
+	}
+	bestW, bestH := -1, -1
+	for cw := 1; cw <= topo.MeshX; cw++ {
+		if topo.MeshX%cw != 0 {
+			continue
+		}
+		for ch := 1; ch <= topo.MeshY; ch++ {
+			if topo.MeshY%ch != 0 {
+				continue
+			}
+			if (topo.MeshX/cw)*(topo.MeshY/ch) != regions {
+				continue
+			}
+			if bestW < 0 || better(cw, ch, bestW, bestH) {
+				bestW, bestH = cw, ch
+			}
+		}
+	}
+	if bestW < 0 {
+		return 0, 0, fmt.Errorf("core: %d regions do not tile a %dx%d mesh", regions, topo.MeshX, topo.MeshY)
+	}
+	return bestW, bestH, nil
 }
 
-// RegionLayout is a logical partitioning of the cache layer into rectangular
+// better reports whether tile (w, h) beats (bw, bh): squarer wins, wider
+// breaks ties.
+func better(w, h, bw, bh int) bool {
+	d, bd := w-h, bw-bh
+	if d < 0 {
+		d = -d
+	}
+	if bd < 0 {
+		bd = -bd
+	}
+	if d != bd {
+		return d < bd
+	}
+	return w > bw
+}
+
+// RegionLayout is a logical partitioning of the cache layers into rectangular
 // regions, each with a designated TSB (a core-layer node whose vertical link
-// is the 256-bit bus carrying all requests into the region).
+// is the 256-bit bus carrying all requests into the region). With stacked
+// cache layers the TSB is a multi-drop bus through the whole column, so a
+// bank's region is determined by its (x, y) position regardless of layer.
 type RegionLayout struct {
+	topo      noc.Topology
 	regions   int
 	placement Placement
 	tileW     int
 	tileH     int
 	tsbCore   []noc.NodeID              // per region: core-layer TSB node
-	regionOf  [noc.LayerSize]int        // cache-bank offset (0..63) -> region
+	regionOf  []int                     // in-layer offset (0..LayerSize-1) -> region
 	tsbMap    map[noc.NodeID]noc.NodeID // cache node -> core TSB node
 }
 
-// NewRegionLayout partitions the 8x8 cache layer into the given number of
-// regions (4, 8, or 16) with the given TSB placement.
+// NewRegionLayout partitions the paper's 8x8 cache layer into the given
+// number of regions (4, 8, or 16) with the given TSB placement.
 func NewRegionLayout(regions int, placement Placement) (*RegionLayout, error) {
-	tile, ok := regionTiles[regions]
-	if !ok {
-		return nil, fmt.Errorf("core: unsupported region count %d (want 4, 8, or 16)", regions)
+	return NewRegionLayoutTopo(noc.DefaultTopology(), regions, placement)
+}
+
+// NewRegionLayoutTopo partitions an arbitrary topology's cache layers into
+// regions with the given TSB placement.
+func NewRegionLayoutTopo(topo noc.Topology, regions int, placement Placement) (*RegionLayout, error) {
+	topo = topo.OrDefault()
+	tileW, tileH, err := RegionTile(topo, regions)
+	if err != nil {
+		return nil, err
 	}
+	layerSize := topo.LayerSize()
 	l := &RegionLayout{
+		topo:      topo,
 		regions:   regions,
 		placement: placement,
-		tileW:     tile.w,
-		tileH:     tile.h,
+		tileW:     tileW,
+		tileH:     tileH,
 		tsbCore:   make([]noc.NodeID, regions),
-		tsbMap:    make(map[noc.NodeID]noc.NodeID, noc.LayerSize),
+		regionOf:  make([]int, layerSize),
+		tsbMap:    make(map[noc.NodeID]noc.NodeID, topo.NumBanks()),
 	}
-	tilesX := noc.MeshDim / tile.w
-	for off := 0; off < noc.LayerSize; off++ {
-		x, y := off%noc.MeshDim, off/noc.MeshDim
-		l.regionOf[off] = (y/tile.h)*tilesX + x/tile.w
+	tilesX := topo.MeshX / tileW
+	for off := 0; off < layerSize; off++ {
+		x, y := off%topo.MeshX, off/topo.MeshX
+		l.regionOf[off] = (y/tileH)*tilesX + x/tileW
 	}
 	for r := 0; r < regions; r++ {
 		l.tsbCore[r] = l.placeTSB(r, tilesX)
 	}
-	for off := 0; off < noc.LayerSize; off++ {
-		cacheNode := noc.NodeID(off) + noc.LayerSize
-		l.tsbMap[cacheNode] = l.tsbCore[l.regionOf[off]]
+	for node := layerSize; node < topo.NumNodes(); node++ {
+		l.tsbMap[noc.NodeID(node)] = l.tsbCore[l.regionOf[node%layerSize]]
 	}
 	return l, nil
 }
@@ -98,10 +153,10 @@ func (l *RegionLayout) placeTSB(r, tilesX int) noc.NodeID {
 	case PlacementStagger:
 		// Spread TSBs over distinct columns: walk the tile's columns by tile
 		// row so no two regions in the same tile-column share a column. With
-		// 4 or 8 regions every TSB lands on a unique column.
+		// at most MeshX regions every TSB lands on a unique column.
 		x := x0 + (ty*31+tx*17)%l.tileW
-		if l.regions <= noc.MeshDim {
-			// Exact distinct-column assignment when there are at most 8
+		if l.regions <= l.topo.MeshX {
+			// Exact distinct-column assignment when there are at most MeshX
 			// regions: region r gets column tx*tileW + (ty mod tileW).
 			x = x0 + ty%l.tileW
 		}
@@ -109,27 +164,30 @@ func (l *RegionLayout) placeTSB(r, tilesX int) noc.NodeID {
 		if y >= y0+l.tileH {
 			y = y0 + l.tileH - 1
 		}
-		return noc.NodeAt(0, x, y)
+		return l.topo.NodeAt(0, x, y)
 	default:
-		// Corner nearest the mesh center (3.5, 3.5).
+		// Corner nearest the mesh center line.
 		x := x0
-		if centerDist2(x0+l.tileW-1) < centerDist2(x0) {
+		if centerDist2(x0+l.tileW-1, l.topo.MeshX) < centerDist2(x0, l.topo.MeshX) {
 			x = x0 + l.tileW - 1
 		}
 		y := y0
-		if centerDist2(y0+l.tileH-1) < centerDist2(y0) {
+		if centerDist2(y0+l.tileH-1, l.topo.MeshY) < centerDist2(y0, l.topo.MeshY) {
 			y = y0 + l.tileH - 1
 		}
-		return noc.NodeAt(0, x, y)
+		return l.topo.NodeAt(0, x, y)
 	}
 }
 
 // centerDist2 is the squared distance of a coordinate from the mesh center
-// line (between cells 3 and 4), in half-cell units.
-func centerDist2(c int) int {
-	d := 2*c - 7 // 2*(c - 3.5)
+// line (between the two middle cells of a dim-wide axis), in half-cell units.
+func centerDist2(c, dim int) int {
+	d := 2*c - (dim - 1)
 	return d * d
 }
+
+// Topology returns the shape this layout partitions.
+func (l *RegionLayout) Topology() noc.Topology { return l.topo }
 
 // Regions returns the region count.
 func (l *RegionLayout) Regions() int { return l.regions }
@@ -139,7 +197,7 @@ func (l *RegionLayout) Placement() Placement { return l.placement }
 
 // RegionOf returns the region index of a cache-layer node.
 func (l *RegionLayout) RegionOf(d noc.NodeID) int {
-	return l.regionOf[int(d)-noc.LayerSize]
+	return l.regionOf[int(d)%l.topo.LayerSize()]
 }
 
 // TSBCore returns the core-layer TSB node of region r.
@@ -181,9 +239,9 @@ func (l *RegionLayout) RehomedTSBMap(failed map[noc.NodeID]bool) (map[noc.NodeID
 			continue
 		}
 		best := alive[0]
-		bestDist := noc.SameLayerDistance(t, best)
+		bestDist := l.topo.SameLayerDistance(t, best)
 		for _, cand := range alive[1:] {
-			d := noc.SameLayerDistance(t, cand)
+			d := l.topo.SameLayerDistance(t, cand)
 			if d < bestDist || (d == bestDist && cand < best) {
 				best, bestDist = cand, d
 			}
@@ -191,10 +249,10 @@ func (l *RegionLayout) RehomedTSBMap(failed map[noc.NodeID]bool) (map[noc.NodeID
 		homeOf[r] = best
 		rehomed++
 	}
-	m := make(map[noc.NodeID]noc.NodeID, noc.LayerSize)
-	for off := 0; off < noc.LayerSize; off++ {
-		cacheNode := noc.NodeID(off) + noc.LayerSize
-		m[cacheNode] = homeOf[l.regionOf[off]]
+	layerSize := l.topo.LayerSize()
+	m := make(map[noc.NodeID]noc.NodeID, l.topo.NumBanks())
+	for node := layerSize; node < l.topo.NumNodes(); node++ {
+		m[noc.NodeID(node)] = homeOf[l.regionOf[node%layerSize]]
 	}
 	return m, rehomed, nil
 }

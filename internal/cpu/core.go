@@ -71,6 +71,7 @@ type robEntry struct {
 type Core struct {
 	id   int
 	node noc.NodeID
+	am   *cache.AddrMap
 	gen  Generator
 
 	rob   [ROBEntries]robEntry
@@ -91,14 +92,25 @@ type Core struct {
 	stats  Stats
 }
 
-// NewCore builds core id (0..63) attached to its core-layer node.
+// NewCore builds core id attached to its core-layer node in the default
+// topology.
 func NewCore(id int, gen Generator) *Core {
-	if id < 0 || id >= noc.LayerSize {
+	return NewCoreMapped(id, gen, cache.DefaultAddrMap())
+}
+
+// NewCoreMapped builds the core with an explicit topology address map
+// (non-default shapes).
+func NewCoreMapped(id int, gen Generator, am *cache.AddrMap) *Core {
+	if am == nil {
+		am = cache.DefaultAddrMap()
+	}
+	if id < 0 || id >= am.Topology().NumCores() {
 		panic(fmt.Sprintf("cpu: core id %d out of range", id))
 	}
 	return &Core{
 		id:      id,
 		node:    noc.NodeID(id),
+		am:      am,
 		gen:     gen,
 		waiting: make(map[uint64][]int),
 	}
@@ -255,7 +267,7 @@ func (c *Core) tryIssueMem(acc Access, now uint64) bool {
 		c.loadsOut++
 		c.stats.ReadsIssued++
 		c.outbox = append(c.outbox, c.pkt(noc.Packet{
-			Kind: noc.KindReadReq, Src: c.node, Dst: cache.HomeNode(acc.Addr),
+			Kind: noc.KindReadReq, Src: c.node, Dst: c.am.HomeNode(acc.Addr),
 			Addr: acc.Addr, Proc: c.id,
 		}))
 		if acc.Serialize {
@@ -272,7 +284,7 @@ func (c *Core) tryIssueMem(acc Access, now uint64) bool {
 		c.storesOut++
 		c.stats.WritesIssued++
 		c.outbox = append(c.outbox, c.pkt(noc.Packet{
-			Kind: noc.KindWriteReq, Src: c.node, Dst: cache.HomeNode(acc.Addr),
+			Kind: noc.KindWriteReq, Src: c.node, Dst: c.am.HomeNode(acc.Addr),
 			Addr: acc.Addr, Proc: c.id, IsBankWrite: true,
 		}))
 		return true

@@ -57,6 +57,12 @@ func (r Report) UncoreJ() float64 {
 // per-bank access counts, the network traffic counters, and the measured
 // cycle count.
 func Compute(tech mem.Tech, banks []mem.BankStats, net noc.NetStats, cycles uint64, p Params) Report {
+	return ComputeN(tech, banks, net, cycles, noc.NumNodes, p)
+}
+
+// ComputeN is Compute with an explicit router count (non-default
+// topologies); network leakage scales with the number of routers.
+func ComputeN(tech mem.Tech, banks []mem.BankStats, net noc.NetStats, cycles uint64, routers int, p Params) Report {
 	seconds := float64(cycles) / ClockHz
 	var r Report
 
@@ -73,6 +79,6 @@ func Compute(tech mem.Tech, banks []mem.BankStats, net noc.NetStats, cycles uint
 		float64(net.TSVFlits)*p.TSVTraverseNJ +
 		float64(net.TSBFlits)*p.TSBTraverseNJ +
 		float64(net.LocalFlits)*p.EjectNJ) * 1e-9
-	r.NetworkLeakageJ = float64(noc.NumNodes) * p.RouterLeakMW * 1e-3 * seconds
+	r.NetworkLeakageJ = float64(routers) * p.RouterLeakMW * 1e-3 * seconds
 	return r
 }

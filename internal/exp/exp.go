@@ -25,6 +25,12 @@ type Options struct {
 	// Quick restricts sweeps to a representative subset of benchmarks so the
 	// whole campaign finishes in seconds rather than minutes.
 	Quick bool
+	// TechProfile overrides every run's bank technology with a registered
+	// profile ("" keeps each scheme's paper default).
+	TechProfile string
+	// MeshX/MeshY/Layers override the network shape (all zero keeps the
+	// paper's 8x8x2).
+	MeshX, MeshY, Layers int
 }
 
 // quickSet is the representative subset used with Options.Quick: the paper's
@@ -83,6 +89,12 @@ func (r *Runner) resolve(cfg sim.Config) sim.Config {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = r.opts.Seed
+	}
+	if cfg.TechProfile == "" {
+		cfg.TechProfile = r.opts.TechProfile
+	}
+	if cfg.MeshX == 0 && cfg.MeshY == 0 && cfg.Layers == 0 {
+		cfg.MeshX, cfg.MeshY, cfg.Layers = r.opts.MeshX, r.opts.MeshY, r.opts.Layers
 	}
 	return cfg
 }

@@ -1,0 +1,141 @@
+package explore
+
+import (
+	"sort"
+
+	"sttsim/internal/mem"
+	"sttsim/internal/sim"
+)
+
+// RouterAreaMM2 is the die area charged per network node: a 7-port 128-bit
+// wormhole router with its link drivers at 32nm. The paper does not give a
+// router area figure, so this is a representative constant — it matters only
+// as a topology-dependent offset (more nodes, more routers), never as a
+// per-technology difference.
+const RouterAreaMM2 = 0.175
+
+// Objectives is the minimization vector a point is judged on.
+type Objectives struct {
+	// LatencyCycles is the requester-observed mean uncore round trip
+	// (network + bank queuing), in cycles.
+	LatencyCycles float64 `json:"latency_cycles"`
+	// EnergyJ is the total uncore energy over the measurement window.
+	EnergyJ float64 `json:"energy_j"`
+	// AreaMM2 is the cache-stack die area: every bank at its technology's
+	// Table 2 footprint plus a per-router constant.
+	AreaMM2 float64 `json:"area_mm2"`
+}
+
+// Dominates reports whether a is at least as good as b on every objective and
+// strictly better on at least one (all objectives minimized).
+func Dominates(a, b Objectives) bool {
+	if a.LatencyCycles > b.LatencyCycles || a.EnergyJ > b.EnergyJ || a.AreaMM2 > b.AreaMM2 {
+		return false
+	}
+	return a.LatencyCycles < b.LatencyCycles || a.EnergyJ < b.EnergyJ || a.AreaMM2 < b.AreaMM2
+}
+
+// Scalar collapses the vector into a single rank key (the product of the
+// objectives — scale-free and monotone in each axis). Used only where a total
+// order is needed: successive-halving survivor selection and the ranked
+// summary. Frontier membership always uses full dominance.
+func (o Objectives) Scalar() float64 {
+	return o.LatencyCycles * o.EnergyJ * o.AreaMM2
+}
+
+// Evaluation is one scored point.
+type Evaluation struct {
+	ID          string   `json:"id"`
+	Values      []string `json:"values"`
+	Fingerprint string   `json:"fingerprint"`
+	// Cycles is the measurement budget this evaluation ran at (successive
+	// halving scores cheap, short runs before committing to full ones).
+	Cycles uint64 `json:"cycles"`
+
+	Objectives
+
+	// Throughput (instructions/cycle, all cores) is reported for context; it
+	// is not an optimization objective.
+	Throughput float64 `json:"throughput"`
+}
+
+// Score derives the objective vector from a finished run.
+func Score(cfg sim.Config, r *sim.Result) Objectives {
+	return Objectives{
+		LatencyCycles: r.Latency.MeanTotal(),
+		EnergyJ:       r.Energy.UncoreJ(),
+		AreaMM2:       areaMM2(r.Config),
+	}
+}
+
+// areaMM2 computes the cache-stack area of a resolved configuration. It uses
+// the Result's embedded config, whose hybrid split has already been resolved
+// from the profile.
+func areaMM2(cfg sim.Config) float64 {
+	topo := cfg.Topology()
+	tech := cfg.BankTech()
+	banks := topo.NumBanks()
+	hybrid := cfg.HybridSRAMBanks
+	if hybrid > banks {
+		hybrid = banks
+	}
+	return float64(banks-hybrid)*tech.AreaMM2 +
+		float64(hybrid)*mem.SRAM.AreaMM2 +
+		float64(topo.NumNodes())*RouterAreaMM2
+}
+
+// Frontier is the incrementally maintained non-dominated set. Membership is
+// order-independent: adding the same evaluations in any order yields the same
+// set, which is what makes the frontier deterministic at any parallelism.
+type Frontier struct {
+	pts map[string]Evaluation // by ID
+}
+
+// NewFrontier returns an empty frontier.
+func NewFrontier() *Frontier { return &Frontier{pts: make(map[string]Evaluation)} }
+
+// Add offers an evaluation to the frontier. It returns true when the point
+// enters (possibly evicting now-dominated members), false when an existing
+// member dominates it. Re-adding a member updates it in place.
+func (f *Frontier) Add(e Evaluation) bool {
+	for id, m := range f.pts {
+		if id == e.ID {
+			continue
+		}
+		if Dominates(m.Objectives, e.Objectives) {
+			return false
+		}
+		if Dominates(e.Objectives, m.Objectives) {
+			delete(f.pts, id)
+		}
+	}
+	f.pts[e.ID] = e
+	return true
+}
+
+// Len returns the member count.
+func (f *Frontier) Len() int { return len(f.pts) }
+
+// Points returns the frontier in canonical ID order.
+func (f *Frontier) Points() []Evaluation {
+	out := make([]Evaluation, 0, len(f.pts))
+	for _, e := range f.pts {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Ranked returns the frontier ordered best-first by the scalar rank key,
+// ties broken by ID.
+func (f *Frontier) Ranked() []Evaluation {
+	out := f.Points()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].Scalar(), out[j].Scalar()
+		if a != b {
+			return a < b
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

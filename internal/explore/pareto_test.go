@@ -1,0 +1,149 @@
+package explore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// synthEval builds a deterministic evaluation from three objective values.
+func synthEval(id string, lat, en, area float64) Evaluation {
+	return Evaluation{
+		ID:         id,
+		Objectives: Objectives{LatencyCycles: lat, EnergyJ: en, AreaMM2: area},
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Objectives{1, 1, 1}
+	b := Objectives{2, 2, 2}
+	if !Dominates(a, b) {
+		t.Fatal("strictly better on all axes must dominate")
+	}
+	if Dominates(b, a) {
+		t.Fatal("strictly worse must not dominate")
+	}
+	c := Objectives{1, 3, 1}
+	if Dominates(a, c) != true {
+		t.Fatal("equal-or-better with one strict win must dominate")
+	}
+	if Dominates(c, a) {
+		t.Fatal("worse on one axis must not dominate")
+	}
+	if Dominates(a, a) {
+		t.Fatal("a point must not dominate itself (no strict win)")
+	}
+}
+
+// TestFrontierOrderIndependent is the determinism property underlying the
+// parallel search: the frontier is a function of the evaluation set, not of
+// arrival order.
+func TestFrontierOrderIndependent(t *testing.T) {
+	evals := []Evaluation{
+		synthEval("a", 10, 10, 10),
+		synthEval("b", 5, 20, 10),
+		synthEval("c", 20, 5, 10),
+		synthEval("d", 4, 4, 4), // dominates a, b, c
+		synthEval("e", 4, 4, 50),
+		synthEval("f", 100, 100, 1),
+	}
+	// Build the frontier under several arrival orders (rotations + reversal)
+	// and require identical membership.
+	var want []Evaluation
+	for rot := 0; rot <= len(evals); rot++ {
+		order := append(append([]Evaluation{}, evals[rot%len(evals):]...), evals[:rot%len(evals)]...)
+		if rot == len(evals) {
+			for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		f := NewFrontier()
+		for _, e := range order {
+			f.Add(e)
+		}
+		got := f.Points()
+		if want == nil {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("rotation %d: frontier size %d, want %d", rot, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("rotation %d: member %d is %s, want %s", rot, i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+	if len(want) != 2 { // d and f survive
+		t.Fatalf("frontier = %v, want {d, f}", want)
+	}
+}
+
+// TestFrontierProperty: no frontier member is dominated by ANY evaluated
+// point — the core Pareto invariant, exercised over a seeded synthetic cloud.
+func TestFrontierProperty(t *testing.T) {
+	// Deterministic pseudo-random cloud via splitmix64 (no time, no math/rand
+	// global state).
+	state := uint64(0xC0FFEE)
+	next := func() float64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		return float64(z%10000)/100.0 + 1
+	}
+	var evals []Evaluation
+	f := NewFrontier()
+	for i := 0; i < 500; i++ {
+		e := synthEval(fmt.Sprintf("p%03d", i), next(), next(), next())
+		evals = append(evals, e)
+		f.Add(e)
+	}
+	members := f.Points()
+	if len(members) == 0 {
+		t.Fatal("empty frontier over a non-empty cloud")
+	}
+	for _, m := range members {
+		for _, e := range evals {
+			if e.ID == m.ID {
+				continue
+			}
+			if Dominates(e.Objectives, m.Objectives) {
+				t.Fatalf("frontier member %s is dominated by evaluated point %s", m.ID, e.ID)
+			}
+		}
+	}
+	// And the converse: every non-member is dominated by some member.
+	byID := map[string]bool{}
+	for _, m := range members {
+		byID[m.ID] = true
+	}
+	for _, e := range evals {
+		if byID[e.ID] {
+			continue
+		}
+		dominated := false
+		for _, m := range members {
+			if Dominates(m.Objectives, e.Objectives) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("non-member %s is not dominated by any frontier member", e.ID)
+		}
+	}
+}
+
+func TestFrontierRankedDeterministic(t *testing.T) {
+	f := NewFrontier()
+	f.Add(synthEval("b", 2, 3, 4)) // scalar 24
+	f.Add(synthEval("a", 4, 3, 2)) // scalar 24, tie -> ID order
+	f.Add(synthEval("c", 1, 2, 5)) // scalar 10, best; dominates nothing
+	ranked := f.Ranked()
+	ids := []string{ranked[0].ID, ranked[1].ID, ranked[2].ID}
+	if ids[0] != "c" || ids[1] != "a" || ids[2] != "b" {
+		t.Fatalf("ranked order = %v, want [c a b]", ids)
+	}
+}

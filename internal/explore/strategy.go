@@ -1,0 +1,193 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+)
+
+// BatchFunc evaluates a batch of points at a measurement budget (cycles) and
+// returns one evaluation per point, aligned with the input; a nil entry is a
+// point whose run failed (the explorer records the failure). Implementations
+// run the batch in parallel and must be deterministic in value, not order.
+type BatchFunc func(ctx context.Context, pts []Point, measureCycles uint64) ([]*Evaluation, error)
+
+// Strategy decides which points to evaluate at which budget. The final
+// returned evaluations are the candidates the strategy fully trusts — they
+// all ran at the space's full measurement budget.
+type Strategy interface {
+	Name() string
+	Run(ctx context.Context, space *Space, fullBudget uint64, eval BatchFunc) ([]*Evaluation, error)
+}
+
+// Grid exhaustively evaluates every valid point at full budget.
+type Grid struct{}
+
+// Name identifies the strategy in reports.
+func (Grid) Name() string { return "grid" }
+
+// Run evaluates the whole space in one batch.
+func (Grid) Run(ctx context.Context, space *Space, fullBudget uint64, eval BatchFunc) ([]*Evaluation, error) {
+	pts, _ := space.Points()
+	return eval(ctx, pts, fullBudget)
+}
+
+// Random evaluates a seeded uniform sample (without replacement) of the valid
+// points at full budget. The sample depends only on (Seed, space) — never on
+// timing — so a re-run replays the identical subset.
+type Random struct {
+	Seed    uint64
+	Samples int
+}
+
+// Name identifies the strategy in reports.
+func (Random) Name() string { return "random" }
+
+// Run samples and evaluates.
+func (r Random) Run(ctx context.Context, space *Space, fullBudget uint64, eval BatchFunc) ([]*Evaluation, error) {
+	if r.Samples <= 0 {
+		return nil, fmt.Errorf("explore: random search needs samples > 0")
+	}
+	pts, _ := space.Points()
+	shuffle(pts, r.Seed)
+	if r.Samples < len(pts) {
+		pts = pts[:r.Samples]
+	}
+	SortPoints(pts)
+	return eval(ctx, pts, fullBudget)
+}
+
+// shuffle is a seeded Fisher-Yates over the points, driven by splitmix64 so
+// the permutation is identical on every platform and run.
+func shuffle(pts []Point, seed uint64) {
+	state := seed ^ 0x9E3779B97F4A7C15
+	next := func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := len(pts) - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		pts[i], pts[j] = pts[j], pts[i]
+	}
+}
+
+// SuccessiveHalving allocates measurement cycles adaptively: every candidate
+// runs at a small budget first, then only the best 1/Eta (by the scalar rank
+// key, ties broken by point ID) graduate to an Eta-times-larger budget, until
+// the survivors run at the full budget. With n candidates, Eta=2, and
+// MinCycles = full/2^k, total spent cycles are roughly (k+1) * n * MinCycles
+// — far below the n * full a grid pays — while the full-budget finalists
+// still anchor the frontier.
+type SuccessiveHalving struct {
+	// Eta is the keep fraction denominator per round (default 2).
+	Eta int
+	// MinCycles is the first round's measurement budget (default full/8,
+	// floored at 1000 cycles).
+	MinCycles uint64
+	// Seed drives the optional subsample when MaxCandidates caps round zero.
+	Seed uint64
+	// MaxCandidates caps the initial cohort (0 = all valid points).
+	MaxCandidates int
+}
+
+// Name identifies the strategy in reports.
+func (SuccessiveHalving) Name() string { return "halving" }
+
+// Plan returns the budget ladder for a full budget: MinCycles doubling by Eta
+// up to (and capped at) the full budget. Exposed so the budget-accounting
+// unit tests can pin the schedule.
+func (s SuccessiveHalving) Plan(fullBudget uint64) []uint64 {
+	eta, min := s.params(fullBudget)
+	var ladder []uint64
+	for b := min; b < fullBudget; b *= uint64(eta) {
+		ladder = append(ladder, b)
+	}
+	return append(ladder, fullBudget)
+}
+
+// Keep returns how many of n candidates survive a round (at least one).
+func (s SuccessiveHalving) Keep(n int, fullBudget uint64) int {
+	eta, _ := s.params(fullBudget)
+	k := (n + eta - 1) / eta
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+func (s SuccessiveHalving) params(fullBudget uint64) (eta int, min uint64) {
+	eta = s.Eta
+	if eta < 2 {
+		eta = 2
+	}
+	min = s.MinCycles
+	if min == 0 {
+		min = fullBudget / 8
+	}
+	if min < 1000 {
+		min = 1000
+	}
+	if min > fullBudget {
+		min = fullBudget
+	}
+	return eta, min
+}
+
+// Run walks the budget ladder.
+func (s SuccessiveHalving) Run(ctx context.Context, space *Space, fullBudget uint64, eval BatchFunc) ([]*Evaluation, error) {
+	pts, _ := space.Points()
+	if s.MaxCandidates > 0 && s.MaxCandidates < len(pts) {
+		shuffle(pts, s.Seed)
+		pts = pts[:s.MaxCandidates]
+		SortPoints(pts)
+	}
+	ladder := s.Plan(fullBudget)
+	for round, budget := range ladder {
+		evals, err := eval(ctx, pts, budget)
+		if err != nil {
+			return nil, err
+		}
+		if round == len(ladder)-1 {
+			return evals, nil
+		}
+		// Survivor selection: rank the successful evaluations by the scalar
+		// key, deterministic ties by ID; failed points are eliminated.
+		ok := make([]*Evaluation, 0, len(evals))
+		for _, e := range evals {
+			if e != nil {
+				ok = append(ok, e)
+			}
+		}
+		if len(ok) == 0 {
+			return nil, fmt.Errorf("explore: every candidate failed at the %d-cycle round", budget)
+		}
+		rankEvals(ok)
+		keep := s.Keep(len(ok), fullBudget)
+		if keep > len(ok) {
+			keep = len(ok)
+		}
+		next := make([]Point, keep)
+		for i := 0; i < keep; i++ {
+			next[i] = Point{Values: ok[i].Values, ID: ok[i].ID}
+		}
+		SortPoints(next)
+		pts = next
+	}
+	return nil, fmt.Errorf("explore: empty budget ladder") // unreachable
+}
+
+// rankEvals sorts best-first by scalar key, ties by ID.
+func rankEvals(evals []*Evaluation) {
+	for i := 1; i < len(evals); i++ {
+		for j := i; j > 0; j-- {
+			a, b := evals[j], evals[j-1]
+			if a.Scalar() < b.Scalar() || (a.Scalar() == b.Scalar() && a.ID < b.ID) {
+				evals[j], evals[j-1] = evals[j-1], evals[j]
+			} else {
+				break
+			}
+		}
+	}
+}

@@ -168,14 +168,21 @@ type Engine struct {
 	events []Event
 	next   int
 
-	bankRNG [noc.LayerSize]uint64
+	bankRNG []uint64
 	stats   Stats
 }
 
-// NewEngine builds the engine for a campaign. The runSeed is mixed in when
-// the config leaves Seed at 0, so fault draws follow the workload seed by
-// default.
+// NewEngine builds the engine for a campaign over the default topology's 64
+// banks. The runSeed is mixed in when the config leaves Seed at 0, so fault
+// draws follow the workload seed by default.
 func NewEngine(cfg Config, runSeed uint64) (*Engine, error) {
+	return NewEngineBanks(cfg, runSeed, noc.LayerSize)
+}
+
+// NewEngineBanks builds the engine with an explicit bank count (non-default
+// topologies). Per-bank streams are seeded by bank index, so the default
+// count reproduces NewEngine's draws exactly.
+func NewEngineBanks(cfg Config, runSeed uint64, numBanks int) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -183,7 +190,7 @@ func NewEngine(cfg Config, runSeed uint64) (*Engine, error) {
 	if seed == 0 {
 		seed = runSeed ^ 0xFA017FA017FA0170
 	}
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, bankRNG: make([]uint64, numBanks)}
 	for b := range e.bankRNG {
 		// Distinct, well-mixed stream per bank: draws stay deterministic even
 		// if bank service order ever changes.
@@ -230,9 +237,9 @@ func (e *Engine) EventsDue(now uint64) []Event {
 }
 
 // WriteFails draws the stochastic write-error model for one array write at
-// the given bank (0..63). It implements cache.WriteFaultInjector.
+// the given bank. It implements cache.WriteFaultInjector.
 func (e *Engine) WriteFails(bank int) bool {
-	if e.cfg.WriteErrorRate <= 0 || bank < 0 || bank >= noc.LayerSize {
+	if e.cfg.WriteErrorRate <= 0 || bank < 0 || bank >= len(e.bankRNG) {
 		return false
 	}
 	e.stats.WriteDraws++

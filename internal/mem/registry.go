@@ -1,0 +1,130 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile is a named, registered bank technology: the Tech parameters plus
+// the hybrid split (how many banks of a mixed cache use SRAM). A profile is
+// the unit the exploration engine sweeps over — selecting one by name fully
+// determines the device model of every bank in the stack.
+type Profile struct {
+	// Name is the registry key ("sram", "sttram", "sttram-rr10", ...).
+	Name string
+	// Summary is a one-line description for -help listings.
+	Summary string
+	// Tech is the device model applied to STT-RAM-class banks (or to every
+	// bank when HybridSRAMBanks is zero).
+	Tech Tech
+	// HybridSRAMBanks is the number of banks (from bank 0 upward) replaced by
+	// SRAM banks in a hybrid mix; zero means a uniform cache.
+	HybridSRAMBanks int
+}
+
+// registry holds the built-in profiles. It is populated at init time and
+// immutable afterwards, so lookups are safe from any goroutine.
+var registry = map[string]Profile{}
+
+func register(p Profile) {
+	if _, dup := registry[p.Name]; dup {
+		panic(fmt.Sprintf("mem: duplicate profile %q", p.Name))
+	}
+	registry[p.Name] = p
+}
+
+// LookupProfile returns the registered profile with the given name.
+func LookupProfile(name string) (Profile, bool) {
+	p, ok := registry[name]
+	return p, ok
+}
+
+// ProfileNames returns every registered profile name, sorted.
+func ProfileNames() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Profiles returns every registered profile, sorted by name.
+func Profiles() []Profile {
+	names := ProfileNames()
+	out := make([]Profile, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// retentionRelaxed derives a retention-relaxed STT-RAM variant: shrinking the
+// MTJ's thermal stability factor shortens the write pulse (and its energy) at
+// the cost of retention time, following the Smullen et al. (HPCA'11) and
+// Jog et al. (DAC'12) volatile-STT-RAM design points. writeCycles is the
+// relaxed write service time at 3GHz; energyScale scales the write energy.
+func retentionRelaxed(name, summary string, writeCycles uint64, energyScale float64) Profile {
+	t := STTRAM
+	t.Name = name
+	t.WriteCycles = writeCycles
+	t.WriteLatencyNS = float64(writeCycles) / 3.0
+	t.WriteEnergyNJ = STTRAM.WriteEnergyNJ * energyScale
+	return Profile{Name: name, Summary: summary, Tech: t}
+}
+
+// SOTRAM is a spin-orbit-torque RAM design point: the three-terminal cell
+// separates the read and write paths, so writes are near-SRAM speed and much
+// lower energy than STT-RAM, at the cost of a larger cell (lower density)
+// than two-terminal STT-RAM.
+var SOTRAM = Tech{
+	Name:           "SOT-RAM",
+	CapacityMB:     2,
+	AreaMM2:        3.2,
+	ReadEnergyNJ:   0.21,
+	WriteEnergyNJ:  0.35,
+	LeakagePowerMW: 120.0,
+	ReadLatencyNS:  0.85,
+	WriteLatencyNS: 2.0,
+	ReadCycles:     3,
+	WriteCycles:    6,
+}
+
+func init() {
+	register(Profile{
+		Name:    "sram",
+		Summary: "Table 2 1MB SRAM bank (baseline)",
+		Tech:    SRAM,
+	})
+	register(Profile{
+		Name:    "sttram",
+		Summary: "Table 2 4MB STT-RAM bank (33-cycle writes)",
+		Tech:    STTRAM,
+	})
+	register(Profile{
+		Name:    "pcram",
+		Summary: "phase-change RAM extension point (150-cycle writes)",
+		Tech:    PCRAM,
+	})
+	register(Profile{
+		Name:    "sotram",
+		Summary: "spin-orbit-torque RAM: near-SRAM writes, 2x SRAM density",
+		Tech:    SOTRAM,
+	})
+	register(retentionRelaxed("sttram-rr20",
+		"retention-relaxed STT-RAM, 20-cycle writes (~weeks retention)", 20, 0.80))
+	register(retentionRelaxed("sttram-rr10",
+		"retention-relaxed STT-RAM, 10-cycle writes (~seconds retention)", 10, 0.55))
+	register(Profile{
+		Name:            "hybrid16",
+		Summary:         "hybrid mix: 16 SRAM banks, rest STT-RAM",
+		Tech:            STTRAM,
+		HybridSRAMBanks: 16,
+	})
+	register(Profile{
+		Name:            "hybrid32",
+		Summary:         "hybrid mix: 32 SRAM banks, rest STT-RAM",
+		Tech:            STTRAM,
+		HybridSRAMBanks: 32,
+	})
+}

@@ -1,0 +1,87 @@
+package mem
+
+import (
+	"testing"
+)
+
+func TestProfileNamesSortedAndStable(t *testing.T) {
+	names := ProfileNames()
+	if len(names) < 6 {
+		t.Fatalf("expected at least 6 registered profiles, got %d: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	for _, want := range []string{"sram", "sttram", "pcram", "sotram", "sttram-rr10", "sttram-rr20", "hybrid16", "hybrid32"} {
+		if _, ok := LookupProfile(want); !ok {
+			t.Errorf("profile %q not registered", want)
+		}
+	}
+}
+
+func TestPaperProfilesMatchTable2(t *testing.T) {
+	p, ok := LookupProfile("sram")
+	if !ok || p.Tech != SRAM {
+		t.Fatalf("sram profile does not carry Table 2 SRAM params: %+v", p.Tech)
+	}
+	q, ok := LookupProfile("sttram")
+	if !ok || q.Tech != STTRAM {
+		t.Fatalf("sttram profile does not carry Table 2 STT-RAM params: %+v", q.Tech)
+	}
+	if p.HybridSRAMBanks != 0 || q.HybridSRAMBanks != 0 {
+		t.Fatalf("uniform profiles must have zero hybrid banks")
+	}
+}
+
+func TestRetentionRelaxedVariants(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		cycles uint64
+	}{{"sttram-rr20", 20}, {"sttram-rr10", 10}} {
+		p, ok := LookupProfile(tc.name)
+		if !ok {
+			t.Fatalf("%s not registered", tc.name)
+		}
+		if p.Tech.WriteCycles != tc.cycles {
+			t.Errorf("%s: write cycles = %d, want %d", tc.name, p.Tech.WriteCycles, tc.cycles)
+		}
+		if p.Tech.WriteCycles >= STTRAM.WriteCycles {
+			t.Errorf("%s: relaxed writes must be faster than baseline STT-RAM", tc.name)
+		}
+		if p.Tech.WriteEnergyNJ >= STTRAM.WriteEnergyNJ {
+			t.Errorf("%s: relaxed writes must cost less energy than baseline", tc.name)
+		}
+		if p.Tech.ReadCycles != STTRAM.ReadCycles {
+			t.Errorf("%s: reads must be unchanged", tc.name)
+		}
+	}
+}
+
+func TestHybridProfiles(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		banks int
+	}{{"hybrid16", 16}, {"hybrid32", 32}} {
+		p, ok := LookupProfile(tc.name)
+		if !ok {
+			t.Fatalf("%s not registered", tc.name)
+		}
+		if p.HybridSRAMBanks != tc.banks {
+			t.Errorf("%s: hybrid banks = %d, want %d", tc.name, p.HybridSRAMBanks, tc.banks)
+		}
+		if p.Tech.WriteCycles != STTRAM.WriteCycles {
+			t.Errorf("%s: STT-RAM side must carry Table 2 write latency", tc.name)
+		}
+	}
+}
+
+func TestLookupUnknownProfile(t *testing.T) {
+	if _, ok := LookupProfile("no-such-profile"); ok {
+		t.Fatal("lookup of unknown profile succeeded")
+	}
+	if _, ok := LookupProfile(""); ok {
+		t.Fatal("lookup of empty name succeeded")
+	}
+}

@@ -58,13 +58,13 @@ type NetStats struct {
 	Hops             stats.Accumulator
 }
 
-// activeWords is the bitset word count covering every node.
-const activeWords = (NumNodes + 63) / 64
-
-// Network is the full 128-node, two-layer interconnect.
+// Network is the full interconnect: topology-sized at construction, the
+// paper's 128-node two-layer system by default.
 type Network struct {
-	routers [NumNodes]*Router
-	nics    [NumNodes]*NIC
+	topo     Topology
+	numNodes int
+	routers  []*Router
+	nics     []*NIC
 
 	routing     *Routing
 	prioritizer Prioritizer
@@ -78,10 +78,11 @@ type Network struct {
 	// Sparse active-set ticking (see Step): bit n set means the router/NIC
 	// at node n may make progress and must be ticked this cycle. Idle
 	// components cost zero instead of being polled. exhaustive switches
-	// Step back to the full 0..NumNodes scan — behaviourally identical by
+	// Step back to the full 0..numNodes scan — behaviourally identical by
 	// construction, kept as the oracle for the determinism property test.
-	activeRtr  [activeWords]uint64
-	activeNIC  [activeWords]uint64
+	// (numNodes+63)/64 words each.
+	activeRtr  []uint64
+	activeNIC  []uint64
 	exhaustive bool
 
 	stats    NetStats
@@ -113,7 +114,7 @@ func (n *Network) SetExhaustiveTick(on bool) { n.exhaustive = on }
 // draining traffic may fast-forward over the remaining cycle span instead of
 // stepping through it.
 func (n *Network) Quiescent() bool {
-	for w := 0; w < activeWords; w++ {
+	for w := range n.activeRtr {
 		if n.activeRtr[w] != 0 || n.activeNIC[w] != 0 {
 			return false
 		}
@@ -133,7 +134,16 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if len(vcs) != int(NumClasses) {
 		return nil, fmt.Errorf("noc: VCsPerClass needs %d entries, got %d", NumClasses, len(vcs))
 	}
+	topo := cfg.Routing.Topology()
+	numNodes := topo.NumNodes()
+	words := (numNodes + 63) / 64
 	n := &Network{
+		topo:        topo,
+		numNodes:    numNodes,
+		routers:     make([]*Router, numNodes),
+		nics:        make([]*NIC, numNodes),
+		activeRtr:   make([]uint64, words),
+		activeNIC:   make([]uint64, words),
 		routing:     cfg.Routing,
 		prioritizer: cfg.Prioritizer,
 		obs:         cfg.Observer,
@@ -155,23 +165,26 @@ func NewNetwork(cfg Config) (*Network, error) {
 		n.classHi[c] = n.numVCs
 	}
 
+	// Wide TSBs are named by their core-layer node; the 256-bit bus spans
+	// the whole column, so every down-link in that (x, y) column is wide.
 	wide := make(map[NodeID]bool, len(cfg.WideTSBs))
 	for _, t := range cfg.WideTSBs {
-		if !t.Valid() || t.Layer() != 0 {
+		if !topo.ValidNode(t) || topo.Layer(t) != 0 {
 			return nil, fmt.Errorf("noc: wide TSB %d is not a core-layer node", t)
 		}
 		wide[t] = true
 	}
+	layerSize := topo.LayerSize()
 
 	// Pass 1: routers and their input ports.
-	for id := NodeID(0); id < NumNodes; id++ {
+	for id := NodeID(0); id < NodeID(numNodes); id++ {
 		r := &Router{id: id, net: n}
 		r.in[PortLocal] = n.newInputPort()
 		for p := Port(0); p < NumPorts; p++ {
 			if p == PortLocal {
 				continue
 			}
-			if Neighbor(id, p) >= 0 {
+			if topo.Neighbor(id, p) >= 0 {
 				r.in[p] = n.newInputPort()
 			}
 		}
@@ -180,20 +193,20 @@ func NewNetwork(cfg Config) (*Network, error) {
 
 	// Pass 2: output links, including the local ejection port, and credit
 	// wiring back into the downstream input ports.
-	for id := NodeID(0); id < NumNodes; id++ {
+	for id := NodeID(0); id < NodeID(numNodes); id++ {
 		r := n.routers[id]
 		for p := Port(0); p < NumPorts; p++ {
 			if p == PortLocal {
 				r.out[p] = n.newOutLink(p, nil, PortLocal, 1, false)
 				continue
 			}
-			nb := Neighbor(id, p)
+			nb := topo.Neighbor(id, p)
 			if nb < 0 {
 				continue
 			}
 			width := 1
 			isTSV := p == PortUp || p == PortDown
-			if p == PortDown && wide[id] {
+			if p == PortDown && wide[NodeID(int(id)%layerSize)] {
 				width = 2
 			}
 			ol := n.newOutLink(p, n.routers[nb], p.Opposite(), width, isTSV)
@@ -203,7 +216,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 
 	// Pass 3: NICs, each feeding its router's local input port.
-	for id := NodeID(0); id < NumNodes; id++ {
+	for id := NodeID(0); id < NodeID(numNodes); id++ {
 		r := n.routers[id]
 		inj := n.newOutLink(PortLocal, r, PortLocal, 1, false)
 		r.in[PortLocal].feeder = inj
@@ -264,6 +277,12 @@ func (n *Network) BufDepth() int { return n.bufDepth }
 // Routing returns the network's routing function.
 func (n *Network) Routing() *Routing { return n.routing }
 
+// Topology returns the shape this network was built for.
+func (n *Network) Topology() Topology { return n.topo }
+
+// NumNodes returns the network's total node count.
+func (n *Network) NumNodes() int { return n.numNodes }
+
 // Router returns the router at node id.
 func (n *Network) Router(id NodeID) *Router { return n.routers[id] }
 
@@ -309,7 +328,7 @@ func ClassFor(k Kind) Class {
 // Inject hands a packet to the source NIC at cycle now. Missing SizeFlits
 // and Class fields are filled from the packet kind.
 func (n *Network) Inject(p *Packet, now uint64) {
-	if !p.Src.Valid() || !p.Dst.Valid() {
+	if !n.topo.ValidNode(p.Src) || !n.topo.ValidNode(p.Dst) {
 		panic(fmt.Sprintf("noc: inject with invalid endpoints %d -> %d", p.Src, p.Dst))
 	}
 	n.nextID++
@@ -381,10 +400,10 @@ func (n *Network) priority(at NodeID, p *Packet, now uint64) int {
 // callers can surface a structured failure report.
 func (n *Network) Step(now uint64) error {
 	if n.exhaustive {
-		for id := NodeID(0); id < NumNodes; id++ {
+		for id := NodeID(0); id < NodeID(n.numNodes); id++ {
 			n.nics[id].tick(now)
 		}
-		for id := NodeID(0); id < NumNodes; id++ {
+		for id := NodeID(0); id < NodeID(n.numNodes); id++ {
 			r := n.routers[id]
 			r.switchAlloc(now)
 			r.vcAlloc(now)
@@ -397,7 +416,7 @@ func (n *Network) Step(now uint64) error {
 		// as the full scan would; lower-node activations wait for the next
 		// cycle, again matching the full scan. A component's bit clears only
 		// when its tick leaves it with no work.
-		for w := 0; w < activeWords; w++ {
+		for w := 0; w < len(n.activeNIC); w++ {
 			// Re-reading the word after each tick picks up bits a tick set at
 			// a *higher* node this sweep; lower-node activations keep their
 			// bit and are ticked next cycle, matching the full scan.
@@ -412,7 +431,7 @@ func (n *Network) Step(now uint64) error {
 				mask = n.activeNIC[w] &^ (1<<(bit+1) - 1)
 			}
 		}
-		for w := 0; w < activeWords; w++ {
+		for w := 0; w < len(n.activeRtr); w++ {
 			mask := n.activeRtr[w]
 			for mask != 0 {
 				bit := uint(bits.TrailingZeros64(mask))
@@ -446,7 +465,7 @@ func (n *Network) FailPort(id NodeID, p Port) error {
 // cycle (the link moves flits only on cycles divisible by period); period 0
 // kills the port outright. It returns an error when the port has no link.
 func (n *Network) DegradePort(id NodeID, p Port, period uint64) error {
-	if !id.Valid() || p < 0 || p >= NumPorts {
+	if !n.topo.ValidNode(id) || p < 0 || p >= NumPorts {
 		return fmt.Errorf("noc: degrade of invalid port %d:%d", id, p)
 	}
 	ol := n.routers[id].out[p]
@@ -464,7 +483,7 @@ func (n *Network) DegradePort(id NodeID, p Port, period uint64) error {
 // committed to a path follow the new routes, while wormholes already holding
 // a downstream VC drain along their old path.
 func (n *Network) RecomputeRoutes() {
-	for id := NodeID(0); id < NumNodes; id++ {
+	for id := NodeID(0); id < NodeID(n.numNodes); id++ {
 		r := n.routers[id]
 		for port := Port(0); port < NumPorts; port++ {
 			ip := r.in[port]

@@ -26,51 +26,82 @@ func (m RequestPathMode) String() string {
 
 // Routing is the deterministic routing function. Within a layer it is X-Y
 // (X first, then Y); layer transitions happen at the source column (Z-X-Y)
-// for unrestricted traffic, or at the region TSB for demand requests under
-// PathRegionTSBs.
+// for unrestricted traffic, or at the region TSB column for demand requests
+// under PathRegionTSBs. With more than two layers, vertical traffic keeps
+// descending (or ascending) through the same column until it reaches the
+// destination layer — a TSB is a multi-drop bus through the whole stack.
 type Routing struct {
+	topo Topology
+	n    int // cached topo.NumNodes(), the next-hop tables' stride
 	mode RequestPathMode
 	// tsbOf maps each cache-layer node to the core-layer node hosting the
 	// TSB that serves its region. Only consulted under PathRegionTSBs.
-	tsbOf [NumNodes]NodeID
+	tsbOf []NodeID
 
 	// Vertical-link fault state (fault-injection campaigns): downDead marks
 	// core-layer nodes whose down-link has failed; descendAt caches, per
 	// core-layer node, the nearest surviving node with a working down-link.
 	// hasDeadDown gates all of it so the fault-free path costs nothing.
 	hasDeadDown bool
-	downDead    [LayerSize]bool
-	descendAt   [LayerSize]NodeID
+	downDead    []bool
+	descendAt   []NodeID
 
 	// Precomputed next-hop tables: the routing function depends only on
 	// (current node, destination, demand-request?), so NextPort — called for
 	// every header flit at every hop, squarely in the hot loop — is a table
 	// lookup. rebuild() refreshes both tables whenever the function changes
-	// (construction, TSB re-homing, vertical-link failure); 2 x 16 KiB.
-	next       [NumNodes][NumNodes]int8 // unrestricted traffic
-	demandNext [NumNodes][NumNodes]int8 // demand requests (region-TSB rule)
+	// (construction, TSB re-homing, vertical-link failure). Flat n*n layout,
+	// indexed at*n+dst; 2 x 16 KiB at the default 128-node shape.
+	next       []int8 // unrestricted traffic
+	demandNext []int8 // demand requests (region-TSB rule)
 }
 
-// NewRouting builds a routing function. Under PathRegionTSBs, tsbOf must map
-// every cache-layer node (64..127) to a core-layer TSB node; NewRouting
-// returns an error otherwise. Under PathAllTSVs, tsbOf may be nil.
+// NewRouting builds a routing function for the paper's default 8x8x2 shape.
+// Under PathRegionTSBs, tsbOf must map every cache-layer node (64..127) to a
+// core-layer TSB node; NewRouting returns an error otherwise. Under
+// PathAllTSVs, tsbOf may be nil.
 func NewRouting(mode RequestPathMode, tsbOf map[NodeID]NodeID) (*Routing, error) {
-	r := &Routing{mode: mode}
+	return NewRoutingTopo(DefaultTopology(), mode, tsbOf)
+}
+
+// NewRoutingTopo builds a routing function over an arbitrary topology. Under
+// PathRegionTSBs, tsbOf must map every cache-layer node to a core-layer TSB
+// node.
+func NewRoutingTopo(topo Topology, mode RequestPathMode, tsbOf map[NodeID]NodeID) (*Routing, error) {
+	topo = topo.OrDefault()
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	n := topo.NumNodes()
+	ls := topo.LayerSize()
+	r := &Routing{
+		topo:       topo,
+		n:          n,
+		mode:       mode,
+		tsbOf:      make([]NodeID, n),
+		downDead:   make([]bool, ls),
+		descendAt:  make([]NodeID, ls),
+		next:       make([]int8, n*n),
+		demandNext: make([]int8, n*n),
+	}
 	if mode == PathRegionTSBs {
-		for n := NodeID(LayerSize); n < NumNodes; n++ {
-			t, ok := tsbOf[n]
+		for node := NodeID(ls); node < NodeID(n); node++ {
+			t, ok := tsbOf[node]
 			if !ok {
-				return nil, fmt.Errorf("noc: no TSB assigned to cache node %d", n)
+				return nil, fmt.Errorf("noc: no TSB assigned to cache node %d", node)
 			}
-			if !t.Valid() || t.Layer() != 0 {
-				return nil, fmt.Errorf("noc: TSB node %d for cache node %d is not in the core layer", t, n)
+			if !topo.ValidNode(t) || topo.Layer(t) != 0 {
+				return nil, fmt.Errorf("noc: TSB node %d for cache node %d is not in the core layer", t, node)
 			}
-			r.tsbOf[n] = t
+			r.tsbOf[node] = t
 		}
 	}
 	r.rebuild()
 	return r, nil
 }
+
+// Topology returns the shape this routing function was built for.
+func (r *Routing) Topology() Topology { return r.topo }
 
 // Mode returns the request-path mode.
 func (r *Routing) Mode() RequestPathMode { return r.mode }
@@ -86,20 +117,22 @@ func (r *Routing) UpdateTSBMap(tsbOf map[NodeID]NodeID) error {
 	if r.mode != PathRegionTSBs {
 		return nil
 	}
-	for n := NodeID(LayerSize); n < NumNodes; n++ {
-		t, ok := tsbOf[n]
+	n := r.topo.NumNodes()
+	ls := r.topo.LayerSize()
+	for node := NodeID(ls); node < NodeID(n); node++ {
+		t, ok := tsbOf[node]
 		if !ok {
-			return fmt.Errorf("noc: no TSB assigned to cache node %d", n)
+			return fmt.Errorf("noc: no TSB assigned to cache node %d", node)
 		}
-		if !t.Valid() || t.Layer() != 0 {
-			return fmt.Errorf("noc: TSB node %d for cache node %d is not in the core layer", t, n)
+		if !r.topo.ValidNode(t) || r.topo.Layer(t) != 0 {
+			return fmt.Errorf("noc: TSB node %d for cache node %d is not in the core layer", t, node)
 		}
 		if r.downDead[t] {
-			return fmt.Errorf("noc: TSB map routes cache node %d through dead TSB %d", n, t)
+			return fmt.Errorf("noc: TSB map routes cache node %d through dead TSB %d", node, t)
 		}
 	}
-	for n := NodeID(LayerSize); n < NumNodes; n++ {
-		r.tsbOf[n] = tsbOf[n]
+	for node := NodeID(ls); node < NodeID(n); node++ {
+		r.tsbOf[node] = tsbOf[node]
 	}
 	r.rebuild()
 	return nil
@@ -111,7 +144,7 @@ func (r *Routing) UpdateTSBMap(tsbOf map[NodeID]NodeID) error {
 // on ties). It fails when c is not a core-layer node or when no down-link
 // would survive.
 func (r *Routing) FailDown(c NodeID) error {
-	if !c.Valid() || c.Layer() != 0 {
+	if !r.topo.ValidNode(c) || r.topo.Layer(c) != 0 {
 		return fmt.Errorf("noc: FailDown(%d): not a core-layer node", c)
 	}
 	alive := 0
@@ -132,12 +165,12 @@ func (r *Routing) FailDown(c NodeID) error {
 
 // DownDead reports whether the down-link at core-layer node c has failed.
 func (r *Routing) DownDead(c NodeID) bool {
-	return c.Valid() && c.Layer() == 0 && r.downDead[c]
+	return r.topo.ValidNode(c) && r.topo.Layer(c) == 0 && r.downDead[c]
 }
 
 // recomputeDescents refreshes the per-node nearest-surviving-down-link cache.
 func (r *Routing) recomputeDescents() {
-	for i := 0; i < LayerSize; i++ {
+	for i := range r.downDead {
 		at := NodeID(i)
 		if !r.downDead[i] {
 			r.descendAt[i] = at
@@ -145,11 +178,11 @@ func (r *Routing) recomputeDescents() {
 		}
 		best := NodeID(-1)
 		bestDist := 0
-		for j := 0; j < LayerSize; j++ {
+		for j := range r.downDead {
 			if r.downDead[j] {
 				continue
 			}
-			d := SameLayerDistance(at, NodeID(j))
+			d := r.topo.SameLayerDistance(at, NodeID(j))
 			if best < 0 || d < bestDist {
 				best, bestDist = NodeID(j), d
 			}
@@ -166,8 +199,9 @@ func isDemandRequest(p *Packet) bool {
 }
 
 // XYNext returns the port taking one X-Y step from node at toward the
-// same-layer node dst (PortLocal when already there). It panics if the nodes
-// are on different layers, since that is a routing-logic error.
+// same-layer node dst (PortLocal when already there), over the default
+// topology. It panics if the nodes are on different layers, since that is a
+// routing-logic error.
 func XYNext(at, dst NodeID) Port {
 	if at.Layer() != dst.Layer() {
 		panic("noc: XYNext across layers")
@@ -186,8 +220,9 @@ func XYNext(at, dst NodeID) Port {
 	}
 }
 
-// Neighbor returns the node reached by leaving at through port p, or -1 when
-// the port exits the mesh (edge ports, or vertical ports that do not exist).
+// Neighbor returns the node reached by leaving at through port p over the
+// default topology, or -1 when the port exits the mesh (edge ports, or
+// vertical ports that do not exist).
 func Neighbor(at NodeID, p Port) NodeID {
 	x, y, layer := at.X(), at.Y(), at.Layer()
 	switch p {
@@ -228,18 +263,21 @@ func Neighbor(at NodeID, p Port) NodeID {
 
 // NextPort returns the output port packet p takes at node at.
 func (r *Routing) NextPort(at NodeID, p *Packet) Port {
+	i := int(at)*r.n + int(p.Dst)
 	if isDemandRequest(p) {
-		return Port(r.demandNext[at][p.Dst])
+		return Port(r.demandNext[i])
 	}
-	return Port(r.next[at][p.Dst])
+	return Port(r.next[i])
 }
 
 // rebuild recomputes both next-hop tables from the current routing state.
 func (r *Routing) rebuild() {
-	for at := NodeID(0); at < NumNodes; at++ {
-		for dst := NodeID(0); dst < NumNodes; dst++ {
-			r.next[at][dst] = int8(r.computeNextPort(at, dst, false))
-			r.demandNext[at][dst] = int8(r.computeNextPort(at, dst, true))
+	n := NodeID(r.topo.NumNodes())
+	for at := NodeID(0); at < n; at++ {
+		for dst := NodeID(0); dst < n; dst++ {
+			i := int(at)*int(n) + int(dst)
+			r.next[i] = int8(r.computeNextPort(at, dst, false))
+			r.demandNext[i] = int8(r.computeNextPort(at, dst, true))
 		}
 	}
 }
@@ -249,32 +287,38 @@ func (r *Routing) computeNextPort(at, dst NodeID, demand bool) Port {
 	if at == dst {
 		return PortLocal
 	}
-	if at.Layer() == dst.Layer() {
+	atL, dstL := r.topo.Layer(at), r.topo.Layer(dst)
+	if atL == dstL {
 		// Same layer (including a demand request that already descended
 		// through its region TSB): plain X-Y.
-		return XYNext(at, dst)
+		return r.topo.XYNext(at, dst)
 	}
 	// Cross-layer.
-	if dst.Layer() == 1 {
-		// Descending. Demand requests under region routing must first reach
-		// the region TSB node in the core layer.
+	if dstL > atL {
+		// Descending. Any layer transitions happen in the core layer; once a
+		// packet is mid-stack it stays in its column until the target layer.
+		if atL > 0 {
+			return PortDown
+		}
+		// Demand requests under region routing must first reach the region
+		// TSB node in the core layer.
 		if r.mode == PathRegionTSBs && demand {
 			tsb := r.tsbOf[dst]
 			if at == tsb {
 				return PortDown
 			}
-			return XYNext(at, tsb)
+			return r.topo.XYNext(at, tsb)
 		}
 		// Unrestricted: descend immediately (Z-X-Y). With failed vertical
 		// links, a node whose own down-link is dead detours X-Y toward its
 		// nearest surviving down-link; the per-hop nearest-alive distance
 		// strictly shrinks, so the detour cannot loop.
 		if r.hasDeadDown && r.downDead[at] {
-			return XYNext(at, r.descendAt[at])
+			return r.topo.XYNext(at, r.descendAt[at])
 		}
 		return PortDown
 	}
-	// Ascending: all 64 TSVs available; ascend immediately (Z-X-Y).
+	// Ascending: all TSVs available; ascend immediately (Z-X-Y).
 	return PortUp
 }
 
@@ -285,7 +329,7 @@ func (r *Routing) NextHop(at NodeID, p *Packet) NodeID {
 	if port == PortLocal {
 		return at
 	}
-	n := Neighbor(at, port)
+	n := r.topo.Neighbor(at, port)
 	if n < 0 {
 		panic(fmt.Sprintf("noc: route for packet %d fell off the mesh at node %d port %s", p.ID, at, port))
 	}
@@ -300,15 +344,15 @@ func (r *Routing) Path(p *Packet) []NodeID {
 	for at != p.Dst {
 		at = r.NextHop(at, p)
 		path = append(path, at)
-		if len(path) > 4*NumNodes {
+		if len(path) > 4*r.topo.NumNodes() {
 			panic(fmt.Sprintf("noc: routing loop for packet from %d to %d", p.Src, p.Dst))
 		}
 	}
 	return path
 }
 
-// XYPath returns the X-Y route between two same-layer nodes, inclusive of
-// both endpoints.
+// XYPath returns the X-Y route between two same-layer nodes of the default
+// topology, inclusive of both endpoints.
 func XYPath(a, b NodeID) []NodeID {
 	path := []NodeID{a}
 	for at := a; at != b; {

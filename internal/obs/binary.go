@@ -202,7 +202,7 @@ func DecodeBinary(r io.Reader) ([]Event, error) {
 		if err != nil {
 			return nil, fmt.Errorf("obs: event %d: node: %w", len(out), err)
 		}
-		if node > uint64(noc.NumNodes) {
+		if node > uint64(noc.MaxTopologyNodes) {
 			return nil, fmt.Errorf("obs: event %d: node %d out of range", len(out), node)
 		}
 		ev.Node = int16(node) - 1

@@ -45,7 +45,7 @@ func FuzzDecodeBinary(f *testing.F) {
 			if ev.Type >= numEventTypes {
 				t.Fatalf("decoder admitted bad type %d", ev.Type)
 			}
-			if ev.Node < -1 || ev.Node >= int16(noc.NumNodes) {
+			if ev.Node < -1 || ev.Node >= int16(noc.MaxTopologyNodes) {
 				t.Fatalf("decoder admitted bad node %d", ev.Node)
 			}
 			if ev.Port < -1 || ev.Port >= int8(noc.NumPorts) {

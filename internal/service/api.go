@@ -143,6 +143,10 @@ func SpecConfig(s JobSpec) (sim.Config, error) {
 		EarlyWriteTermination: s.EarlyWriteTermination,
 		AuditInterval:         s.AuditInterval,
 		WatchdogCycles:        s.WatchdogCycles,
+		TechProfile:           strings.TrimSpace(s.TechProfile),
+		MeshX:                 s.MeshX,
+		MeshY:                 s.MeshY,
+		Layers:                s.Layers,
 	}
 	if s.Corner {
 		cfg.Placement = 0 // core.PlacementCorner

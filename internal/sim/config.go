@@ -12,6 +12,7 @@ import (
 	"sttsim/internal/cpu"
 	"sttsim/internal/fault"
 	"sttsim/internal/mem"
+	"sttsim/internal/noc"
 	"sttsim/internal/workload"
 )
 
@@ -116,6 +117,21 @@ type Config struct {
 	// extension. The SRAM baseline scheme ignores it.
 	CustomTech *mem.Tech
 
+	// TechProfile selects a registered bank technology by name (see
+	// mem.ProfileNames: "sram", "sttram", "sttram-rr10", "sotram",
+	// "hybrid16", ...). Empty means the scheme's own technology. Mutually
+	// exclusive with CustomTech; the SRAM baseline scheme ignores it. A
+	// hybrid profile also resolves HybridSRAMBanks when that field is unset.
+	TechProfile string
+
+	// MeshX, MeshY, Layers select the network shape (mesh width and height
+	// per layer, total stacked layers including the core layer). All-zero
+	// means the paper's 8x8x2 system; partially set dims inherit the default
+	// for the unset axes. See Config.Topology.
+	MeshX  int
+	MeshY  int
+	Layers int
+
 	// HoldCap overrides the arbiter's hard-hold window in cycles
 	// (0 = core.HoldCap default; negative disables holds entirely,
 	// degrading the scheme to pure demotion).
@@ -174,12 +190,47 @@ type Config struct {
 	WatchdogCycles uint64
 }
 
-// BankTech resolves the bank technology for this configuration.
+// BankTech resolves the bank technology for this configuration:
+// CustomTech when set, else the named TechProfile, else the scheme's own
+// technology. The SRAM baseline scheme always runs Table 2 SRAM.
 func (c Config) BankTech() mem.Tech {
-	if c.CustomTech != nil && c.Scheme != SchemeSRAM64TSB {
-		return *c.CustomTech
+	if c.Scheme != SchemeSRAM64TSB {
+		if c.CustomTech != nil {
+			return *c.CustomTech
+		}
+		if p, ok := c.techProfile(); ok {
+			return p.Tech
+		}
 	}
 	return c.Scheme.Tech()
+}
+
+// techProfile resolves the named profile, if any.
+func (c Config) techProfile() (mem.Profile, bool) {
+	if c.TechProfile == "" {
+		return mem.Profile{}, false
+	}
+	return mem.LookupProfile(c.TechProfile)
+}
+
+// Topology resolves the configured network shape; unset dims take the
+// paper's 8x8x2 defaults.
+func (c Config) Topology() noc.Topology {
+	if c.MeshX == 0 && c.MeshY == 0 && c.Layers == 0 {
+		return noc.DefaultTopology()
+	}
+	t := noc.Topology{MeshX: c.MeshX, MeshY: c.MeshY, Layers: c.Layers}
+	def := noc.DefaultTopology()
+	if t.MeshX == 0 {
+		t.MeshX = def.MeshX
+	}
+	if t.MeshY == 0 {
+		t.MeshY = def.MeshY
+	}
+	if t.Layers == 0 {
+		t.Layers = def.Layers
+	}
+	return t
 }
 
 // withDefaults fills unset fields with the paper's defaults.
@@ -204,6 +255,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 0x5717AB
+	}
+	// A hybrid tech profile carries its SRAM split; an explicit
+	// HybridSRAMBanks wins over the profile's.
+	if p, ok := c.techProfile(); ok && p.HybridSRAMBanks > 0 && c.HybridSRAMBanks == 0 {
+		c.HybridSRAMBanks = p.HybridSRAMBanks
 	}
 	// Zero-cost-when-off guarantee: a present-but-disabled fault campaign is
 	// indistinguishable from no campaign at all, so Results stay byte-

@@ -82,4 +82,14 @@ func (c Config) writeCanonical(w io.Writer) {
 	} else {
 		fmt.Fprint(w, "|fault=-")
 	}
+
+	// Exploration-era fields are appended only when they deviate from the
+	// paper defaults, so every fingerprint minted before they existed — and
+	// every journal keyed by one — verifies unchanged.
+	if topo := c.Topology(); !topo.IsDefault() {
+		fmt.Fprintf(w, "|topo=%d/%d/%d", topo.MeshX, topo.MeshY, topo.Layers)
+	}
+	if c.TechProfile != "" {
+		fmt.Fprintf(w, "|techprof=%q", c.TechProfile)
+	}
 }

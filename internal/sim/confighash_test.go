@@ -76,6 +76,11 @@ func TestFingerprintDistinguishesKnobs(t *testing.T) {
 		{"fault-port", func(c *Config) {
 			c.Fault = &fault.Config{PortFaults: []fault.PortFault{{Cycle: 1, Node: 70, Port: 1, Period: 2}}}
 		}},
+		{"tech-profile", func(c *Config) { c.TechProfile = "sttram-rr10" }},
+		{"tech-profile-other", func(c *Config) { c.TechProfile = "sotram" }},
+		{"mesh-x", func(c *Config) { c.MeshX = 4 }},
+		{"mesh-y", func(c *Config) { c.MeshY = 4 }},
+		{"layers", func(c *Config) { c.Layers = 3 }},
 	}
 	seen := map[string]string{baseCfg().Fingerprint(): "base"}
 	for _, v := range variants {
@@ -101,13 +106,38 @@ func TestFingerprintDisabledFaultNormalizes(t *testing.T) {
 	}
 }
 
+// TestPaperDefaultFingerprintPinned pins the paper-default fingerprints to
+// the exact values minted before the tech-profile and topology fields
+// existed. Those fields are appended to the canonical stream only when
+// non-default, so every pre-existing journal key must verify unchanged; a
+// failure here means old campaign checkpoints would silently re-run.
+func TestPaperDefaultFingerprintPinned(t *testing.T) {
+	wb := baseCfg()
+	if fp := wb.Fingerprint(); fp != "904202293a0f5d930f500d54998bdcca36a4f9c9bb7fdfc245cdbeba67cf64cb" {
+		t.Errorf("paper-default WB fingerprint drifted: %s", fp)
+	}
+	sram := Config{Scheme: SchemeSRAM64TSB,
+		Assignment: workload.Homogeneous(workload.MustByName("x264"))}
+	if fp := sram.Fingerprint(); fp != "72b5135da8d52af89cdb62c8bc18956de9c9b63fd81b2a52ea68bcffe779cca4" {
+		t.Errorf("paper-default SRAM fingerprint drifted: %s", fp)
+	}
+	// An explicit 8x8x2 is the same run as an unset shape; likewise an empty
+	// profile name.
+	explicit := baseCfg()
+	explicit.MeshX, explicit.MeshY, explicit.Layers = 8, 8, 2
+	explicit.TechProfile = ""
+	if explicit.Fingerprint() != wb.Fingerprint() {
+		t.Error("explicit default topology must fingerprint like the unset shape")
+	}
+}
+
 // TestConfigShapeGuard pins the Config field count so anyone adding a knob is
 // forced to extend writeCanonical (and this test) in the same change.
 // Deliberate exclusions: Obs is not serialized — observed runs are never
 // cacheable (see Cacheable), so covering it would only perturb the stable
 // fingerprints of every existing journal.
 func TestConfigShapeGuard(t *testing.T) {
-	const wantFields = 23
+	const wantFields = 27
 	if n := reflect.TypeOf(Config{}).NumField(); n != wantFields {
 		t.Fatalf("sim.Config has %d fields, expected %d: update Config.writeCanonical "+
 			"to cover the new field(s), then bump this guard", n, wantFields)

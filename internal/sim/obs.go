@@ -62,7 +62,7 @@ func (s *Simulator) registerProbes() {
 	})
 	m.Register("net.occupancy.mean", func() float64 {
 		var used, capacity int
-		for id := noc.NodeID(0); id < noc.NumNodes; id++ {
+		for id := noc.NodeID(0); int(id) < s.topo.NumNodes(); id++ {
 			u, c := s.net.Occupancy(id)
 			used += u
 			capacity += c
@@ -74,7 +74,7 @@ func (s *Simulator) registerProbes() {
 	})
 	m.Register("net.occupancy.max", func() float64 {
 		var max float64
-		for id := noc.NodeID(0); id < noc.NumNodes; id++ {
+		for id := noc.NodeID(0); int(id) < s.topo.NumNodes(); id++ {
 			u, c := s.net.Occupancy(id)
 			if c > 0 {
 				if f := float64(u) / float64(c); f > max {
@@ -132,7 +132,7 @@ func (s *Simulator) registerProbes() {
 			var sum uint64
 			for _, bc := range s.banks {
 				child := bc.Node()
-				sum += est.Congestion(child-noc.NodeID(noc.LayerSize), child, s.now)
+				sum += est.Congestion(s.topo.Above(child), child, s.now)
 			}
 			return float64(sum) / float64(len(s.banks))
 		})

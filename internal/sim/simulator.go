@@ -46,13 +46,15 @@ func MissRatioFor(prof workload.Profile, tech mem.Tech) float64 {
 // Simulator is one fully wired system instance.
 type Simulator struct {
 	cfg     Config
+	topo    noc.Topology
+	am      *cache.AddrMap
 	net     *noc.Network
 	routing *noc.Routing
 	cores   []*cpu.Core
 	banks   []*cache.BankController
-	mcs     []*mcWrapper             // the four controllers, in cache.MCNodes order
-	mcAt    [noc.NumNodes]*mcWrapper // dense node index (nil for non-MC nodes)
-	pool    *noc.PacketPool          // every steady-state packet recirculates here
+	mcs     []*mcWrapper    // the four controllers, in AddrMap.MCNodeList order
+	mcAt    []*mcWrapper    // dense node index (nil for non-MC nodes)
+	pool    *noc.PacketPool // every steady-state packet recirculates here
 	layout  *core.RegionLayout
 	parents *core.ParentMap
 	arbiter *core.BankAwareArbiter
@@ -96,8 +98,18 @@ type mcWrapper struct {
 // New builds a simulator for the given configuration.
 func New(cfg Config) (*Simulator, error) {
 	cfg = cfg.withDefaults()
+	topo := cfg.Topology()
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	am := cache.DefaultAddrMap()
+	if !topo.IsDefault() {
+		am = cache.NewAddrMap(topo)
+	}
 	s := &Simulator{
 		cfg:     cfg,
+		topo:    topo,
+		am:      am,
 		pool:    noc.NewPacketPool(),
 		gapHist: stats.NewGapHistogram(),
 	}
@@ -105,7 +117,7 @@ func New(cfg Config) (*Simulator, error) {
 	// Fault campaign: build the engine up front so configuration errors
 	// surface at construction, not mid-run.
 	if cfg.Fault != nil {
-		eng, err := fault.NewEngine(*cfg.Fault, cfg.Seed)
+		eng, err := fault.NewEngineBanks(*cfg.Fault, cfg.Seed, topo.NumBanks())
 		if err != nil {
 			return nil, err
 		}
@@ -143,19 +155,19 @@ func New(cfg Config) (*Simulator, error) {
 	needLayout := cfg.Scheme.Restricted() ||
 		(cfg.Fault != nil && len(cfg.Fault.TSBFailures) > 0)
 	if needLayout {
-		s.layout, err = core.NewRegionLayout(cfg.Regions, cfg.Placement)
+		s.layout, err = core.NewRegionLayoutTopo(topo, cfg.Regions, cfg.Placement)
 		if err != nil {
 			return nil, err
 		}
 	}
 	if cfg.Scheme.Restricted() {
-		routing, err = noc.NewRouting(noc.PathRegionTSBs, s.layout.TSBMap())
+		routing, err = noc.NewRoutingTopo(topo, noc.PathRegionTSBs, s.layout.TSBMap())
 		if err != nil {
 			return nil, err
 		}
 		wide = s.layout.TSBCores()
 	} else {
-		routing, err = noc.NewRouting(noc.PathAllTSVs, nil)
+		routing, err = noc.NewRoutingTopo(topo, noc.PathAllTSVs, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +188,7 @@ func New(cfg Config) (*Simulator, error) {
 		case SchemeSTT4TSBRCA:
 			est = nil // wired after the network exists
 		case SchemeSTT4TSBWB:
-			s.wb = core.NewWBEstimatorWindow(cfg.WBWindow)
+			s.wb = core.NewWBEstimatorFor(cfg.WBWindow, topo.NumNodes())
 			est = s.wb
 		}
 		tech := cfg.BankTech()
@@ -231,26 +243,30 @@ func New(cfg Config) (*Simulator, error) {
 	// Cores with their workload generators; the miss ratio reflects the
 	// scheme's L2 capacity. A GeneratorFactory (e.g. trace replay) replaces
 	// the synthetic streams but keeps the same prewarming footprint.
-	s.cores = make([]*cpu.Core, noc.LayerSize)
-	gens := make([]*workload.Generator, noc.LayerSize)
-	for i := 0; i < noc.LayerSize; i++ {
-		prof := cfg.Assignment.Profiles[i]
+	numCores := topo.NumCores()
+	s.cores = make([]*cpu.Core, numCores)
+	gens := make([]*workload.Generator, numCores)
+	for i := 0; i < numCores; i++ {
+		// Assignment.Profiles is the paper's fixed 64-slot table; wider
+		// meshes re-tile it so every workload mix keeps its relative layout.
+		prof := cfg.Assignment.Profiles[i%len(cfg.Assignment.Profiles)]
 		miss := MissRatioFor(prof, cfg.BankTech())
-		gens[i] = workload.NewGeneratorMiss(prof, i, cfg.Assignment.Mode, cfg.Seed, miss)
+		gens[i] = workload.NewGeneratorBanks(prof, i, cfg.Assignment.Mode, cfg.Seed, miss, topo.NumBanks())
 		var gen cpu.Generator = gens[i]
 		if cfg.GeneratorFactory != nil {
 			gen = cfg.GeneratorFactory(i, prof, miss)
 		}
-		s.cores[i] = cpu.NewCore(i, gen)
+		s.cores[i] = cpu.NewCoreMapped(i, gen, am)
 		s.cores[i].UsePool(s.pool)
 	}
 
 	// Banks (optionally write-buffered, optionally hybrid) and memory
 	// controllers.
 	tech := cfg.BankTech()
-	s.banks = make([]*cache.BankController, noc.LayerSize)
-	for i := 0; i < noc.LayerSize; i++ {
-		node := noc.NodeID(i) + noc.LayerSize
+	numBanks := topo.NumBanks()
+	s.banks = make([]*cache.BankController, numBanks)
+	for i := 0; i < numBanks; i++ {
+		node := topo.BankNode(i)
 		bankTech := tech
 		if i < cfg.HybridSRAMBanks {
 			bankTech = mem.SRAM
@@ -264,7 +280,7 @@ func New(cfg Config) (*Simulator, error) {
 		if cfg.EarlyWriteTermination {
 			bank.EnableEarlyTermination(cfg.Seed ^ uint64(i)*0x9E3779B97F4A7C15)
 		}
-		s.banks[i] = cache.NewBankController(node, bank)
+		s.banks[i] = cache.NewBankControllerMapped(node, bank, am)
 		s.banks[i].UsePool(s.pool)
 		s.banks[i].SetGapHistogram(s.gapHist)
 		if s.tracer != nil {
@@ -281,7 +297,8 @@ func New(cfg Config) (*Simulator, error) {
 			s.arbiter.SetChildWriteCycles(node, mem.SRAM.WriteCycles)
 		}
 	}
-	for i, node := range cache.MCNodes {
+	s.mcAt = make([]*mcWrapper, topo.NumNodes())
+	for i, node := range am.MCNodeList() {
 		mcw := &mcWrapper{
 			node:    node,
 			mc:      mem.NewMemController(i),
@@ -298,10 +315,10 @@ func New(cfg Config) (*Simulator, error) {
 	// lines are gathered per home bank and installed via PreloadBatch, which
 	// visits each bank's tag slab in set order instead of hash-scattered
 	// (the way layout is unchanged — see PreloadBatch).
-	batches := make([][]uint64, cache.NumBanks)
+	batches := make([][]uint64, numBanks)
 	gather := func(lines []uint64) {
 		for _, lineAddr := range lines {
-			b := cache.HomeBank(cache.AddrOfLine(lineAddr))
+			b := am.HomeBank(cache.AddrOfLine(lineAddr))
 			batches[b] = append(batches[b], lineAddr)
 		}
 	}
@@ -341,7 +358,7 @@ func (s *prioritizerShim) OnForward(at noc.NodeID, p *noc.Packet, now uint64) {
 
 // wireDelivery registers the per-node packet sinks.
 func (s *Simulator) wireDelivery() {
-	for i := 0; i < noc.LayerSize; i++ {
+	for i := range s.cores {
 		c := s.cores[i]
 		node := noc.NodeID(i)
 		s.net.SetDeliver(node, func(p *noc.Packet, now uint64) {
@@ -359,9 +376,9 @@ func (s *Simulator) wireDelivery() {
 			s.pool.Put(p)
 		})
 	}
-	for i := 0; i < noc.LayerSize; i++ {
+	for i := range s.banks {
 		bc := s.banks[i]
-		node := noc.NodeID(i) + noc.LayerSize
+		node := s.topo.BankNode(i)
 		maxQ := s.cfg.BankQueueDepth
 		if maxQ == 0 {
 			maxQ = MaxBankQueue
@@ -623,17 +640,25 @@ func (m *mcWrapper) newRequest() *mem.Request {
 func (s *Simulator) sampleRouters() {
 	var counts [4]int
 	var routersWithReqs int
-	for id := noc.NodeID(noc.LayerSize); id < noc.NumNodes; id++ {
+	for id := noc.NodeID(s.topo.LayerSize()); int(id) < s.topo.NumNodes(); id++ {
 		n := 0
 		var perHop [4]int
 		s.net.Router(id).ForEachBufferedPacket(func(p *noc.Packet) {
 			if p.Kind != noc.KindReadReq && p.Kind != noc.KindWriteReq {
 				return
 			}
-			if p.Dst.Layer() != 1 {
+			if s.topo.Layer(p.Dst) == 0 {
 				return
 			}
-			d := noc.SameLayerDistance(id, p.Dst)
+			// In-layer Manhattan distance plus the remaining stack descent —
+			// identical to the original cache-layer distance on the default
+			// two-layer shape.
+			d := s.topo.SameLayerDistance(id, p.Dst)
+			if dl := s.topo.Layer(p.Dst) - s.topo.Layer(id); dl > 0 {
+				d += dl
+			} else {
+				d -= dl
+			}
 			if d >= 1 && d <= 3 {
 				perHop[d]++
 				n++

@@ -11,7 +11,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
+	"sttsim/internal/core"
+	"sttsim/internal/mem"
 	"sttsim/internal/noc"
 )
 
@@ -95,10 +98,35 @@ func (c Config) Validate() error {
 	if total := c.WarmupCycles + c.MeasureCycles; total > MaxConfigCycles || total < c.WarmupCycles {
 		return invalid("measure_cycles", "warmup+measure = %d cycles exceeds the %d-cycle ceiling", total, uint64(MaxConfigCycles))
 	}
+	topo := c.Topology()
+	if topo.MeshX < noc.MinMeshDim || topo.MeshX > noc.MaxMeshDim {
+		return invalid("mesh_x", "mesh width %d outside [%d,%d]", topo.MeshX, noc.MinMeshDim, noc.MaxMeshDim)
+	}
+	if topo.MeshY < noc.MinMeshDim || topo.MeshY > noc.MaxMeshDim {
+		return invalid("mesh_y", "mesh height %d outside [%d,%d]", topo.MeshY, noc.MinMeshDim, noc.MaxMeshDim)
+	}
+	if topo.Layers < 2 || topo.Layers > noc.MaxLayers {
+		return invalid("layers", "layer count %d outside [2,%d]", topo.Layers, noc.MaxLayers)
+	}
+	if n := topo.NumNodes(); n > noc.MaxTopologyNodes {
+		return invalid("layers", "%s has %d nodes, above the %d-node ceiling", topo, n, noc.MaxTopologyNodes)
+	}
+	if c.TechProfile != "" {
+		if c.CustomTech != nil {
+			return invalid("tech_profile", "cannot be combined with custom_tech")
+		}
+		if _, ok := mem.LookupProfile(c.TechProfile); !ok {
+			return invalid("tech_profile", "unknown profile %q (registered: %s)",
+				c.TechProfile, strings.Join(mem.ProfileNames(), ", "))
+		}
+	}
 	switch c.Regions {
 	case 4, 8, 16:
 	default:
 		return invalid("regions", "unsupported region count %d (want 4, 8, or 16)", c.Regions)
+	}
+	if _, _, err := core.RegionTile(topo, c.Regions); err != nil {
+		return invalid("regions", "%d regions do not tile a %dx%d mesh", c.Regions, topo.MeshX, topo.MeshY)
 	}
 	if c.Placement != 0 && c.Placement != 1 {
 		return invalid("placement", "unknown placement %d", int(c.Placement))
@@ -118,8 +146,8 @@ func (c Config) Validate() error {
 	if c.BankQueueDepth < 0 || c.BankQueueDepth > MaxBankQueueDepth {
 		return invalid("bank_queue_depth", "%d outside [0,%d]", c.BankQueueDepth, MaxBankQueueDepth)
 	}
-	if c.HybridSRAMBanks < 0 || c.HybridSRAMBanks > noc.LayerSize {
-		return invalid("hybrid_sram_banks", "%d outside [0,%d]", c.HybridSRAMBanks, noc.LayerSize)
+	if c.HybridSRAMBanks < 0 || c.HybridSRAMBanks > topo.NumBanks() {
+		return invalid("hybrid_sram_banks", "%d outside [0,%d]", c.HybridSRAMBanks, topo.NumBanks())
 	}
 	if c.WatchdogCycles != 0 && c.WatchdogCycles < 100 {
 		return invalid("watchdog_cycles", "%d is below the 100-cycle floor (every real packet takes longer; smaller values fabricate deadlocks)", c.WatchdogCycles)
@@ -182,6 +210,12 @@ func (c Config) Validate() error {
 			if f.Region >= c.Regions {
 				return invalid(fmt.Sprintf("fault.tsb_failures[%d].region", i),
 					"region %d outside the run's %d regions", f.Region, c.Regions)
+			}
+		}
+		for i, p := range c.Fault.PortFaults {
+			if !topo.ValidNode(p.Node) {
+				return invalid(fmt.Sprintf("fault.port_faults[%d].node", i),
+					"node %d outside the run's %s topology", p.Node, topo)
 			}
 		}
 	}

@@ -74,6 +74,25 @@ func TestValidateRejectsHostileConfigs(t *testing.T) {
 		{"fault region beyond run", func(c *Config) {
 			c.Fault = &fault.Config{WriteErrorRate: 1e-4, TSBFailures: []fault.TSBFailure{{Cycle: 1, Region: 12}}}
 		}},
+		{"unknown tech profile", func(c *Config) { c.TechProfile = "unobtainium" }},
+		{"profile with custom tech", func(c *Config) {
+			t := mem.STTRAM
+			c.TechProfile = "sttram"
+			c.CustomTech = &t
+		}},
+		{"mesh width too small", func(c *Config) { c.MeshX = 1 }},
+		{"mesh width too large", func(c *Config) { c.MeshX = 64 }},
+		{"negative mesh height", func(c *Config) { c.MeshY = -8 }},
+		{"too many layers", func(c *Config) { c.Layers = 9 }},
+		{"one layer", func(c *Config) { c.Layers = 1; c.MeshX = 8 }},
+		{"node ceiling", func(c *Config) { c.MeshX = 32; c.MeshY = 32; c.Layers = 8 }},
+		{"regions do not tile mesh", func(c *Config) { c.MeshX = 2; c.MeshY = 2; c.Regions = 16 }},
+		{"hybrid banks beyond small topo", func(c *Config) { c.MeshX = 4; c.MeshY = 4; c.HybridSRAMBanks = 17 }},
+		{"fault port beyond topo", func(c *Config) {
+			c.MeshX = 4
+			c.MeshY = 4
+			c.Fault = &fault.Config{WriteErrorRate: 1e-4, PortFaults: []fault.PortFault{{Cycle: 1, Node: 100, Port: 1, Period: 2}}}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -109,6 +128,10 @@ func FuzzValidateConfigJSON(f *testing.F) {
 	f.Add([]byte(`{"WarmupCycles":18446744073709551615,"MeasureCycles":2}`))
 	f.Add([]byte(`{"Assignment":{"Name":"x","Profiles":[{"L2RPKI":1e308}]}}`))
 	f.Add([]byte(`{"CustomTech":{"CapacityMB":-1},"HybridSRAMBanks":9999}`))
+	f.Add([]byte(`{"TechProfile":"sttram-rr10","MeshX":4,"MeshY":4,"Layers":3}`))
+	f.Add([]byte(`{"TechProfile":"hybrid32","MeshX":16,"MeshY":2}`))
+	f.Add([]byte(`{"MeshX":32,"MeshY":32,"Layers":2,"Regions":16}`))
+	f.Add([]byte(`{"TechProfile":"../../etc/passwd","Layers":-1}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var cfg Config
 		if err := json.Unmarshal(data, &cfg); err != nil {
@@ -129,6 +152,24 @@ func FuzzValidateConfigJSON(f *testing.F) {
 		// a supervision concern; construction is where geometry could blow up.)
 		if _, err := New(cfg); err != nil {
 			t.Fatalf("validated config failed construction: %v", err)
+		}
+		// And they must keep constructing under every registered technology
+		// profile — the exploration engine substitutes profiles freely into
+		// otherwise-accepted specs.
+		for _, name := range mem.ProfileNames() {
+			pcfg := cfg
+			pcfg.TechProfile = name
+			pcfg.CustomTech = nil
+			pcfg.HybridSRAMBanks = 0
+			if err := pcfg.Validate(); err != nil {
+				if !IsValidationError(err) {
+					t.Fatalf("profile %q rejection %v is not a *ValidationError", name, err)
+				}
+				continue
+			}
+			if _, err := New(pcfg); err != nil {
+				t.Fatalf("validated config failed construction under profile %q: %v", name, err)
+			}
 		}
 	})
 }

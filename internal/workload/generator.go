@@ -70,6 +70,7 @@ type Generator struct {
 
 	inBurst   bool
 	burstBank int
+	numBanks  int // bank count burst/bank-pinned addresses target
 
 	hotBase    uint64
 	sharedBase uint64
@@ -87,12 +88,20 @@ func NewGenerator(prof Profile, core int, mode Mode, seed uint64) *Generator {
 // NewGeneratorMiss builds the stream with an explicit miss ratio — the
 // simulator uses this to model the smaller SRAM L2's extra capacity misses.
 func NewGeneratorMiss(prof Profile, core int, mode Mode, seed uint64, missRatio float64) *Generator {
+	return NewGeneratorBanks(prof, core, mode, seed, missRatio, cache.NumBanks)
+}
+
+// NewGeneratorBanks builds the stream with an explicit miss ratio and bank
+// count (non-default topologies); the default count reproduces
+// NewGeneratorMiss's stream exactly.
+func NewGeneratorBanks(prof Profile, core int, mode Mode, seed uint64, missRatio float64, numBanks int) *Generator {
 	g := &Generator{
 		prof:      prof,
 		core:      core,
 		mode:      mode,
 		rng:       NewRand(seed ^ (uint64(core)+1)*0xA24BAED4963EE407),
 		missRatio: missRatio,
+		numBanks:  numBanks,
 	}
 	if prof.Bursty {
 		g.burstMul = burstFactorHigh
@@ -164,7 +173,7 @@ func (g *Generator) Next() cpu.Access {
 		}
 	} else if g.rng.Float64() < g.enterBurst {
 		g.inBurst = true
-		g.burstBank = g.rng.Intn(cache.NumBanks)
+		g.burstBank = g.rng.Intn(g.numBanks)
 	}
 	mul := 1.0
 	if g.inBurst {
@@ -221,19 +230,21 @@ func (g *Generator) hotAddr(base uint64, lines int, bank int) uint64 {
 		return cache.AddrOfLine(base + uint64(g.rng.Intn(lines)))
 	}
 	// Lines congruent to the bank index land in that bank.
-	slot := uint64(g.rng.Intn(lines / cache.NumBanks))
-	line := base + slot*cache.NumBanks
-	return cache.AddrOfLine(line + uint64(bank)%cache.NumBanks - line%cache.NumBanks)
+	nb := uint64(g.numBanks)
+	slot := uint64(g.rng.Intn(lines / g.numBanks))
+	line := base + slot*nb
+	return cache.AddrOfLine(line + uint64(bank)%nb - line%nb)
 }
 
 // coldAddr returns a never-before-seen line, optionally pinned to a bank.
 func (g *Generator) coldAddr(bank int) uint64 {
 	g.coldNext++
-	line := g.coldBase + g.coldNext*cache.NumBanks
+	nb := uint64(g.numBanks)
+	line := g.coldBase + g.coldNext*nb
 	if bank >= 0 {
-		line += uint64(bank) % cache.NumBanks
+		line += uint64(bank) % nb
 	} else {
-		line += g.rng.Uint64() % cache.NumBanks
+		line += g.rng.Uint64() % nb
 	}
 	return cache.AddrOfLine(line)
 }

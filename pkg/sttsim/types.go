@@ -22,6 +22,14 @@ const MaxConfigCycles = 100_000_000
 // MaxProfiles is the per-spec custom-profile ceiling (one per core).
 const MaxProfiles = 64
 
+// Topology bounds, mirroring the server-side ceilings (noc.MinMeshDim,
+// noc.MaxMeshDim, noc.MaxLayers).
+const (
+	MinMeshDim = 2
+	MaxMeshDim = 32
+	MaxLayers  = 8
+)
+
 // Schemes lists the canonical scheme spellings POST /v1/jobs accepts (the
 // server also accepts the paper's full names, e.g. "STT-RAM-4TSB-WB").
 var Schemes = []string{"sram", "stt64", "stt4", "ss", "rca", "wb"}
@@ -73,6 +81,17 @@ type JobSpec struct {
 	EarlyWriteTermination bool   `json:"early_write_termination,omitempty"`
 	AuditInterval         uint64 `json:"audit_interval,omitempty"`
 	WatchdogCycles        uint64 `json:"watchdog_cycles,omitempty"`
+
+	// TechProfile selects a registered bank technology by name ("sram",
+	// "sttram", "sttram-rr10", "sotram", "hybrid16", ...); empty keeps the
+	// scheme's own technology.
+	TechProfile string `json:"tech_profile,omitempty"`
+
+	// MeshX/MeshY/Layers select the network shape; zero values mean the
+	// paper's 8x8x2 system.
+	MeshX  int `json:"mesh_x,omitempty"`
+	MeshY  int `json:"mesh_y,omitempty"`
+	Layers int `json:"layers,omitempty"`
 
 	// Stream asks for live progress snapshots and probe samples on the job's
 	// SSE feed while it runs. Stream does not enter the config fingerprint:
@@ -154,13 +173,38 @@ func (s JobSpec) Validate() error {
 	if s.BankQueueDepth < 0 || s.BankQueueDepth > 4096 {
 		return &SpecError{Field: "bank_queue_depth", Msg: fmt.Sprintf("%d outside [0,4096]", s.BankQueueDepth)}
 	}
-	if s.HybridSRAMBanks < 0 || s.HybridSRAMBanks > 64 {
-		return &SpecError{Field: "hybrid_sram_banks", Msg: fmt.Sprintf("%d outside [0,64]", s.HybridSRAMBanks)}
+	if s.MeshX != 0 && (s.MeshX < MinMeshDim || s.MeshX > MaxMeshDim) {
+		return &SpecError{Field: "mesh_x", Msg: fmt.Sprintf("mesh width %d outside [%d,%d]", s.MeshX, MinMeshDim, MaxMeshDim)}
+	}
+	if s.MeshY != 0 && (s.MeshY < MinMeshDim || s.MeshY > MaxMeshDim) {
+		return &SpecError{Field: "mesh_y", Msg: fmt.Sprintf("mesh height %d outside [%d,%d]", s.MeshY, MinMeshDim, MaxMeshDim)}
+	}
+	if s.Layers != 0 && (s.Layers < 2 || s.Layers > MaxLayers) {
+		return &SpecError{Field: "layers", Msg: fmt.Sprintf("layer count %d outside [2,%d]", s.Layers, MaxLayers)}
+	}
+	if s.HybridSRAMBanks < 0 || s.HybridSRAMBanks > s.numBanks() {
+		return &SpecError{Field: "hybrid_sram_banks", Msg: fmt.Sprintf("%d outside [0,%d]", s.HybridSRAMBanks, s.numBanks())}
 	}
 	if s.WatchdogCycles != 0 && s.WatchdogCycles < 100 {
 		return &SpecError{Field: "watchdog_cycles", Msg: fmt.Sprintf("%d is below the 100-cycle floor", s.WatchdogCycles)}
 	}
 	return nil
+}
+
+// numBanks resolves the spec's total cache-bank count (defaults: 8x8 mesh,
+// 2 layers).
+func (s JobSpec) numBanks() int {
+	x, y, l := s.MeshX, s.MeshY, s.Layers
+	if x == 0 {
+		x = 8
+	}
+	if y == 0 {
+		y = 8
+	}
+	if l == 0 {
+		l = 2
+	}
+	return x * y * (l - 1)
 }
 
 func knownScheme(name string) bool {

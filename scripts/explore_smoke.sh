@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Exploration resume smoke test: run a tiny grid search end to end, then kill
+# a second search mid-flight with SIGINT and resume it from its journal.
+# Asserts (1) zero re-executed points on resume — every key appears exactly
+# once in the journal and the resumed engine replays instead of re-running —
+# and (2) the resumed Pareto frontier is byte-identical to the uninterrupted
+# reference.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/explore" ./cmd/explore
+# 6 points (3 tech profiles x 2 write-buffer depths) on the paper's 8x8x2
+# shape; the budget is big enough that the interrupt lands mid-campaign on
+# any realistic machine.
+args=(-bench tpcc -tech sttram,sttram-rr10,sotram -wbuf 0,20
+      -warmup 1000 -measure 40000 -jobs 2)
+
+echo "explore-smoke: reference run" >&2
+"$tmp/explore" "${args[@]}" -out "$tmp/ref" >/dev/null 2>"$tmp/ref.err"
+ref_points=$(wc -l <"$tmp/ref/pareto.jsonl")
+echo "explore-smoke: reference frontier has $ref_points point(s)" >&2
+
+echo "explore-smoke: interrupted run" >&2
+"$tmp/explore" "${args[@]}" -journal "$tmp/explore.journal" -out "$tmp/partial" \
+    >/dev/null 2>"$tmp/partial.err" &
+pid=$!
+# Interrupt only once at least one verdict is durably journaled, so the
+# resume leg always has something to replay regardless of host speed.
+for _ in $(seq 1 240); do
+    if ! kill -0 "$pid" 2>/dev/null; then break; fi
+    if [[ -s "$tmp/explore.journal" ]] && grep -q '"key"' "$tmp/explore.journal"; then break; fi
+    sleep 0.25
+done
+kill -INT "$pid" 2>/dev/null || true
+if wait "$pid"; then
+    # The search beat the interrupt on a fast machine; the journal is then
+    # complete and the resume leg replays everything — still a valid round
+    # trip.
+    echo "explore-smoke: search finished before the interrupt landed" >&2
+else
+    echo "explore-smoke: search interrupted (exit $?)" >&2
+fi
+if [[ ! -s "$tmp/explore.journal" ]]; then
+    echo "explore-smoke: FAIL — interrupted search journaled nothing" >&2
+    exit 1
+fi
+first_records=$(grep -c '"key"' "$tmp/explore.journal")
+echo "explore-smoke: $first_records verdict(s) journaled before the interrupt" >&2
+
+echo "explore-smoke: resumed run" >&2
+"$tmp/explore" "${args[@]}" -journal "$tmp/explore.journal" -resume -out "$tmp/resumed" \
+    >/dev/null 2>"$tmp/resumed.err"
+if [[ "$first_records" -gt 0 ]] && ! grep -q "resumed" "$tmp/resumed.err"; then
+    echo "explore-smoke: FAIL — resume replayed no journal records" >&2
+    cat "$tmp/resumed.err" >&2
+    exit 1
+fi
+
+# Zero re-executed points: a re-run of an already-journaled key would append
+# a second record for it, so every key must appear exactly once.
+dupes=$(grep -o '"key":"[^"]*"' "$tmp/explore.journal" | sort | uniq -d)
+if [[ -n "$dupes" ]]; then
+    echo "explore-smoke: FAIL — journal re-recorded key(s), points were re-executed:" >&2
+    echo "$dupes" >&2
+    exit 1
+fi
+total_records=$(grep -c '"key"' "$tmp/explore.journal")
+if [[ "$total_records" -ne 6 ]]; then
+    echo "explore-smoke: FAIL — expected 6 journaled verdicts after resume, got $total_records" >&2
+    exit 1
+fi
+
+if ! diff -u "$tmp/ref/pareto.jsonl" "$tmp/resumed/pareto.jsonl"; then
+    echo "explore-smoke: FAIL — resumed frontier differs from the reference" >&2
+    exit 1
+fi
+echo "explore-smoke: OK — no re-executed points, frontier byte-identical to the reference" >&2
