@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"sttsim/internal/par"
 	"sttsim/internal/stats"
 )
 
@@ -85,6 +86,19 @@ type Network struct {
 	activeNIC  []uint64
 	exhaustive bool
 
+	// Two-phase tick execution state (DESIGN.md §18). pool shards the
+	// parallel phases; the nil pool is the exact sequential loop. workNIC and
+	// workRtr are reusable worklist snapshots of the active-set bitsets —
+	// parallel phases iterate snapshots so the bitsets themselves are only
+	// ever mutated from sequential code. phaseNow plus the pre-bound
+	// nicInject/rtrPhase closures keep Pool.Run allocation-free.
+	pool      *par.Pool
+	workNIC   []NodeID
+	workRtr   []NodeID
+	phaseNow  uint64
+	nicInject func(worker, workers int)
+	rtrPhase  func(worker, workers int)
+
 	stats    NetStats
 	inflight int
 	lastMove uint64
@@ -101,6 +115,21 @@ func (n *Network) markRouterActive(id NodeID) {
 func (n *Network) markNICActive(id NodeID) {
 	n.activeNIC[uint(id)>>6] |= 1 << (uint(id) & 63)
 }
+
+// clearRouterActive removes the router at node id from the active set.
+func (n *Network) clearRouterActive(id NodeID) {
+	n.activeRtr[uint(id)>>6] &^= 1 << (uint(id) & 63)
+}
+
+// clearNICActive removes the NIC at node id from the active set.
+func (n *Network) clearNICActive(id NodeID) {
+	n.activeNIC[uint(id)>>6] &^= 1 << (uint(id) & 63)
+}
+
+// SetWorkers installs the worker pool driving the parallel phases of Step.
+// A nil pool (the default) runs the exact sequential loop. The pool is owned
+// by the caller, which must keep it alive for the network's lifetime.
+func (n *Network) SetWorkers(p *par.Pool) { n.pool = p }
 
 // SetExhaustiveTick switches Step between sparse active-set ticking (the
 // default) and the exhaustive full-scan oracle. The two are behaviourally
@@ -149,6 +178,24 @@ func NewNetwork(cfg Config) (*Network, error) {
 		obs:         cfg.Observer,
 		bufDepth:    cfg.BufDepth,
 		watchdog:    cfg.WatchdogCycles,
+		workNIC:     make([]NodeID, 0, numNodes),
+		workRtr:     make([]NodeID, 0, numNodes),
+	}
+	// Pre-bound phase closures: Step re-targets them via n.phaseNow and the
+	// worklists, so dispatching a phase allocates nothing.
+	n.nicInject = func(worker, workers int) {
+		lo, hi := par.Span(len(n.workNIC), worker, workers)
+		for _, id := range n.workNIC[lo:hi] {
+			n.nics[id].injectPhase(n.phaseNow)
+		}
+	}
+	n.rtrPhase = func(worker, workers int) {
+		lo, hi := par.Span(len(n.workRtr), worker, workers)
+		for _, id := range n.workRtr[lo:hi] {
+			r := n.routers[id]
+			r.switchAlloc(n.phaseNow)
+			r.vcAlloc(n.phaseNow)
+		}
 	}
 	if n.bufDepth == 0 {
 		n.bufDepth = DefaultBufDepth
@@ -292,12 +339,25 @@ func (n *Network) NIC(id NodeID) *NIC { return n.nics[id] }
 // SetDeliver registers the packet sink for node id.
 func (n *Network) SetDeliver(id NodeID, fn DeliverFunc) { n.nics[id].SetDeliver(fn) }
 
-// Stats returns a copy of the accumulated network statistics.
-func (n *Network) Stats() NetStats { return n.stats }
+// Stats returns a copy of the accumulated network statistics. BufferWrites
+// is kept per router (flit acceptance runs during the parallel phases) and
+// summed here in ascending node order.
+func (n *Network) Stats() NetStats {
+	st := n.stats
+	for _, r := range n.routers {
+		st.BufferWrites += r.bufWrites
+	}
+	return st
+}
 
 // ResetStats clears the accumulated statistics (used at the end of warmup);
 // in-flight packets are unaffected.
-func (n *Network) ResetStats() { n.stats = NetStats{} }
+func (n *Network) ResetStats() {
+	n.stats = NetStats{}
+	for _, r := range n.routers {
+		r.bufWrites = 0
+	}
+}
 
 // InFlight returns the number of packets injected but not yet delivered.
 func (n *Network) InFlight() int { return n.inflight }
@@ -392,59 +452,93 @@ func (n *Network) priority(at NodeID, p *Packet, now uint64) int {
 	return n.prioritizer.Priority(at, p, now)
 }
 
-// Step advances the network one cycle: NICs first (ejection + injection),
-// then every router's SA and VA stages. The fixed iteration order keeps runs
-// bit-for-bit reproducible. When the deadlock watchdog fires — packets in
-// flight but no flit movement for over the watchdog window — Step returns a
-// *DeadlockError carrying the stalled-packet dump instead of panicking, so
-// callers can surface a structured failure report.
-func (n *Network) Step(now uint64) error {
+// gatherWork snapshots an active-set bitset into dst as an ascending node
+// worklist (all nodes in exhaustive mode). Phases iterate the snapshot, never
+// the live bitset, so sequential phases may set bits freely and parallel
+// phases never touch the bitsets at all.
+func (n *Network) gatherWork(active []uint64, dst []NodeID) []NodeID {
+	dst = dst[:0]
 	if n.exhaustive {
 		for id := NodeID(0); id < NodeID(n.numNodes); id++ {
-			n.nics[id].tick(now)
+			dst = append(dst, id)
 		}
-		for id := NodeID(0); id < NodeID(n.numNodes); id++ {
-			r := n.routers[id]
-			r.switchAlloc(now)
-			r.vcAlloc(now)
-		}
-	} else {
-		// Sparse ticking: walk only the active bits, in ascending node order
-		// (the same order as the full scan, so runs stay bit-for-bit
-		// reproducible). Components activated mid-sweep at a *higher* node —
-		// e.g. a flit forwarded eastward — are picked up this cycle exactly
-		// as the full scan would; lower-node activations wait for the next
-		// cycle, again matching the full scan. A component's bit clears only
-		// when its tick leaves it with no work.
-		for w := 0; w < len(n.activeNIC); w++ {
-			// Re-reading the word after each tick picks up bits a tick set at
-			// a *higher* node this sweep; lower-node activations keep their
-			// bit and are ticked next cycle, matching the full scan.
-			mask := n.activeNIC[w]
-			for mask != 0 {
-				bit := uint(bits.TrailingZeros64(mask))
-				nic := n.nics[NodeID(uint(w)<<6|bit)]
-				nic.tick(now)
-				if nic.idle() {
-					n.activeNIC[w] &^= 1 << bit
-				}
-				mask = n.activeNIC[w] &^ (1<<(bit+1) - 1)
-			}
-		}
-		for w := 0; w < len(n.activeRtr); w++ {
-			mask := n.activeRtr[w]
-			for mask != 0 {
-				bit := uint(bits.TrailingZeros64(mask))
-				r := n.routers[NodeID(uint(w)<<6|bit)]
-				r.switchAlloc(now)
-				r.vcAlloc(now)
-				if r.bufferedFlits == 0 {
-					n.activeRtr[w] &^= 1 << bit
-				}
-				mask = n.activeRtr[w] &^ (1<<(bit+1) - 1)
-			}
+		return dst
+	}
+	for w, word := range active {
+		for word != 0 {
+			bit := uint(bits.TrailingZeros64(word))
+			dst = append(dst, NodeID(uint(w)<<6|bit))
+			word &= word - 1
 		}
 	}
+	return dst
+}
+
+// Step advances the network one cycle as a two-phase tick (DESIGN.md §18):
+//
+//	N1  deliveries    sequential, ascending — gate retries, reassembly, sinks
+//	N2  injection     parallel — each NIC touches only its own node's state
+//	N3  NIC commit    sequential, ascending — activation bits, lastMove
+//	R1  router phase A parallel — VA/SA decisions from frozen cycle-N state;
+//	                   cross-router effects deferred into per-router op logs
+//	R2  router commit sequential, ascending — op logs applied, bits settled
+//
+// The parallel phases are side-effect-disjoint by node and the sequential
+// phases run in ascending node order, so results are byte-identical at any
+// worker count; a nil pool runs the same phases inline, which *is* the
+// sequential loop. All activations become visible at phase boundaries rather
+// than mid-sweep, which also makes the sparse path coincide with the
+// exhaustive full-scan oracle by construction. When the deadlock watchdog
+// fires — packets in flight but no flit movement for over the watchdog
+// window — Step returns a *DeadlockError carrying the stalled-packet dump
+// instead of panicking, so callers can surface a structured failure report.
+func (n *Network) Step(now uint64) error {
+	// N1 — deliveries. Sinks may inject, marking further NICs active.
+	n.workNIC = n.gatherWork(n.activeNIC, n.workNIC)
+	for _, id := range n.workNIC {
+		n.nics[id].deliverPhase(now)
+	}
+
+	// N2 — injection, over a fresh snapshot so NICs whose queues were filled
+	// by this cycle's deliveries inject this cycle (as the full scan would).
+	n.workNIC = n.gatherWork(n.activeNIC, n.workNIC)
+	if len(n.workNIC) > 0 {
+		n.phaseNow = now
+		n.pool.Run(n.nicInject)
+	}
+
+	// N3 — NIC commit: shared bookkeeping recorded as per-NIC flags in N2.
+	for _, id := range n.workNIC {
+		nic := n.nics[id]
+		if nic.injected {
+			nic.injected = false
+			n.markRouterActive(id)
+			n.lastMove = now
+		}
+		if nic.idle() {
+			n.clearNICActive(id)
+		}
+	}
+
+	// R1 — router phase A: VA/SA decisions from the frozen cycle-N state.
+	n.workRtr = n.gatherWork(n.activeRtr, n.workRtr)
+	if len(n.workRtr) > 0 {
+		n.phaseNow = now
+		n.pool.Run(n.rtrPhase)
+	}
+
+	// R2 — router commit in ascending node order, then settle the bits: a
+	// router drained by its own grants may have been refilled by another
+	// router's commit, so emptiness is judged only after every commit ran.
+	for _, id := range n.workRtr {
+		n.routers[id].commitOps(now)
+	}
+	for _, id := range n.workRtr {
+		if n.routers[id].bufferedFlits == 0 {
+			n.clearRouterActive(id)
+		}
+	}
+
 	if n.inflight > 0 && now > n.lastMove && now-n.lastMove > n.watchdog {
 		return &DeadlockError{
 			Now: now, LastMove: n.lastMove, InFlight: n.inflight,

@@ -47,6 +47,12 @@ type NIC struct {
 	deliver DeliverFunc
 	gate    GateFunc
 	blocked [NumClasses][]*Packet // reassembled but refused by the gate
+
+	// injected records that injectPhase moved a flit this cycle. The parallel
+	// injection phase may only touch this NIC's own state, so the shared
+	// bookkeeping (lastMove, the router activation bit) is applied from the
+	// flag by the network's sequential NIC-commit pass.
+	injected bool
 }
 
 // ID returns the NIC's node.
@@ -100,10 +106,19 @@ func (n *NIC) idle() bool {
 	return true
 }
 
-// tick processes ejections due at cycle now, then injects up to one flit.
-func (n *NIC) tick(now uint64) {
+// deliverPhase processes ejections due at cycle now: gate retries first, then
+// inbox reassembly. Delivery sinks run simulator code (which may inject new
+// packets), so the network runs this phase sequentially in ascending node
+// order.
+func (n *NIC) deliverPhase(now uint64) {
 	n.retryBlocked(now)
 	n.eject(now)
+}
+
+// injectPhase grants injection VCs and sends up to one flit. It touches only
+// this NIC's own state — its queues, its injection link, and its own router's
+// local input port — so the network runs it in parallel across NICs.
+func (n *NIC) injectPhase(now uint64) {
 	n.startStreams()
 	n.injectOne(now)
 }
@@ -189,7 +204,7 @@ func (n *NIC) injectOne(now uint64) {
 		}
 		n.inj.credits[s.vc]--
 		n.router.acceptFlit(PortLocal, s.vc, f, now)
-		n.net.lastMove = now
+		n.injected = true
 		s.next++
 		if f.Tail {
 			n.inj.tailSent[s.vc] = true

@@ -90,6 +90,20 @@ func (l *outLink) usableAt(now uint64) bool {
 	return l.period > 0 && now%l.period == 0
 }
 
+// fwdOp is one switch grant decided in phase A of the two-phase tick. All of
+// its effects land outside the granting router — a credit returned upstream,
+// a flit buffered downstream (or ejected into the local NIC), the
+// prioritizer's busy-table charge — so they are deferred here and applied by
+// commitOps in ascending router order, keeping phase A free of cross-router
+// writes (DESIGN.md §18).
+type fwdOp struct {
+	f      Flit     // the granted flit, readyAt already stamped
+	feeder *outLink // upstream link owed a credit (nil for NIC-fed ports)
+	ol     *outLink // output link traversed
+	fvc    int32    // input VC to credit upstream
+	outVC  int32    // downstream VC the flit lands in
+}
+
 // Router is one 2-stage wormhole router.
 type Router struct {
 	id  NodeID
@@ -103,6 +117,13 @@ type Router struct {
 	needVC        int // input VCs holding a header awaiting VC allocation
 	bufCap        int // total flit-buffer capacity (fixed at construction)
 
+	// ops is the phase-A grant log, drained by commitOps each cycle; the
+	// backing array reaches steady-state capacity during warmup. bufWrites
+	// is this router's share of NetStats.BufferWrites, kept per router so
+	// phase-A flit acceptance (NIC injection) never touches shared counters.
+	ops       []fwdOp
+	bufWrites uint64
+
 	// saCands is switchAlloc's per-output-port candidate scratch, reused
 	// across cycles so the SA stage allocates nothing in steady state.
 	saCands [NumPorts][]saCandidate
@@ -115,7 +136,11 @@ func (r *Router) ID() NodeID { return r.id }
 func (r *Router) numVCs() int { return r.net.numVCs }
 
 // acceptFlit buffers a flit arriving on (port, vc). The header flit claims
-// the VC and has its route computed (the RC stage).
+// the VC and has its route computed (the RC stage). It touches only the
+// receiving router's own state — activation marking is the caller's job
+// (commit sweeps mark in the shared bitset; a NIC injecting during phase A
+// records an own-node flag instead), so acceptFlit is safe both from the
+// sequential commit and from the owning node's parallel injection phase.
 func (r *Router) acceptFlit(port Port, vc int, f Flit, now uint64) {
 	ip := r.in[port]
 	st := &ip.vcs[vc]
@@ -138,8 +163,7 @@ func (r *Router) acceptFlit(port Port, vc int, f Flit, now uint64) {
 	st.buf = append(st.buf, f)
 	ip.buffered++
 	r.bufferedFlits++
-	r.net.stats.BufferWrites++
-	r.net.markRouterActive(r.id)
+	r.bufWrites++
 }
 
 // vcAlloc runs the VA stage: headers whose packets do not yet own a
@@ -334,9 +358,18 @@ func pickWinner(list []saCandidate, rr, numVCs int) int {
 	return best
 }
 
-// forward moves the head flit of (port, vc) through output link ol at cycle
-// now: switch traversal this cycle, link traversal next, arrival the cycle
-// after (HopLatency total per hop including the stage-1 cycle).
+// forward is the phase-A half of a switch grant: it moves the head flit of
+// (port, vc) out of this router's input buffer, charges this router's own
+// output-link credit, and logs the grant for commitOps. Switch traversal is
+// this cycle, link traversal next, arrival the cycle after (HopLatency total
+// per hop including the stage-1 cycle).
+//
+// Everything mutated here belongs to the granting router — its input VC
+// state and its own outLink — so concurrent phase-A ticks of different
+// routers never touch the same memory. The cross-router effects (upstream
+// credit return, downstream buffering, prioritizer charge, traversal stats)
+// are deferred into r.ops and applied by commitOps after every router's
+// phase A has finished, all of them reading the frozen cycle-N state.
 func (r *Router) forward(port Port, vc int, ol *outLink, now uint64) {
 	ip := r.in[port]
 	st := &ip.vcs[vc]
@@ -345,23 +378,7 @@ func (r *Router) forward(port Port, vc int, ol *outLink, now uint64) {
 	r.bufferedFlits--
 	outVC := st.outVC
 
-	// Return a credit upstream for the freed buffer slot.
-	if ip.feeder != nil {
-		ip.feeder.credits[vc]++
-	}
-
-	if f.IsHead() {
-		f.Pkt.Hops++
-		if pr := r.net.prioritizer; pr != nil {
-			pr.OnForward(r.id, f.Pkt, now)
-		}
-		if o := r.net.obs; o != nil {
-			o.HeaderGranted(r.id, ol.srcPort, f.Pkt, now)
-		}
-	}
-
 	ol.credits[outVC]--
-	r.net.countTraversal(ol)
 
 	if f.Tail {
 		// Tail releases this input VC immediately; the downstream VC
@@ -372,14 +389,45 @@ func (r *Router) forward(port Port, vc int, ol *outLink, now uint64) {
 	}
 
 	f.readyAt = now + 2 // ST this cycle, link next; available downstream after
-	if ol.dst == nil {
-		r.net.nics[r.id].receive(f, now+2)
-		// The NIC sinks ejected flits unconditionally; return the credit now.
-		ol.credits[outVC]++
-	} else {
-		ol.dst.acceptFlit(ol.dstPort, outVC, f, now)
+	r.ops = append(r.ops, fwdOp{f: f, feeder: ip.feeder, ol: ol, fvc: int32(vc), outVC: int32(outVC)})
+}
+
+// commitOps applies the cross-router half of this router's phase-A grants:
+// credits returned upstream, prioritizer busy-table charges, traversal
+// statistics, and the flit handoff into the downstream router (or the local
+// NIC). The network calls it for every ticked router in ascending node
+// order, so the commit sequence — and with it every Prioritizer callback,
+// observer event and statistics update — is identical at any worker count.
+func (r *Router) commitOps(now uint64) {
+	n := r.net
+	for i := range r.ops {
+		op := &r.ops[i]
+		if op.feeder != nil {
+			op.feeder.credits[op.fvc]++
+		}
+		if op.f.IsHead() {
+			op.f.Pkt.Hops++
+			if pr := n.prioritizer; pr != nil {
+				pr.OnForward(r.id, op.f.Pkt, now)
+			}
+			if o := n.obs; o != nil {
+				o.HeaderGranted(r.id, op.ol.srcPort, op.f.Pkt, now)
+			}
+		}
+		n.countTraversal(op.ol)
+		if op.ol.dst == nil {
+			n.nics[r.id].receive(op.f, now+2)
+			// The NIC sinks ejected flits unconditionally; return the credit.
+			op.ol.credits[op.outVC]++
+		} else {
+			op.ol.dst.acceptFlit(op.ol.dstPort, int(op.outVC), op.f, now)
+			n.markRouterActive(op.ol.dst.id)
+		}
 	}
-	r.net.lastMove = now
+	if len(r.ops) > 0 {
+		n.lastMove = now
+		r.ops = r.ops[:0]
+	}
 }
 
 // occupancy returns the used and total flit-buffer slots of the router, the

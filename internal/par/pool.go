@@ -1,0 +1,152 @@
+// Package par provides the persistent fork-join worker pool behind the
+// simulator's deterministic intra-run parallelism (DESIGN.md §18).
+//
+// The pool runs "phase A" of the two-phase tick: every worker computes
+// decisions for a disjoint, contiguous shard of components purely from
+// cycle-N state, with all cross-shard effects deferred into per-component op
+// logs that the caller commits sequentially afterwards. Because phase A is
+// side-effect-disjoint and the commit order is fixed, the worker count never
+// influences results — it is purely an execution knob.
+//
+// Design constraints inherited from the hot loop:
+//   - Zero allocations per Run: callers pass pre-bound closures, dispatch is
+//     a buffered-channel send, completion is a sync.WaitGroup. The steady-
+//     state 0 allocs/op contract (DESIGN.md §13) holds at any worker count.
+//   - Lazy spawn: goroutines start on the first parallel Run, so building a
+//     simulator (config validation, construction-only tests) costs nothing.
+//   - Panic transparency: the simulator converts router-protocol panics into
+//     structured RunErrors via recover on the driving goroutine. A panic in
+//     a worker is captured and re-raised from Run on the caller's goroutine
+//     (lowest worker index wins, so even double faults surface
+//     deterministically) after all workers finish their disjoint shards.
+package par
+
+import "sync"
+
+// Pool is a fixed-size set of persistent workers. The zero of *Pool (nil) is
+// valid and runs everything inline on the caller's goroutine, so single-
+// threaded users pay one nil check and no synchronization.
+type Pool struct {
+	n       int
+	fn      func(worker, workers int)
+	start   []chan struct{}
+	wg      sync.WaitGroup
+	panics  []any
+	spawned bool
+	closed  bool
+}
+
+// New returns a pool of n workers. n <= 1 returns nil: the nil pool runs
+// inline, which is the exact sequential loop.
+func New(n int) *Pool {
+	if n <= 1 {
+		return nil
+	}
+	p := &Pool{n: n, panics: make([]any, n)}
+	for i := 1; i < n; i++ {
+		p.start = append(p.start, make(chan struct{}, 1))
+	}
+	return p
+}
+
+// Workers returns the worker count (1 for the nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.n
+}
+
+// spawn starts the worker goroutines (first parallel Run only).
+func (p *Pool) spawn() {
+	p.spawned = true
+	for i := 1; i < p.n; i++ {
+		go p.loop(i, p.start[i-1])
+	}
+}
+
+func (p *Pool) loop(worker int, start <-chan struct{}) {
+	for range start {
+		p.call(worker)
+		p.wg.Done()
+	}
+}
+
+// call runs the current phase function for one worker, capturing any panic.
+func (p *Pool) call(worker int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics[worker] = r
+		}
+	}()
+	p.fn(worker, p.n)
+}
+
+// Run executes fn(worker, workers) for every worker in [0, workers) and
+// returns once all have finished. Worker 0 runs on the calling goroutine.
+// fn must confine itself to its shard: Run provides the fork/join, the
+// caller's sharding (see Span) provides the disjointness.
+//
+// Run must not be called concurrently with itself or re-entrantly from fn;
+// the simulator's cycle loop is single-driver by construction.
+func (p *Pool) Run(fn func(worker, workers int)) {
+	if p == nil {
+		fn(0, 1)
+		return
+	}
+	if p.closed {
+		panic("par: Run on closed pool")
+	}
+	if !p.spawned {
+		p.spawn()
+	}
+	p.fn = fn
+	p.wg.Add(p.n - 1)
+	for _, ch := range p.start {
+		ch <- struct{}{}
+	}
+	p.call(0)
+	p.wg.Wait()
+	p.fn = nil
+	for w := 0; w < p.n; w++ {
+		if r := p.panics[w]; r != nil {
+			for i := range p.panics {
+				p.panics[i] = nil
+			}
+			panic(r)
+		}
+	}
+}
+
+// Close terminates the worker goroutines. The pool must not be used after
+// Close; Close on a nil or never-spawned pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil || p.closed {
+		return
+	}
+	p.closed = true
+	if !p.spawned {
+		return
+	}
+	for _, ch := range p.start {
+		close(ch)
+	}
+}
+
+// Span partitions n items into contiguous per-worker ranges, returning
+// worker's half-open [lo, hi). The first n%workers workers take one extra
+// item, so shard boundaries depend only on (n, workers) — never on timing.
+func Span(n, worker, workers int) (lo, hi int) {
+	q, r := n/workers, n%workers
+	lo = worker * q
+	if worker < r {
+		lo += worker
+	} else {
+		lo += r
+	}
+	hi = lo + q
+	if worker < r {
+		hi++
+	}
+	return lo, hi
+}

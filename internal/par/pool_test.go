@@ -1,0 +1,130 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSpanCoversExactly(t *testing.T) {
+	for n := 0; n <= 130; n++ {
+		for workers := 1; workers <= 9; workers++ {
+			covered := make([]int, n)
+			prevHi := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := Span(n, w, workers)
+				if lo != prevHi {
+					t.Fatalf("Span(%d, %d, %d): lo=%d, want contiguous from %d", n, w, workers, lo, prevHi)
+				}
+				for i := lo; i < hi; i++ {
+					covered[i]++
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("Span(%d, _, %d): covered up to %d, want %d", n, workers, prevHi, n)
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("Span(%d, _, %d): item %d covered %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", p.Workers())
+	}
+	ran := 0
+	p.Run(func(w, nw int) {
+		if w != 0 || nw != 1 {
+			t.Fatalf("nil pool ran fn(%d, %d), want fn(0, 1)", w, nw)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatalf("nil pool ran fn %d times, want 1", ran)
+	}
+	p.Close() // must be a no-op
+}
+
+func TestNewBelowTwoIsNil(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		if New(n) != nil {
+			t.Fatalf("New(%d) != nil", n)
+		}
+	}
+}
+
+func TestPoolRunsEveryWorkerEveryRound(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var sum atomic.Uint64
+	items := make([]uint64, 1000)
+	for i := range items {
+		items[i] = uint64(i + 1)
+	}
+	const rounds = 50
+	for round := 0; round < rounds; round++ {
+		p.Run(func(w, nw int) {
+			lo, hi := Span(len(items), w, nw)
+			var local uint64
+			for _, v := range items[lo:hi] {
+				local += v
+			}
+			sum.Add(local)
+		})
+	}
+	want := uint64(rounds) * 1000 * 1001 / 2
+	if got := sum.Load(); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestWorkerPanicPropagates(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	func() {
+		defer func() {
+			r := recover()
+			if r != "boom" {
+				t.Fatalf("recovered %v, want boom", r)
+			}
+		}()
+		p.Run(func(w, nw int) {
+			if w == 2 {
+				panic("boom")
+			}
+		})
+	}()
+	// The pool must stay usable after a propagated panic.
+	var hits atomic.Int32
+	p.Run(func(w, nw int) { hits.Add(1) })
+	if hits.Load() != 3 {
+		t.Fatalf("post-panic run hit %d workers, want 3", hits.Load())
+	}
+}
+
+func TestMainWorkerPanicPropagatesAfterJoin(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var other atomic.Bool
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("main-worker panic did not propagate")
+			}
+		}()
+		p.Run(func(w, nw int) {
+			if w == 0 {
+				panic("main boom")
+			}
+			other.Store(true)
+		})
+	}()
+	if !other.Load() {
+		t.Fatal("worker 1 did not finish before the panic unwound")
+	}
+}

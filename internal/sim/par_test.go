@@ -1,0 +1,156 @@
+package sim
+
+// Determinism tests for intra-run parallelism (DESIGN.md §18): the worker
+// count is an execution knob, so a run's Result must be byte-identical at any
+// parallelism — including under fault campaigns, whose stochastic draws and
+// structural events ride the same two-phase tick. Run under -race in CI's
+// par-determinism job, these tests double as the data-race proof for the
+// parallel phases.
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sttsim/internal/fault"
+	"sttsim/internal/workload"
+)
+
+// runAtPar executes one run with the package parallelism pinned, returning
+// the JSON-encoded Result.
+func runAtPar(t *testing.T, cfg Config, workers int) []byte {
+	t.Helper()
+	SetParallelism(workers)
+	defer SetParallelism(1)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("par=%d: %v", workers, err)
+	}
+	rj, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("par=%d: marshal result: %v", workers, err)
+	}
+	return rj
+}
+
+func TestParDeterminism(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"baseline-sram", Config{
+			Scheme:        SchemeSRAM64TSB,
+			Assignment:    workload.Homogeneous(workload.Profiles[1]),
+			Seed:          11,
+			WarmupCycles:  200,
+			MeasureCycles: 600,
+		}},
+		{"wb-restricted", Config{
+			Scheme:        SchemeSTT4TSBWB,
+			Assignment:    workload.Homogeneous(workload.Profiles[3]),
+			Seed:          23,
+			WarmupCycles:  200,
+			MeasureCycles: 600,
+		}},
+		// Fault campaign: seeded stochastic write errors plus a mid-run TSB
+		// death with re-homing, so the fault path (per-bank PRNG streams,
+		// structural events, route recomputation) is proven order-independent.
+		{"fault-campaign", Config{
+			Scheme:        SchemeSTT4TSBWB,
+			Assignment:    workload.Homogeneous(workload.Profiles[5]),
+			Seed:          42,
+			WarmupCycles:  200,
+			MeasureCycles: 800,
+			Fault: &fault.Config{
+				WriteErrorRate: 0.02,
+				TSBFailures:    []fault.TSBFailure{{Cycle: 500, Region: 1}},
+			},
+		}},
+	}
+	workers := []int{1, 2, 4, 8}
+	if testing.Short() {
+		workers = []int{1, 4}
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := runAtPar(t, tc.cfg, workers[0])
+			for _, w := range workers[1:] {
+				got := runAtPar(t, tc.cfg, w)
+				if !bytes.Equal(ref, got) {
+					t.Fatalf("result diverges at par=%d:\npar=%d: %s\npar=%d: %s",
+						w, workers[0], ref, w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestFingerprintIgnoresParallelism locks the execution knob out of config
+// identity: campaign dedup, the sttsimd result cache and journal replay must
+// treat parallel and sequential runs of the same Config as the same job.
+func TestFingerprintIgnoresParallelism(t *testing.T) {
+	cfg := Config{
+		Scheme:     SchemeSTT4TSBWB,
+		Assignment: workload.Homogeneous(workload.Profiles[0]),
+		Seed:       7,
+	}
+	ref := cfg.Fingerprint()
+	for _, w := range []int{1, 2, 8} {
+		SetParallelism(w)
+		if fp := cfg.Fingerprint(); fp != ref {
+			SetParallelism(1)
+			t.Fatalf("fingerprint changed under SetParallelism(%d): %s != %s", w, fp, ref)
+		}
+	}
+	SetParallelism(1)
+
+	// The knob must not quietly become a Config field either: that would put
+	// it into the canonical serialization and fork every fingerprint.
+	ct := reflect.TypeOf(Config{})
+	for i := 0; i < ct.NumField(); i++ {
+		name := strings.ToLower(ct.Field(i).Name)
+		if strings.Contains(name, "parallel") || strings.Contains(name, "workers") ||
+			name == "par" || name == "parworkers" {
+			t.Fatalf("Config gained execution-knob field %q; parallelism must stay out of config identity (use SetParallelism)", ct.Field(i).Name)
+		}
+	}
+}
+
+// TestParallelismResolution pins the knob's clamping and default.
+func TestParallelismResolution(t *testing.T) {
+	defer SetParallelism(1)
+	if got := Parallelism(); got != 1 {
+		t.Fatalf("default parallelism = %d, want 1", got)
+	}
+	for _, tc := range []struct{ set, want int }{{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {16, 16}} {
+		SetParallelism(tc.set)
+		if got := Parallelism(); got != tc.want {
+			t.Fatalf("SetParallelism(%d): Parallelism() = %d, want %d", tc.set, got, tc.want)
+		}
+	}
+}
+
+// TestCloseIdempotent: direct-New users Close explicitly; double Close and
+// Close on a sequential simulator must be safe.
+func TestCloseIdempotent(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		SetParallelism(w)
+		s, err := New(Config{
+			Scheme:     SchemeSTT64TSB,
+			Assignment: workload.Homogeneous(workload.Profiles[0]),
+		})
+		SetParallelism(1)
+		if err != nil {
+			t.Fatalf("par=%d: %v", w, err)
+		}
+		for i := 0; i < 3 && s.now < 50; i++ {
+			if err := s.Step(); err != nil {
+				t.Fatalf("par=%d step: %v", w, err)
+			}
+		}
+		s.Close()
+		s.Close()
+	}
+}

@@ -37,6 +37,10 @@ cd "$(dirname "$0")/.."
 
 BASELINE=BENCH_baseline.json
 BENCHES=(BenchmarkTracingDisabled BenchmarkSteadyStateCycle BenchmarkFullRun/wb)
+# Informational rows: the same FullRun under the intra-run worker pool (-par).
+# Recorded on -update and reported on every run, but never gating — speedup
+# depends on the host's core count, which a checked-in baseline cannot pin.
+PAR_BENCHES=(BenchmarkFullRunPar/wb-2 BenchmarkFullRunPar/wb-4)
 COUNT=6
 BENCHTIME=500ms
 # Wall-clock gate: loose enough to ignore scheduler jitter on a busy host
@@ -61,8 +65,14 @@ run_bench() {
             -benchmem -benchtime "$BENCHTIME" -count "$COUNT" .
         go test -run '^$' -bench '^BenchmarkFullRun$/^wb$' \
             -benchmem -benchtime "$BENCHTIME" -count "$COUNT" .
-    } | awk '$2 ~ /^[0-9]+$/ && $4 == "ns/op" {
-            name = $1; sub(/-[0-9]+$/, "", name)
+        go test -run '^$' -bench '^BenchmarkFullRunPar$/^wb-[24]$' \
+            -benchmem -benchtime "$BENCHTIME" -count "$COUNT" .
+    } | awk -v procs="${GOMAXPROCS:-$(nproc)}" '$2 ~ /^[0-9]+$/ && $4 == "ns/op" {
+            # Strip exactly the -GOMAXPROCS suffix (absent when procs is 1):
+            # a blanket -[0-9]+$ strip would also eat the worker count in
+            # sub-benchmark names like FullRunPar/wb-2.
+            name = $1
+            if (procs > 1) sub("-" procs "$", "", name)
             print name, $3, $5, $7
         }'
 }
@@ -73,7 +83,7 @@ col_min() {
 }
 
 samples="$(run_bench)"
-for bench in "${BENCHES[@]}"; do
+for bench in "${BENCHES[@]}" "${PAR_BENCHES[@]}"; do
     n="$(printf '%s\n' "$samples" | awk -v b="$bench" '$1 == b' | wc -l)"
     if [[ "$n" -lt "$COUNT" ]]; then
         echo "bench_guard: expected $COUNT samples of ${bench}, got $n" >&2
@@ -85,7 +95,7 @@ if [[ "${1:-}" == "-update" ]]; then
     {
         printf '{\n  "host": "%s",\n  "benchmarks": [\n' "$host_key"
         sep=''
-        for bench in "${BENCHES[@]}"; do
+        for bench in "${BENCHES[@]}" "${PAR_BENCHES[@]}"; do
             printf '%s    {"name": "%s", "ns_per_op": %s, "bytes_per_op": %s, "allocs_per_op": %s}' \
                 "$sep" "$bench" \
                 "$(col_min "$samples" "$bench" 2)" \
@@ -96,7 +106,7 @@ if [[ "${1:-}" == "-update" ]]; then
         printf '\n  ]\n}\n'
     } > "$BASELINE"
     echo "bench_guard: baseline updated on ${host_key}:"
-    for bench in "${BENCHES[@]}"; do
+    for bench in "${BENCHES[@]}" "${PAR_BENCHES[@]}"; do
         echo "  ${bench}: $(col_min "$samples" "$bench" 2) ns/op, $(col_min "$samples" "$bench" 3) B/op, $(col_min "$samples" "$bench" 4) allocs/op"
     done
     exit 0
@@ -131,9 +141,12 @@ for bench in "${BENCHES[@]}"; do
     base_ns="$(base_field "$bench" 1)"
     base_bytes="$(base_field "$bench" 2)"
     base_allocs="$(base_field "$bench" 3)"
+    # A benchmark absent from the baseline is a freshly added one, not a
+    # regression: warn and skip so adding a benchmark doesn't break verify on
+    # branches whose baseline predates it. It gets a row on the next -update.
     if [[ -z "$base_ns" || -z "$base_bytes" || -z "$base_allocs" ]]; then
-        echo "bench_guard: ${bench} missing from ${BASELINE}; re-record with -update" >&2
-        exit 1
+        echo "bench_guard: WARN — ${bench} has no row in ${BASELINE} (new benchmark?); skipping, re-record with -update"
+        continue
     fi
     ns="$(col_min "$samples" "$bench" 2)"
     bytes="$(col_min "$samples" "$bench" 3)"
@@ -175,6 +188,20 @@ for bench in "${BENCHES[@]}"; do
     else
         echo "bench_guard: FAIL — ${bench}: ${ns} ns/op vs baseline ${base_ns} ns/op (${pct}% > +${TOLERANCE_PCT}%)" >&2
         wc_fail=1
+    fi
+done
+
+# Informational -par rows: reported for visibility, never failing. The useful
+# signal is the ratio against BenchmarkFullRun/wb on a multi-core host.
+for bench in "${PAR_BENCHES[@]}"; do
+    base_ns="$(base_field "$bench" 1)"
+    ns="$(col_min "$samples" "$bench" 2)"
+    allocs="$(col_min "$samples" "$bench" 4)"
+    if [[ -z "$base_ns" ]]; then
+        echo "bench_guard: info — ${bench}: ${ns} ns/op, ${allocs} allocs/op (no baseline row yet; recorded on next -update)"
+    else
+        pct="$(awk -v ns="$ns" -v base="$base_ns" 'BEGIN { printf "%+.2f", (ns/base - 1) * 100 }')"
+        echo "bench_guard: info — ${bench}: ${ns} ns/op vs baseline ${base_ns} (${pct}%), ${allocs} allocs/op (not gated)"
     fi
 done
 }
